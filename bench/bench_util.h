@@ -1,0 +1,139 @@
+// Shared plumbing for the paper-table benchmark binaries.
+//
+// Scale control:
+//   MANIMAL_SCALE  multiplies dataset sizes (default 1; the defaults
+//                  keep every bench in the seconds range — the paper's
+//                  hundred-GB datasets are reached by raising this).
+//   MANIMAL_RUNS   timed repetitions averaged per configuration
+//                  (default 1; the paper averaged 3).
+
+#ifndef MANIMAL_BENCH_BENCH_UTIL_H_
+#define MANIMAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+
+namespace manimal::bench {
+
+inline int64_t ScaleFactor() { return EnvInt64("MANIMAL_SCALE", 1); }
+inline int Runs() {
+  return static_cast<int>(EnvInt64("MANIMAL_RUNS", 1));
+}
+
+// Aborts the bench with a message on error (benches are top-level
+// programs; there is nobody to propagate to).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+// A scratch workspace under the system temp dir, removed on
+// destruction.
+class BenchWorkspace {
+ public:
+  explicit BenchWorkspace(const std::string& tag)
+      : dir_(MakeTempDir("bench-" + tag)) {}
+  ~BenchWorkspace() { (void)RemoveDirRecursively(dir_); }
+
+  const std::string& dir() const { return dir_; }
+  std::string file(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+  std::unique_ptr<core::ManimalSystem> OpenSystem(
+      double startup_seconds = 0.01) {
+    core::ManimalSystem::Options options;
+    options.workspace_dir = file("ws");
+    options.map_parallelism =
+        static_cast<int>(EnvInt64("MANIMAL_THREADS", 4));
+    options.num_partitions = options.map_parallelism;
+    options.simulated_startup_seconds = startup_seconds;
+    return CheckOk(core::ManimalSystem::Open(options), "open system");
+  }
+
+ private:
+  std::string dir_;
+};
+
+// Runs `fn` Runs() times and returns the mean JobResult (times
+// averaged, counters from the last run).
+inline exec::JobResult Averaged(
+    const std::function<exec::JobResult()>& fn) {
+  exec::JobResult last;
+  double wall = 0, reported = 0;
+  int runs = std::max(1, Runs());
+  for (int i = 0; i < runs; ++i) {
+    last = fn();
+    wall += last.wall_seconds;
+    reported += last.reported_seconds;
+  }
+  last.wall_seconds = wall / runs;
+  last.reported_seconds = reported / runs;
+  return last;
+}
+
+// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(headers_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < widths.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]),
+                    i < row.size() ? row[i].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::printf("%s  ", std::string(widths[i], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Secs(double s) { return StrPrintf("%.3f s", s); }
+inline std::string Ratio(double r) { return StrPrintf("%.2fx", r); }
+inline std::string Pct(double r) { return StrPrintf("%.1f%%", r * 100); }
+
+}  // namespace manimal::bench
+
+#endif  // MANIMAL_BENCH_BENCH_UTIL_H_

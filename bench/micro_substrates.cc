@@ -1,0 +1,255 @@
+// Ablation microbenchmarks (google-benchmark) for the substrates the
+// paper's results rest on: varint coding, ordered-key encoding, the
+// B+Tree (node-size sweep), the external sorter (spill-threshold
+// sweep), the row codec, the delta/dictionary codecs, and the MRIL VM
+// dispatch loop. These quantify the design choices DESIGN.md calls
+// out.
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/dictionary.h"
+#include "columnar/seqfile.h"
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/external_sorter.h"
+#include "mril/vm.h"
+#include "serde/key_codec.h"
+#include "serde/record_codec.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal {
+namespace {
+
+void BM_VarintRoundtrip(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> (rng.Uniform(60));
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    std::string_view in = buf;
+    uint64_t out = 0, sum = 0;
+    while (!in.empty()) {
+      (void)GetVarint64(&in, &out);
+      sum += out;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintRoundtrip);
+
+void BM_OrderedKeyEncode(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<Value> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(Value::I64(static_cast<int64_t>(rng.Next())));
+  }
+  std::string buf;
+  for (auto _ : state) {
+    for (const Value& k : keys) {
+      buf.clear();
+      (void)EncodeOrderedKey(k, &buf);
+      benchmark::DoNotOptimize(buf.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_OrderedKeyEncode);
+
+void BM_RowCodec(benchmark::State& state) {
+  Schema schema = workloads::UserVisitsSchema();
+  Rng rng(9);
+  Record record = {Value::Str(rng.IpAddress()),
+                   Value::Str("http://example.com/x"),
+                   Value::I64(20100),
+                   Value::I64(1234),
+                   Value::Str("Mozilla/5.0"),
+                   Value::Str("USA"),
+                   Value::Str("en"),
+                   Value::Str(rng.AsciiString(8)),
+                   Value::I64(37)};
+  std::string buf;
+  Record out;
+  for (auto _ : state) {
+    buf.clear();
+    (void)EncodeRecord(schema, record, &buf);
+    std::string_view in = buf;
+    (void)DecodeRecord(schema, &in, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowCodec);
+
+// B+Tree point lookups across node sizes (the design-choice sweep).
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t node_bytes = state.range(0);
+  const int n = 200000;
+  std::string dir = MakeTempDir("bm-btree");
+  std::string path = dir + "/t.idx";
+  {
+    index::BTreeBuilder::Options opts;
+    opts.target_node_bytes = static_cast<uint32_t>(node_bytes);
+    auto builder =
+        std::move(index::BTreeBuilder::Create(path, opts)).value();
+    std::string key, payload = "payload-payload-payload";
+    for (int i = 0; i < n; ++i) {
+      key.clear();
+      (void)EncodeOrderedKey(Value::I64(i), &key);
+      (void)builder->Add(key, payload);
+    }
+    (void)builder->Finish();
+  }
+  auto reader = std::move(index::BTreeReader::Open(path)).value();
+  Rng rng(11);
+  std::string key;
+  for (auto _ : state) {
+    key.clear();
+    (void)EncodeOrderedKey(
+        Value::I64(static_cast<int64_t>(rng.Uniform(n))), &key);
+    auto it = std::move(reader->Seek(key, true)).value();
+    benchmark::DoNotOptimize(it.Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+  (void)RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_BTreeLookup)->Arg(4096)->Arg(16384)->Arg(65536);
+
+// Full-range scan throughput.
+void BM_BTreeScan(benchmark::State& state) {
+  const int n = 100000;
+  std::string dir = MakeTempDir("bm-btreescan");
+  std::string path = dir + "/t.idx";
+  {
+    auto builder = std::move(index::BTreeBuilder::Create(path)).value();
+    std::string key;
+    for (int i = 0; i < n; ++i) {
+      key.clear();
+      (void)EncodeOrderedKey(Value::I64(i), &key);
+      (void)builder->Add(key, "0123456789abcdef");
+    }
+    (void)builder->Finish();
+  }
+  auto reader = std::move(index::BTreeReader::Open(path)).value();
+  for (auto _ : state) {
+    auto it = std::move(reader->SeekToFirst()).value();
+    uint64_t count = 0;
+    while (it.Valid()) {
+      ++count;
+      (void)it.Next();
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  (void)RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_BTreeScan);
+
+// External sorter with varying memory budget (spill-count ablation).
+void BM_ExternalSort(benchmark::State& state) {
+  const uint64_t budget = static_cast<uint64_t>(state.range(0)) << 10;
+  const int n = 100000;
+  std::string dir = MakeTempDir("bm-sort");
+  Rng rng(13);
+  std::vector<std::string> keys(n);
+  for (auto& k : keys) k = rng.AsciiString(16);
+  for (auto _ : state) {
+    index::ExternalSorter::Options opts;
+    opts.temp_dir = dir;
+    opts.memory_budget_bytes = budget;
+    index::ExternalSorter sorter(opts);
+    for (const std::string& k : keys) (void)sorter.Add(k, "v");
+    auto stream = std::move(sorter.Finish()).value();
+    uint64_t count = 0;
+    while (stream->Valid()) {
+      ++count;
+      (void)stream->Next();
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  (void)RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_ExternalSort)->Arg(256)->Arg(1024)->Arg(65536);
+
+// Dictionary encode/lookup.
+void BM_DictionaryEncode(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<std::string> urls(5000);
+  for (size_t i = 0; i < urls.size(); ++i) {
+    urls[i] = "http://www.site" + std::to_string(i % 500) +
+              ".example.com/page.html";
+  }
+  for (auto _ : state) {
+    columnar::DictionaryBuilder builder;
+    int64_t sum = 0;
+    for (const std::string& u : urls) sum += builder.EncodeOrAdd(u);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * urls.size());
+}
+BENCHMARK(BM_DictionaryEncode);
+
+// MRIL VM dispatch: the §2.1 example map over in-memory records.
+void BM_VmMapInvocation(benchmark::State& state) {
+  mril::Program program = workloads::ExampleRankFilter(50);
+  mril::VmInstance vm(&program);
+  uint64_t emitted = 0;
+  vm.set_emit_sink([&emitted](const Value&, const Value&) {
+    ++emitted;
+    return Status::OK();
+  });
+  Value value = Value::List({Value::Str("http://a"), Value::I64(75),
+                             Value::Str("content")});
+  Value key = Value::I64(0);
+  for (auto _ : state) {
+    (void)vm.InvokeMap(key, value);
+  }
+  benchmark::DoNotOptimize(emitted);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmMapInvocation);
+
+// SeqFile scan throughput: plain vs delta-encoded numeric columns.
+void BM_SeqFileScan(benchmark::State& state) {
+  const bool delta = state.range(0) != 0;
+  std::string dir = MakeTempDir("bm-seq");
+  std::string path = dir + "/t.msq";
+  Schema schema({{"a", FieldType::kI64}, {"b", FieldType::kI64}});
+  {
+    columnar::SeqFileMeta meta = columnar::PlainMeta(schema);
+    if (delta) meta.delta_slots = {0, 1};
+    auto writer =
+        std::move(columnar::SeqFileWriter::Create(path, meta)).value();
+    for (int i = 0; i < 100000; ++i) {
+      (void)writer->Append(
+          {Value::I64(1000000 + i), Value::I64(i * 3)});
+    }
+    (void)writer->Finish();
+  }
+  auto reader = std::move(columnar::SeqFileReader::Open(path)).value();
+  for (auto _ : state) {
+    auto stream = std::move(reader->ScanAll()).value();
+    Record record;
+    uint64_t count = 0;
+    for (;;) {
+      auto more = stream.Next(&record);
+      if (!more.ok() || !*more) break;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+  (void)RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_SeqFileScan)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace manimal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// manimal-run: a small command-line driver that executes an MRIL
+// assembler file against a SeqFile input through the full Manimal
+// pipeline — analyze, plan against the catalog, execute — so UDFs can
+// be written and iterated on without touching C++.
+//
+// Usage:
+//   manimal-run <program.mril> <input.msq> <output.prs> [workspace]
+//   manimal-run --build-index <program.mril> <input.msq> [workspace]
+//   manimal-run --analyze <program.mril>
+//   manimal-run --generate webpages|uservisits|rankings|documents
+//               <out.msq> [count]
+//
+// With no workspace argument a throwaway one is used (no artifacts are
+// reused across runs).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "mril/assembler.h"
+#include "workloads/datagen.h"
+
+using namespace manimal;
+
+namespace {
+
+void DieIf(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  DieIf(result.status(), what);
+  return std::move(result).value();
+}
+
+mril::Program LoadProgram(const std::string& path) {
+  std::string text = Unwrap(ReadFileToString(path), "read program");
+  return Unwrap(mril::AssembleProgram(text), "assemble");
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  manimal-run <program.mril> <input.msq> <output.prs> [ws]\n"
+      "  manimal-run --build-index <program.mril> <input.msq> [ws]\n"
+      "  manimal-run --analyze <program.mril>\n"
+      "  manimal-run --generate webpages|uservisits|rankings|documents"
+      " <out.msq> [count]\n");
+  return 2;
+}
+
+int Generate(const std::string& kind, const std::string& path,
+             uint64_t count) {
+  workloads::GenStats stats;
+  if (kind == "webpages") {
+    workloads::WebPagesOptions options;
+    if (count) options.num_pages = count;
+    stats = Unwrap(workloads::GenerateWebPages(path, options), "generate");
+  } else if (kind == "uservisits") {
+    workloads::UserVisitsOptions options;
+    if (count) options.num_visits = count;
+    stats =
+        Unwrap(workloads::GenerateUserVisits(path, options), "generate");
+  } else if (kind == "rankings") {
+    workloads::RankingsOptions options;
+    if (count) options.num_pages = count;
+    stats = Unwrap(workloads::GenerateRankings(path, options), "generate");
+  } else if (kind == "documents") {
+    workloads::DocumentsOptions options;
+    if (count) options.num_docs = count;
+    stats =
+        Unwrap(workloads::GenerateDocuments(path, options), "generate");
+  } else {
+    return Usage();
+  }
+  std::printf("wrote %llu records (%s) to %s\n",
+              (unsigned long long)stats.records,
+              HumanBytes(stats.bytes).c_str(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  if (std::strcmp(argv[1], "--generate") == 0) {
+    if (argc != 4 && argc != 5) return Usage();
+    uint64_t count =
+        argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    return Generate(argv[2], argv[3], count);
+  }
+
+  if (std::strcmp(argv[1], "--analyze") == 0) {
+    if (argc != 3) return Usage();
+    mril::Program program = LoadProgram(argv[2]);
+    std::printf("%s\n", program.Disassemble().c_str());
+    auto report = Unwrap(analyzer::Analyze(program), "analyze");
+    std::printf("%s\n", report.ToString().c_str());
+    for (const auto& spec :
+         analyzer::SynthesizeIndexPrograms(program, report)) {
+      std::printf("index program: %s\n", spec.Describe().c_str());
+    }
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--build-index") == 0) {
+    if (argc != 4 && argc != 5) return Usage();
+    mril::Program program = LoadProgram(argv[2]);
+    std::string input = argv[3];
+    std::string ws = argc == 5 ? argv[4] : MakeTempDir("manimal-run");
+    core::ManimalSystem::Options options;
+    options.workspace_dir = ws;
+    auto system = Unwrap(core::ManimalSystem::Open(options), "open");
+    auto report = Unwrap(analyzer::Analyze(program), "analyze");
+    auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+    if (specs.empty()) {
+      std::printf("no optimization opportunities detected\n");
+      return 0;
+    }
+    for (const auto& spec : specs) {
+      auto build =
+          Unwrap(system->BuildIndex(spec, input), "build index");
+      std::printf("built %s\n  -> %s (%s)\n", spec.Describe().c_str(),
+                  build.entry.artifact_path.c_str(),
+                  HumanBytes(build.entry.artifact_bytes).c_str());
+    }
+    std::printf("workspace: %s\n", ws.c_str());
+    return 0;
+  }
+
+  if (argc != 4 && argc != 5) return Usage();
+  core::ManimalSystem::Submission job;
+  job.program = LoadProgram(argv[1]);
+  job.input_path = argv[2];
+  job.output_path = argv[3];
+  std::string ws = argc == 5 ? argv[4] : MakeTempDir("manimal-run");
+
+  core::ManimalSystem::Options options;
+  options.workspace_dir = ws;
+  options.simulated_startup_seconds = 0;
+  options.simulated_disk_bytes_per_sec = 0;
+  auto system = Unwrap(core::ManimalSystem::Open(options), "open");
+  auto outcome = Unwrap(system->Submit(job), "submit");
+
+  std::printf("plan: %s\n", outcome.plan.explanation.c_str());
+  std::printf("input records:   %llu\n",
+              (unsigned long long)outcome.job.counters.input_records);
+  std::printf("map invocations: %llu\n",
+              (unsigned long long)outcome.job.counters.map_invocations);
+  std::printf("bytes read:      %s\n",
+              HumanBytes(outcome.job.counters.input_bytes).c_str());
+  std::printf("output pairs:    %llu -> %s\n",
+              (unsigned long long)outcome.job.counters.output_records,
+              job.output_path.c_str());
+  for (const auto& spec : outcome.index_programs) {
+    std::printf("available index program: %s\n",
+                spec.Describe().c_str());
+  }
+  std::printf("wall: %.3fs\n", outcome.job.wall_seconds);
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "analysis/expr_recovery.h"
+
+#include "common/check.h"
+#include "mril/builtins.h"
+
+namespace manimal::analysis {
+
+using mril::Builtin;
+using mril::BuiltinRegistry;
+using mril::Instruction;
+using mril::Opcode;
+
+ExprRecovery::ExprRecovery(const Program& program, const Function& fn,
+                           const Cfg& cfg, const ReachingDefs& reaching)
+    : program_(program), fn_(fn), cfg_(cfg), reaching_(reaching) {}
+
+ExprRef ExprRecovery::ResolveLoad(int pc, VarRef var) {
+  if (var.kind == VarRef::Kind::kMember) {
+    // Member variables are external state by definition — the previous
+    // invocation may have written them, so the analyzer never expands
+    // through them (Figure 2's numMapsRun).
+    return Expr::MakeMember(var.slot, pc);
+  }
+  std::vector<int> defs = reaching_.DefsReaching(pc, var);
+  if (defs.empty()) {
+    // Uninitialized local read.
+    return Expr::MakeUnknown(pc);
+  }
+  ExprRef resolved;
+  for (int def_pc : defs) {
+    ExprRef e = StoredValue(def_pc);
+    if (e == nullptr || e->kind == Expr::Kind::kUnknown) {
+      return Expr::MakeUnknown(pc);
+    }
+    if (resolved == nullptr) {
+      resolved = e;
+    } else if (!resolved->Equals(*e)) {
+      // Distinct values can flow here along different paths.
+      return Expr::MakeUnknown(pc);
+    }
+  }
+  return resolved;
+}
+
+ExprRef ExprRecovery::StoredValue(int def_pc) {
+  auto memo = stored_memo_.find(def_pc);
+  if (memo != stored_memo_.end()) return memo->second;
+  if (in_progress_.count(def_pc) > 0) {
+    // Loop-carried definition (the def's value depends on itself).
+    return Expr::MakeUnknown(def_pc);
+  }
+  in_progress_.insert(def_pc);
+  std::vector<ExprRef> stack = StackBefore(def_pc);
+  in_progress_.erase(def_pc);
+  ExprRef result =
+      stack.empty() ? Expr::MakeUnknown(def_pc) : stack.back();
+  stored_memo_[def_pc] = result;
+  return result;
+}
+
+ExprRef ExprRecovery::BranchCondition(int branch_pc) {
+  MANIMAL_CHECK(mril::IsConditionalBranch(fn_.code.at(branch_pc).op));
+  std::vector<ExprRef> stack = StackBefore(branch_pc);
+  return stack.empty() ? Expr::MakeUnknown(branch_pc) : stack.back();
+}
+
+std::pair<ExprRef, ExprRef> ExprRecovery::EmitOperands(int emit_pc) {
+  MANIMAL_CHECK(fn_.code.at(emit_pc).op == Opcode::kEmit);
+  std::vector<ExprRef> stack = StackBefore(emit_pc);
+  if (stack.size() < 2) {
+    return {Expr::MakeUnknown(emit_pc), Expr::MakeUnknown(emit_pc)};
+  }
+  // emit pops value (top), then key.
+  return {stack[stack.size() - 2], stack[stack.size() - 1]};
+}
+
+ExprRef ExprRecovery::LogOperand(int log_pc) {
+  MANIMAL_CHECK(fn_.code.at(log_pc).op == Opcode::kLog);
+  std::vector<ExprRef> stack = StackBefore(log_pc);
+  return stack.empty() ? Expr::MakeUnknown(log_pc) : stack.back();
+}
+
+std::vector<ExprRef> ExprRecovery::StackBefore(int pc) {
+  const BasicBlock& bb = cfg_.block(cfg_.BlockOf(pc));
+  std::vector<ExprRef> stack;  // block entry: empty (verified)
+  for (int p = bb.first_pc; p < pc; ++p) {
+    const Instruction& inst = fn_.code[p];
+    auto pop = [&stack, p]() -> ExprRef {
+      if (stack.empty()) return Expr::MakeUnknown(p);
+      ExprRef e = stack.back();
+      stack.pop_back();
+      return e;
+    };
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kLoadConst:
+        stack.push_back(
+            Expr::MakeConst(program_.constants.at(inst.operand), p));
+        break;
+      case Opcode::kLoadParam:
+        stack.push_back(Expr::MakeParam(inst.operand, p));
+        break;
+      case Opcode::kLoadLocal:
+        stack.push_back(
+            ResolveLoad(p, VarRef{VarRef::Kind::kLocal, inst.operand}));
+        break;
+      case Opcode::kLoadMember:
+        stack.push_back(
+            ResolveLoad(p, VarRef{VarRef::Kind::kMember, inst.operand}));
+        break;
+      case Opcode::kStoreLocal:
+      case Opcode::kStoreMember:
+        pop();
+        break;
+      case Opcode::kGetField: {
+        ExprRef base = pop();
+        stack.push_back(Expr::MakeField(std::move(base), inst.operand, p));
+        break;
+      }
+      case Opcode::kDup: {
+        ExprRef top = pop();
+        stack.push_back(top);
+        stack.push_back(top);
+        break;
+      }
+      case Opcode::kPop:
+        pop();
+        break;
+      case Opcode::kSwap: {
+        ExprRef b = pop();
+        ExprRef a = pop();
+        stack.push_back(std::move(b));
+        stack.push_back(std::move(a));
+        break;
+      }
+      case Opcode::kNeg:
+      case Opcode::kNot: {
+        ExprRef a = pop();
+        stack.push_back(Expr::MakeOp(inst.op, {std::move(a)}, p));
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kCmpLt:
+      case Opcode::kCmpLe:
+      case Opcode::kCmpGt:
+      case Opcode::kCmpGe:
+      case Opcode::kCmpEq:
+      case Opcode::kCmpNe:
+      case Opcode::kAnd:
+      case Opcode::kOr: {
+        ExprRef b = pop();
+        ExprRef a = pop();
+        stack.push_back(
+            Expr::MakeOp(inst.op, {std::move(a), std::move(b)}, p));
+        break;
+      }
+      case Opcode::kCall: {
+        const Builtin* builtin =
+            BuiltinRegistry::Get().FindById(inst.operand);
+        MANIMAL_CHECK(builtin != nullptr);
+        std::vector<ExprRef> args(builtin->arity);
+        for (int i = builtin->arity - 1; i >= 0; --i) args[i] = pop();
+        stack.push_back(Expr::MakeCall(builtin, std::move(args), p));
+        break;
+      }
+      case Opcode::kEmit:
+        pop();
+        pop();
+        break;
+      case Opcode::kLog:
+        pop();
+        break;
+      case Opcode::kJmp:
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse:
+      case Opcode::kReturn:
+        // Terminators are the last instruction of a block; p < pc means
+        // we should never step over one.
+        MANIMAL_UNREACHABLE();
+    }
+  }
+  return stack;
+}
+
+}  // namespace manimal::analysis

@@ -1,0 +1,102 @@
+#include "analysis/paths.h"
+
+namespace manimal::analysis {
+
+namespace {
+
+// Recursive enumeration over the acyclic relevant subgraph. Depth is
+// bounded by the block count (the subgraph is verified acyclic first).
+struct Enumerator {
+  const Cfg& cfg;
+  int target;
+  int max_paths;
+  const std::vector<bool>& reaches;
+  std::vector<CfgPath>* out;
+  CfgPath current;
+  bool overflow = false;
+
+  void Visit(int block) {
+    if (overflow) return;
+    current.blocks.push_back(block);
+    if (block == target) {
+      // A path ends at its first arrival at the target block;
+      // conditions past it are irrelevant to reaching the emit.
+      out->push_back(current);
+      if (static_cast<int>(out->size()) > max_paths) overflow = true;
+    } else {
+      for (int eid : cfg.block(block).succ_edges) {
+        const CfgEdge& e = cfg.edge(eid);
+        if (!reaches[e.to]) continue;
+        bool conditional =
+            e.kind == EdgeKind::kTrue || e.kind == EdgeKind::kFalse;
+        if (conditional) {
+          current.conditions.push_back(
+              PathCondition{e.branch_pc, e.kind == EdgeKind::kTrue});
+        }
+        Visit(e.to);
+        if (conditional) current.conditions.pop_back();
+      }
+    }
+    current.blocks.pop_back();
+  }
+};
+
+// Cycle check restricted to blocks that are reachable from entry and
+// can reach the target.
+bool RelevantSubgraphHasCycle(const Cfg& cfg,
+                              const std::vector<bool>& relevant) {
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(cfg.blocks().size(), kWhite);
+  std::vector<std::pair<int, size_t>> stack;
+  for (size_t root = 0; root < cfg.blocks().size(); ++root) {
+    if (!relevant[root] || color[root] != kWhite) continue;
+    stack.emplace_back(static_cast<int>(root), 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [b, i] = stack.back();
+      if (i < cfg.block(b).succ_edges.size()) {
+        int to = cfg.edge(cfg.block(b).succ_edges[i]).to;
+        ++i;
+        if (!relevant[to]) continue;
+        if (color[to] == kGray) return true;
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.emplace_back(to, 0);
+        }
+      } else {
+        color[b] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<CfgPath>> EnumeratePathsTo(const Cfg& cfg,
+                                              int target_block,
+                                              int max_paths) {
+  std::vector<bool> reaches = cfg.BlocksReaching(target_block);
+  std::vector<bool> reachable = cfg.ReachableBlocks();
+  std::vector<bool> relevant(cfg.blocks().size(), false);
+  for (size_t b = 0; b < relevant.size(); ++b) {
+    relevant[b] = reaches[b] && reachable[b];
+  }
+  if (RelevantSubgraphHasCycle(cfg, relevant)) {
+    return Status::NotSupported(
+        "control-flow cycle can reach the emit; path enumeration unsafe");
+  }
+
+  std::vector<CfgPath> result;
+  Enumerator en{cfg, target_block, max_paths, relevant, &result, {}, false};
+  if (relevant[cfg.entry_block()]) {
+    en.Visit(cfg.entry_block());
+  }
+  if (en.overflow) {
+    return Status::NotSupported("too many paths to the emit");
+  }
+  return result;
+}
+
+}  // namespace manimal::analysis

@@ -1,0 +1,46 @@
+// Acyclic control-flow path enumeration — paths(s) and conds(path)
+// from the Figure 3 selection-detection algorithm.
+//
+// For a statement s (an emit), every entry→block(s) path contributes a
+// conjunction of branch conditions with polarities; the disjunction
+// over paths is the program's emit condition. Enumeration refuses
+// cyclic CFGs and path blowups: both cases make the path set
+// unrepresentative or unbounded, and the analyzer's contract is to
+// decline rather than risk an unsafe optimization.
+
+#ifndef MANIMAL_ANALYSIS_PATHS_H_
+#define MANIMAL_ANALYSIS_PATHS_H_
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/status.h"
+
+namespace manimal::analysis {
+
+// One conditional-branch decision along a path: the branch instruction
+// and the value its condition must evaluate to for the path to
+// continue.
+struct PathCondition {
+  int branch_pc = -1;
+  bool polarity = true;
+
+  bool operator==(const PathCondition& other) const = default;
+};
+
+struct CfgPath {
+  std::vector<int> blocks;               // entry ... target
+  std::vector<PathCondition> conditions;  // conds(path)
+};
+
+// Enumerates all acyclic paths from the entry block to `target_block`.
+// Fails with NotSupported if the CFG contains a cycle anywhere
+// reachable-from-entry that can also reach the target, or if more than
+// `max_paths` paths exist.
+Result<std::vector<CfgPath>> EnumeratePathsTo(const Cfg& cfg,
+                                              int target_block,
+                                              int max_paths = 4096);
+
+}  // namespace manimal::analysis
+
+#endif  // MANIMAL_ANALYSIS_PATHS_H_

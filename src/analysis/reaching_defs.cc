@@ -1,0 +1,121 @@
+#include "analysis/reaching_defs.h"
+
+#include "common/check.h"
+
+namespace manimal::analysis {
+
+using mril::Instruction;
+using mril::Opcode;
+
+namespace {
+
+bool IsDef(const Instruction& inst, VarRef* var) {
+  if (inst.op == Opcode::kStoreLocal) {
+    *var = VarRef{VarRef::Kind::kLocal, inst.operand};
+    return true;
+  }
+  if (inst.op == Opcode::kStoreMember) {
+    *var = VarRef{VarRef::Kind::kMember, inst.operand};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReachingDefs::ReachingDefs(const Function& fn, const Cfg& cfg)
+    : fn_(fn), cfg_(cfg) {
+  const int n = static_cast<int>(fn.code.size());
+  def_index_of_pc_.assign(n, -1);
+  for (int pc = 0; pc < n; ++pc) {
+    VarRef var{VarRef::Kind::kLocal, 0};
+    if (IsDef(fn.code[pc], &var)) {
+      def_index_of_pc_[pc] = static_cast<int>(def_sites_.size());
+      def_sites_.push_back(pc);
+      def_var_.push_back(var);
+    }
+  }
+
+  const int num_defs = static_cast<int>(def_sites_.size());
+  const int words = (num_defs + 63) / 64;
+  const int num_blocks = static_cast<int>(cfg.blocks().size());
+
+  // GEN/KILL per block.
+  std::vector<Bits> gen(num_blocks, Bits(words, 0));
+  std::vector<Bits> kill(num_blocks, Bits(words, 0));
+  for (const BasicBlock& bb : cfg.blocks()) {
+    for (int pc = bb.first_pc; pc <= bb.last_pc; ++pc) {
+      int d = def_index_of_pc_[pc];
+      if (d < 0) continue;
+      // This def kills every other def of the same variable and any
+      // earlier gen of it in this block.
+      for (int other = 0; other < num_defs; ++other) {
+        if (other != d && def_var_[other] == def_var_[d]) {
+          SetBit(&kill[bb.id], other);
+          // and clear from gen if set
+          gen[bb.id][other / 64] &= ~(uint64_t{1} << (other % 64));
+        }
+      }
+      SetBit(&gen[bb.id], d);
+      kill[bb.id][d / 64] &= ~(uint64_t{1} << (d % 64));
+    }
+  }
+
+  // Worklist iteration: in[b] = union of out[p]; out = gen | (in &
+  // ~kill).
+  in_.assign(num_blocks, Bits(words, 0));
+  std::vector<Bits> out(num_blocks, Bits(words, 0));
+  for (int b = 0; b < num_blocks; ++b) out[b] = gen[b];
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < num_blocks; ++b) {
+      Bits new_in(words, 0);
+      for (int eid : cfg.block(b).pred_edges) {
+        int p = cfg.edge(eid).from;
+        for (int w = 0; w < words; ++w) new_in[w] |= out[p][w];
+      }
+      Bits new_out(words, 0);
+      for (int w = 0; w < words; ++w) {
+        new_out[w] = gen[b][w] | (new_in[w] & ~kill[b][w]);
+      }
+      if (new_in != in_[b] || new_out != out[b]) {
+        in_[b] = std::move(new_in);
+        out[b] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<int> ReachingDefs::DefsReaching(int pc, VarRef var) const {
+  MANIMAL_CHECK(pc >= 0 && pc < static_cast<int>(fn_.code.size()));
+  const int b = cfg_.BlockOf(pc);
+  const BasicBlock& bb = cfg_.block(b);
+  const int num_defs = static_cast<int>(def_sites_.size());
+
+  // Start from the block's IN set, then walk forward to pc applying
+  // local gen/kill.
+  Bits live = in_[b];
+  for (int p = bb.first_pc; p < pc; ++p) {
+    int d = def_index_of_pc_[p];
+    if (d < 0) continue;
+    for (int other = 0; other < num_defs; ++other) {
+      if (def_var_[other] == def_var_[d]) {
+        live[other / 64] &= ~(uint64_t{1} << (other % 64));
+      }
+    }
+    SetBit(&live, d);
+  }
+
+  std::vector<int> result;
+  for (int d = 0; d < num_defs; ++d) {
+    if (def_var_[d] == var && TestBit(live, d)) {
+      result.push_back(def_sites_[d]);
+    }
+  }
+  return result;
+}
+
+}  // namespace manimal::analysis

@@ -1,0 +1,59 @@
+// Reaching-definitions dataflow over an MRIL function (paper §3.1,
+// Figure 5): for every load of a local or member variable, which store
+// instructions may have produced the value seen. This is the "def"
+// side of the use-def chains that getUseDef() builds.
+
+#ifndef MANIMAL_ANALYSIS_REACHING_DEFS_H_
+#define MANIMAL_ANALYSIS_REACHING_DEFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "mril/program.h"
+
+namespace manimal::analysis {
+
+// A variable a store/load can touch.
+struct VarRef {
+  enum class Kind { kLocal, kMember };
+  Kind kind;
+  int slot;
+
+  bool operator==(const VarRef& other) const = default;
+};
+
+class ReachingDefs {
+ public:
+  // Definitions are store_local / store_member instructions.
+  ReachingDefs(const Function& fn, const Cfg& cfg);
+
+  // Definition sites (pcs of stores), in program order.
+  const std::vector<int>& def_sites() const { return def_sites_; }
+
+  // The pcs of definitions of `var` that reach instruction `pc`
+  // (i.e. may have produced the value a load at `pc` observes).
+  std::vector<int> DefsReaching(int pc, VarRef var) const;
+
+ private:
+  // Bitset over def_sites_ indexes.
+  using Bits = std::vector<uint64_t>;
+
+  static bool TestBit(const Bits& bits, int i) {
+    return (bits[i / 64] >> (i % 64)) & 1;
+  }
+  static void SetBit(Bits* bits, int i) {
+    (*bits)[i / 64] |= (uint64_t{1} << (i % 64));
+  }
+
+  const Function& fn_;
+  const Cfg& cfg_;
+  std::vector<int> def_sites_;
+  std::vector<int> def_index_of_pc_;  // pc -> def index or -1
+  std::vector<VarRef> def_var_;       // def index -> variable
+  std::vector<Bits> in_;              // per block: defs live at entry
+};
+
+}  // namespace manimal::analysis
+
+#endif  // MANIMAL_ANALYSIS_REACHING_DEFS_H_

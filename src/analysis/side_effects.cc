@@ -1,0 +1,48 @@
+#include "analysis/side_effects.h"
+
+#include "common/strings.h"
+#include "mril/builtins.h"
+
+namespace manimal::analysis {
+
+using mril::Opcode;
+
+std::vector<SideEffect> FindSideEffects(const mril::Function& fn) {
+  std::vector<SideEffect> out;
+  for (int pc = 0; pc < static_cast<int>(fn.code.size()); ++pc) {
+    const mril::Instruction& inst = fn.code[pc];
+    switch (inst.op) {
+      case Opcode::kLog:
+        out.push_back(
+            SideEffect{pc, SideEffectKind::kLog, "debug log emission"});
+        break;
+      case Opcode::kStoreMember:
+        out.push_back(SideEffect{
+            pc, SideEffectKind::kMemberWrite,
+            StrPrintf("writes member variable %d", inst.operand)});
+        break;
+      case Opcode::kCall: {
+        const mril::Builtin* b =
+            mril::BuiltinRegistry::Get().FindById(inst.operand);
+        if (b != nullptr && !b->functional) {
+          out.push_back(SideEffect{
+              pc, SideEffectKind::kImpureCall,
+              "calls " + b->name + " (no purity knowledge)"});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+bool HasMemberWrites(const mril::Function& fn) {
+  for (const mril::Instruction& inst : fn.code) {
+    if (inst.op == Opcode::kStoreMember) return true;
+  }
+  return false;
+}
+
+}  // namespace manimal::analysis

@@ -1,0 +1,39 @@
+// Side-effect scan (paper §2.2: "Anything that does not impact the
+// program's final output is fair game for the analyzer to consider for
+// downstream removal or modification, including code that has side
+// effects such as debugging statements... Manimal can currently
+// detect, though not optimize, such side effects.")
+
+#ifndef MANIMAL_ANALYSIS_SIDE_EFFECTS_H_
+#define MANIMAL_ANALYSIS_SIDE_EFFECTS_H_
+
+#include <string>
+#include <vector>
+
+#include "mril/program.h"
+
+namespace manimal::analysis {
+
+enum class SideEffectKind {
+  kLog,              // debug logging (skippable under optimization)
+  kMemberWrite,      // mutates persistent map state
+  kImpureCall,       // call into a builtin with no purity knowledge
+};
+
+struct SideEffect {
+  int pc = -1;
+  SideEffectKind kind = SideEffectKind::kLog;
+  std::string description;
+};
+
+std::vector<SideEffect> FindSideEffects(const mril::Function& fn);
+
+// True if the function writes any member variable (the Figure 2
+// hazard: selection must not change how many times map() runs when its
+// state feeds back into output decisions, so any member write vetoes
+// invocation-skipping optimizations).
+bool HasMemberWrites(const mril::Function& fn);
+
+}  // namespace manimal::analysis
+
+#endif  // MANIMAL_ANALYSIS_SIDE_EFFECTS_H_

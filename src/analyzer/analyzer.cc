@@ -1,0 +1,110 @@
+#include "analyzer/analyzer.h"
+
+#include "analysis/side_effects.h"
+#include "analyzer/compression.h"
+#include "analyzer/project.h"
+#include "analyzer/reduce_filter.h"
+#include "analyzer/select.h"
+#include "mril/verifier.h"
+
+namespace manimal::analyzer {
+
+namespace {
+
+// Safe mode (paper fn. 2): strip detections whose application would
+// perturb side effects.
+void ApplySafeMode(const mril::Program& program, AnalysisReport* report) {
+  // Selection skips map() invocations; with any side effect in the
+  // map (debug logs included), skipped invocations observably change
+  // behaviour.
+  if (report->selection.has_value() && !report->side_effects.empty()) {
+    report->selection.reset();
+    report->misses.push_back(MissReason{
+        "selection",
+        "safe mode: map() has side effects; skipping invocations would "
+        "suppress them"});
+  }
+  // Projection must keep fields feeding debug logs: re-run liveness
+  // with log operands counted as uses.
+  if (report->projection.has_value()) {
+    ProjectResult strict = FindProject(program, /*logs_are_uses=*/true);
+    if (strict.descriptor.has_value()) {
+      report->projection = std::move(strict.descriptor);
+    } else {
+      report->projection.reset();
+      report->misses.push_back(MissReason{
+          "projection",
+          "safe mode: every field is live once log output must be "
+          "preserved"});
+    }
+  }
+  // Group skipping suppresses reduce-side effects of skipped groups.
+  if (report->reduce_filter.has_value() && program.reduce_fn.has_value()) {
+    if (!analysis::FindSideEffects(*program.reduce_fn).empty()) {
+      report->reduce_filter.reset();
+      report->misses.push_back(MissReason{
+          "reduce-filter",
+          "safe mode: reduce() has side effects; skipping groups would "
+          "suppress them"});
+    }
+  }
+}
+
+}  // namespace
+
+Result<AnalysisReport> Analyze(const mril::Program& program,
+                               const AnalyzeOptions& options) {
+  MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
+
+  AnalysisReport report;
+  report.side_effects = analysis::FindSideEffects(program.map_fn);
+
+  SelectResult select = FindSelect(program);
+  if (select.descriptor.has_value()) {
+    report.selection = std::move(select.descriptor);
+  } else if (!select.always_emits && !select.miss_reason.empty()) {
+    report.misses.push_back(MissReason{"selection", select.miss_reason});
+  }
+
+  ProjectResult project = FindProject(program);
+  if (project.descriptor.has_value()) {
+    report.projection = std::move(project.descriptor);
+  } else if (!project.all_fields_used && !project.miss_reason.empty()) {
+    report.misses.push_back(MissReason{"projection", project.miss_reason});
+  }
+
+  DeltaResult delta = FindDeltaCompression(program);
+  if (delta.descriptor.has_value()) {
+    report.delta = std::move(delta.descriptor);
+  } else if (!delta.no_numeric_fields && !delta.miss_reason.empty()) {
+    report.misses.push_back(
+        MissReason{"delta-compression", delta.miss_reason});
+  }
+
+  DirectOpResult direct = FindDirectOperation(program);
+  if (direct.descriptor.has_value()) {
+    report.direct_op = std::move(direct.descriptor);
+  } else if (!direct.no_eligible_fields && !direct.miss_reason.empty()) {
+    report.misses.push_back(
+        MissReason{"direct-operation", direct.miss_reason});
+  }
+
+  if (options.enable_reduce_filter && program.reduce_fn.has_value()) {
+    ReduceFilterResult filter = FindReduceKeyFilter(program);
+    if (filter.descriptor.has_value()) {
+      report.reduce_filter = std::move(filter.descriptor);
+    } else if (!filter.miss_reason.empty()) {
+      report.misses.push_back(
+          MissReason{"reduce-filter", filter.miss_reason});
+    }
+  }
+
+  if (options.safe_mode) ApplySafeMode(program, &report);
+  return report;
+}
+
+Result<AnalysisReport> Analyze(const mril::Program& program) {
+  return Analyze(program, AnalyzeOptions{});
+}
+
+}  // namespace manimal::analyzer

@@ -1,0 +1,42 @@
+// The Manimal analyzer (paper §3): examines a compiled, unmodified
+// MRIL program and produces the optimization descriptors plus
+// index-generation programs. Best-effort by design — it may miss
+// optimizations, but what it reports is safe: "missing an optimization
+// is regrettable, but finding a false one is catastrophic."
+
+#ifndef MANIMAL_ANALYZER_ANALYZER_H_
+#define MANIMAL_ANALYZER_ANALYZER_H_
+
+#include "analyzer/descriptor.h"
+#include "analyzer/index_gen.h"
+#include "common/status.h"
+#include "mril/program.h"
+
+namespace manimal::analyzer {
+
+struct AnalyzeOptions {
+  // Paper §2.2 footnote 2: "It would be possible to add a Manimal
+  // 'safe mode' that avoids optimizations that modify side effects, at
+  // the possible cost of reduced optimization opportunities." When
+  // set: selection is vetoed whenever the map has ANY side effect
+  // (skipping invocations would skip debug logs too), projection must
+  // keep fields that feed logs, and the reduce-side filter is
+  // disabled.
+  bool safe_mode = false;
+
+  // Enables the Appendix E extension: when the reduce provably
+  // discards whole groups based on the group key alone, map outputs
+  // failing that predicate are deleted before the shuffle.
+  bool enable_reduce_filter = true;
+};
+
+// Verifies the program and runs all detectors. Fails only on
+// malformed programs; detection failures are reported inside the
+// AnalysisReport (misses with reasons), never as errors.
+Result<AnalysisReport> Analyze(const mril::Program& program,
+                               const AnalyzeOptions& options);
+Result<AnalysisReport> Analyze(const mril::Program& program);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_ANALYZER_H_

@@ -1,0 +1,257 @@
+#include "analyzer/compression.h"
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+#include "analysis/expr_recovery.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/side_effects.h"
+
+namespace manimal::analyzer {
+
+using analysis::Cfg;
+using analysis::Expr;
+using analysis::ExprRecovery;
+using analysis::ReachingDefs;
+using mril::Opcode;
+using mril::ValueParamKind;
+
+DeltaResult FindDeltaCompression(const mril::Program& program) {
+  DeltaResult result;
+  if (program.value_param_kind == ValueParamKind::kOpaque) {
+    result.miss_reason =
+        "map() value parameter uses a custom serialization format; the "
+        "analyzer cannot tell which bytes form numeric fields";
+    return result;
+  }
+  // The delta codec stores integer run differences; i64 fields are the
+  // candidates (floating-point deltas do not compress losslessly into
+  // fewer bytes).
+  std::vector<int> numeric;
+  for (int i = 0; i < program.value_schema.num_fields(); ++i) {
+    if (program.value_schema.field(i).type == FieldType::kI64) {
+      numeric.push_back(i);
+    }
+  }
+  if (numeric.empty()) {
+    result.no_numeric_fields = true;
+    return result;
+  }
+  DeltaCompressionDescriptor desc;
+  desc.numeric_fields = std::move(numeric);
+  result.descriptor = std::move(desc);
+  return result;
+}
+
+namespace {
+
+// True if `e` is exactly Field(value-param, field).
+bool IsValueField(const ExprRef& e, int field) {
+  return e != nullptr && e->kind == Expr::Kind::kField &&
+         e->index == field && !e->args.empty() &&
+         e->args[0]->kind == Expr::Kind::kParam &&
+         e->args[0]->index == mril::kMapValueParam;
+}
+
+bool IsAnyValueField(const ExprRef& e, int* field) {
+  if (e != nullptr && e->kind == Expr::Kind::kField && !e->args.empty() &&
+      e->args[0]->kind == Expr::Kind::kParam &&
+      e->args[0]->index == mril::kMapValueParam) {
+    *field = e->index;
+    return true;
+  }
+  return false;
+}
+
+// Per-field accumulated evidence.
+struct FieldUses {
+  bool ineligible = false;
+  std::string reason;
+  bool used_at_all = false;
+  std::vector<DirectOperationDescriptor::ConstPatch> patches;
+};
+
+// The context an expression tree was consumed in.
+enum class UseContext { kEmitKey, kEmitValue, kCondition, kMemberStore,
+                        kLog };
+
+bool IsEqualityNode(const ExprRef& e) {
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::kOp &&
+      (e->op == Opcode::kCmpEq || e->op == Opcode::kCmpNe)) {
+    return true;
+  }
+  if (e->kind == Expr::Kind::kCall && e->builtin != nullptr &&
+      e->builtin->name == "str.equals") {
+    return true;
+  }
+  return false;
+}
+
+// Walks `node` looking for uses of value-param fields; `parent` is the
+// immediate consumer (null at the root).
+void ScanUses(const ExprRef& node, const ExprRef& parent,
+              UseContext context, bool is_root,
+              std::vector<FieldUses>* uses) {
+  if (node == nullptr) return;
+  int field = -1;
+  if (IsAnyValueField(node, &field)) {
+    if (field < 0 || field >= static_cast<int>(uses->size())) return;
+    FieldUses& fu = (*uses)[field];
+    fu.used_at_all = true;
+    if (fu.ineligible) return;
+
+    // Case 1: the field IS the emitted key.
+    if (context == UseContext::kEmitKey && is_root) return;
+
+    // Case 2: operand of an equality test whose other operand is the
+    // same field or a string constant.
+    if (parent != nullptr && IsEqualityNode(parent) &&
+        parent->args.size() == 2) {
+      const ExprRef& other = (parent->args[0].get() == node.get())
+                                 ? parent->args[1]
+                                 : parent->args[0];
+      if (IsValueField(other, field)) return;
+      if (other != nullptr && other->kind == Expr::Kind::kConst &&
+          other->constant.is_str()) {
+        uses->at(field).patches.push_back(
+            DirectOperationDescriptor::ConstPatch{field,
+                                                  other->origin_pc});
+        return;
+      }
+      fu.ineligible = true;
+      fu.reason = "equality test against a non-constant expression";
+      return;
+    }
+
+    // Log operands are modifiable output (Appendix C); a compressed
+    // code in a debug log is acceptable.
+    if (context == UseContext::kLog) return;
+
+    fu.ineligible = true;
+    switch (context) {
+      case UseContext::kEmitValue:
+        fu.reason = "field flows into emitted values";
+        break;
+      case UseContext::kMemberStore:
+        fu.reason = "field flows into member state";
+        break;
+      default:
+        fu.reason = "field used in a non-equality operation";
+        break;
+    }
+    return;
+  }
+  // Not a field leaf; recurse.
+  for (const ExprRef& a : node->args) {
+    ScanUses(a, node, context, /*is_root=*/false, uses);
+  }
+}
+
+}  // namespace
+
+DirectOpResult FindDirectOperation(const mril::Program& program) {
+  DirectOpResult result;
+  const mril::Function& fn = program.map_fn;
+
+  if (program.value_param_kind == ValueParamKind::kOpaque) {
+    result.miss_reason = "opaque value parameter";
+    return result;
+  }
+
+  // Impure calls can launder field values into untracked state.
+  for (const analysis::SideEffect& se : analysis::FindSideEffects(fn)) {
+    if (se.kind == analysis::SideEffectKind::kImpureCall) {
+      result.miss_reason =
+          "map() " + se.description + "; field uses cannot be enumerated";
+      return result;
+    }
+  }
+
+  const int num_fields = program.value_schema.num_fields();
+  std::vector<int> str_fields;
+  for (int i = 0; i < num_fields; ++i) {
+    if (program.value_schema.field(i).type == FieldType::kStr) {
+      str_fields.push_back(i);
+    }
+  }
+  if (str_fields.empty()) {
+    result.no_eligible_fields = true;
+    return result;
+  }
+
+  Cfg cfg = Cfg::Build(fn);
+  ReachingDefs reaching(fn, cfg);
+  ExprRecovery recovery(program, fn, cfg, reaching);
+
+  std::vector<FieldUses> uses(num_fields);
+
+  bool emit_key_allowed = !program.requires_sorted_output;
+  if (!program.reduce_fn.has_value()) {
+    // Map-only job: map emissions ARE the final output, so a
+    // compressed code in the emit key would leak to the user.
+    emit_key_allowed = false;
+  } else {
+    // If reduce() reads its key parameter, a compressed code could
+    // leak into program output; conservatively disallow emit-key use
+    // then.
+    for (const mril::Instruction& inst : program.reduce_fn->code) {
+      if (inst.op == Opcode::kLoadParam &&
+          inst.operand == mril::kReduceKeyParam) {
+        emit_key_allowed = false;
+        break;
+      }
+    }
+  }
+
+  for (int pc = 0; pc < static_cast<int>(fn.code.size()); ++pc) {
+    const mril::Instruction& inst = fn.code[pc];
+    switch (inst.op) {
+      case Opcode::kEmit: {
+        auto [key_expr, value_expr] = recovery.EmitOperands(pc);
+        ScanUses(key_expr, nullptr,
+                 emit_key_allowed ? UseContext::kEmitKey
+                                  : UseContext::kEmitValue,
+                 /*is_root=*/true, &uses);
+        ScanUses(value_expr, nullptr, UseContext::kEmitValue, true, &uses);
+        break;
+      }
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse:
+        ScanUses(recovery.BranchCondition(pc), nullptr,
+                 UseContext::kCondition, true, &uses);
+        break;
+      case Opcode::kStoreMember:
+        ScanUses(recovery.StoredValue(pc), nullptr,
+                 UseContext::kMemberStore, true, &uses);
+        break;
+      case Opcode::kLog:
+        ScanUses(recovery.LogOperand(pc), nullptr, UseContext::kLog, true,
+                 &uses);
+        break;
+      case Opcode::kStoreLocal:
+        // Locals are expanded at their use sites by ExprRecovery;
+        // nothing to scan here.
+        break;
+      default:
+        break;
+    }
+  }
+
+  DirectOperationDescriptor desc;
+  for (int f : str_fields) {
+    const FieldUses& fu = uses[f];
+    if (fu.used_at_all && !fu.ineligible) {
+      desc.fields.push_back(f);
+      for (const auto& p : fu.patches) desc.const_patches.push_back(p);
+    }
+  }
+  if (desc.fields.empty()) {
+    result.no_eligible_fields = true;
+    return result;
+  }
+  result.descriptor = std::move(desc);
+  return result;
+}
+
+}  // namespace manimal::analyzer

@@ -1,0 +1,44 @@
+// Compression detection (paper Appendix C).
+//
+// Delta-compression: "analyzer simply tests whether the serialized key
+// and value inputs to map() contain numeric values. If so,
+// delta-compression can be applied to those fields." Opaque value
+// parameters defeat this (Benchmark 1, Table 1): the analyzer cannot
+// tell which bytes form a numeric field.
+//
+// Direct-operation: string input fields whose every use is an
+// equality-preserving operation (equality comparisons, str.equals, or
+// service as the map output key when the job does not require sorted
+// final output) can be dictionary-compressed and operated on without
+// decompression.
+
+#ifndef MANIMAL_ANALYZER_COMPRESSION_H_
+#define MANIMAL_ANALYZER_COMPRESSION_H_
+
+#include <optional>
+#include <string>
+
+#include "analyzer/descriptor.h"
+#include "mril/program.h"
+
+namespace manimal::analyzer {
+
+struct DeltaResult {
+  std::optional<DeltaCompressionDescriptor> descriptor;
+  std::string miss_reason;   // analysis could not run (opaque input)
+  bool no_numeric_fields = false;  // ran fine; nothing to compress
+};
+
+DeltaResult FindDeltaCompression(const mril::Program& program);
+
+struct DirectOpResult {
+  std::optional<DirectOperationDescriptor> descriptor;
+  std::string miss_reason;
+  bool no_eligible_fields = false;
+};
+
+DirectOpResult FindDirectOperation(const mril::Program& program);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_COMPRESSION_H_

@@ -1,0 +1,118 @@
+#include "analyzer/descriptor.h"
+
+#include "common/strings.h"
+
+namespace manimal::analyzer {
+
+std::string SelectTerm::ToString() const {
+  std::string body = expr != nullptr ? expr->ToString() : "<null>";
+  return polarity ? body : "!" + body;
+}
+
+std::string Conjunct::ToString() const {
+  if (terms.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) out += " && ";
+    out += terms[i].ToString();
+  }
+  return out;
+}
+
+std::string DnfFormula::ToString() const {
+  if (disjuncts.empty()) return "false";
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i) out += " || ";
+    out += "(" + disjuncts[i].ToString() + ")";
+  }
+  return out;
+}
+
+bool KeyInterval::Contains(const Value& v) const {
+  if (lo.has_value()) {
+    int c = v.Compare(*lo);
+    if (c < 0 || (c == 0 && !lo_inclusive)) return false;
+  }
+  if (hi.has_value()) {
+    int c = v.Compare(*hi);
+    if (c > 0 || (c == 0 && !hi_inclusive)) return false;
+  }
+  return true;
+}
+
+std::string KeyInterval::ToString() const {
+  std::string out = lo_inclusive ? "[" : "(";
+  out += lo.has_value() ? lo->ToString() : "-inf";
+  out += ", ";
+  out += hi.has_value() ? hi->ToString() : "+inf";
+  out += hi_inclusive ? "]" : ")";
+  return out;
+}
+
+std::string SelectionDescriptor::ToString() const {
+  std::string out = "SELECT{formula=" + formula.ToString();
+  if (indexed_expr != nullptr) {
+    out += ", index_on=" + indexed_expr->ToString() + ", ranges=";
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      if (i) out += " u ";
+      out += intervals[i].ToString();
+    }
+  } else {
+    out += ", not-range-indexable";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProjectionDescriptor::ToString() const {
+  return "PROJECT{used=[" + JoinInts(used_fields) + "], drop=[" +
+         JoinInts(unneeded_fields) + "]}";
+}
+
+std::string DeltaCompressionDescriptor::ToString() const {
+  return "DELTA{numeric_fields=[" + JoinInts(numeric_fields) + "]}";
+}
+
+std::string DirectOperationDescriptor::ToString() const {
+  return "DIRECTOP{fields=[" + JoinInts(fields) + "]}";
+}
+
+std::string ReduceFilterDescriptor::ToString() const {
+  return "REDUCE-FILTER{key must satisfy " + required.ToString() + "}";
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out = "AnalysisReport{\n";
+  if (selection.has_value()) out += "  " + selection->ToString() + "\n";
+  if (projection.has_value()) out += "  " + projection->ToString() + "\n";
+  if (delta.has_value()) out += "  " + delta->ToString() + "\n";
+  if (direct_op.has_value()) out += "  " + direct_op->ToString() + "\n";
+  if (reduce_filter.has_value()) {
+    out += "  " + reduce_filter->ToString() + "\n";
+  }
+  for (const MissReason& m : misses) {
+    out += "  miss[" + m.optimization + "]: " + m.reason + "\n";
+  }
+  for (const auto& se : side_effects) {
+    out += StrPrintf("  side-effect@%d: %s\n", se.pc,
+                     se.description.c_str());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace manimal::analyzer

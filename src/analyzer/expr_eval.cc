@@ -1,0 +1,188 @@
+#include "analyzer/expr_eval.h"
+
+#include "common/strings.h"
+#include "mril/opcode.h"
+
+namespace manimal::analyzer {
+
+using analysis::Expr;
+using mril::Opcode;
+
+namespace {
+
+Result<Value> EvalOp(Opcode op, const std::vector<Value>& args) {
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::Internal("bad operand count in expression");
+    }
+    return Status::OK();
+  };
+  switch (op) {
+    case Opcode::kNeg: {
+      MANIMAL_RETURN_IF_ERROR(need(1));
+      if (args[0].is_i64()) return Value::I64(-args[0].i64());
+      if (args[0].is_f64()) return Value::F64(-args[0].f64());
+      return Status::InvalidArgument("neg: non-numeric");
+    }
+    case Opcode::kNot: {
+      MANIMAL_RETURN_IF_ERROR(need(1));
+      if (!args[0].is_bool()) return Status::InvalidArgument("not: non-bool");
+      return Value::Bool(!args[0].bool_value());
+    }
+    default:
+      break;
+  }
+  MANIMAL_RETURN_IF_ERROR(need(2));
+  const Value& a = args[0];
+  const Value& b = args[1];
+  switch (op) {
+    case Opcode::kAdd:
+      if (a.is_str() && b.is_str()) return Value::Str(a.str() + b.str());
+      [[fallthrough]];
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod: {
+      if (!a.is_numeric() || !b.is_numeric()) {
+        return Status::InvalidArgument("arith: non-numeric");
+      }
+      if (a.is_i64() && b.is_i64()) {
+        int64_t x = a.i64(), y = b.i64();
+        // Defined wrapping, matching the VM exactly.
+        auto wrap = [](uint64_t v) { return static_cast<int64_t>(v); };
+        switch (op) {
+          case Opcode::kAdd:
+            return Value::I64(wrap(static_cast<uint64_t>(x) +
+                                   static_cast<uint64_t>(y)));
+          case Opcode::kSub:
+            return Value::I64(wrap(static_cast<uint64_t>(x) -
+                                   static_cast<uint64_t>(y)));
+          case Opcode::kMul:
+            return Value::I64(wrap(static_cast<uint64_t>(x) *
+                                   static_cast<uint64_t>(y)));
+          case Opcode::kDiv:
+            if (y == 0) return Status::InvalidArgument("div by zero");
+            return Value::I64(x / y);
+          case Opcode::kMod:
+            if (y == 0) return Status::InvalidArgument("mod by zero");
+            return Value::I64(x % y);
+          default:
+            break;
+        }
+      }
+      double x = a.AsF64(), y = b.AsF64();
+      switch (op) {
+        case Opcode::kAdd:
+          return Value::F64(x + y);
+        case Opcode::kSub:
+          return Value::F64(x - y);
+        case Opcode::kMul:
+          return Value::F64(x * y);
+        case Opcode::kDiv:
+          return Value::F64(x / y);
+        default:
+          return Status::InvalidArgument("mod on doubles");
+      }
+    }
+    case Opcode::kCmpEq:
+      return Value::Bool(a == b);
+    case Opcode::kCmpNe:
+      return Value::Bool(!(a == b));
+    case Opcode::kCmpLt:
+      return Value::Bool(a.Compare(b) < 0);
+    case Opcode::kCmpLe:
+      return Value::Bool(a.Compare(b) <= 0);
+    case Opcode::kCmpGt:
+      return Value::Bool(a.Compare(b) > 0);
+    case Opcode::kCmpGe:
+      return Value::Bool(a.Compare(b) >= 0);
+    case Opcode::kAnd:
+    case Opcode::kOr: {
+      if (!a.is_bool() || !b.is_bool()) {
+        return Status::InvalidArgument("and/or: non-bool");
+      }
+      bool r = (op == Opcode::kAnd) ? (a.bool_value() && b.bool_value())
+                                    : (a.bool_value() || b.bool_value());
+      return Value::Bool(r);
+    }
+    default:
+      return Status::Internal("unexpected opcode in expression");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const ExprRef& expr, const Value& key,
+                       const Value& value) {
+  if (expr == nullptr) return Status::Internal("null expression");
+  switch (expr->kind) {
+    case Expr::Kind::kConst:
+      return expr->constant;
+    case Expr::Kind::kParam:
+      if (expr->index == 0) return key;
+      if (expr->index == 1) return value;
+      return Status::Internal("bad param index in expression");
+    case Expr::Kind::kField: {
+      MANIMAL_ASSIGN_OR_RETURN(Value base,
+                               EvalExpr(expr->args.at(0), key, value));
+      if (!base.is_list()) {
+        return Status::InvalidArgument("field access on non-record");
+      }
+      if (expr->index < 0 ||
+          static_cast<size_t>(expr->index) >= base.list().size()) {
+        return Status::InvalidArgument("field index out of range");
+      }
+      return base.list()[expr->index];
+    }
+    case Expr::Kind::kMember:
+      return Status::InvalidArgument(
+          "cannot evaluate member-dependent expression");
+    case Expr::Kind::kUnknown:
+      return Status::InvalidArgument("cannot evaluate unknown expression");
+    case Expr::Kind::kOp: {
+      std::vector<Value> args;
+      args.reserve(expr->args.size());
+      for (const ExprRef& a : expr->args) {
+        MANIMAL_ASSIGN_OR_RETURN(Value v, EvalExpr(a, key, value));
+        args.push_back(std::move(v));
+      }
+      return EvalOp(expr->op, args);
+    }
+    case Expr::Kind::kCall: {
+      if (expr->builtin == nullptr || !expr->builtin->functional) {
+        return Status::InvalidArgument("cannot evaluate impure call");
+      }
+      std::vector<Value> args;
+      args.reserve(expr->args.size());
+      for (const ExprRef& a : expr->args) {
+        MANIMAL_ASSIGN_OR_RETURN(Value v, EvalExpr(a, key, value));
+        args.push_back(std::move(v));
+      }
+      Value out;
+      MANIMAL_RETURN_IF_ERROR(expr->builtin->fn(args, &out));
+      return out;
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> EvalFormula(const DnfFormula& formula, const Value& key,
+                         const Value& value) {
+  for (const Conjunct& c : formula.disjuncts) {
+    bool all = true;
+    for (const SelectTerm& t : c.terms) {
+      MANIMAL_ASSIGN_OR_RETURN(Value v, EvalExpr(t.expr, key, value));
+      if (!v.is_bool()) {
+        return Status::InvalidArgument("non-boolean selection term");
+      }
+      if (v.bool_value() != t.polarity) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace manimal::analyzer

@@ -1,0 +1,208 @@
+#include "analyzer/index_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace manimal::analyzer {
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string IndexGenProgram::Signature() const {
+  std::string out = "v1";
+  out += "|schema=" + input_schema;
+  out += "|btree=";
+  out += btree ? (key_expr ? key_expr->ToString() : "?") : "-";
+  if (btree && clustered) out += "|clustered";
+  out += "|proj=";
+  out += projection ? JoinInts(kept_fields) : "-";
+  out += "|delta=";
+  out += delta ? JoinInts(delta_fields) : "-";
+  out += "|dict=";
+  out += dictionary ? JoinInts(dict_fields) : "-";
+  if (column_groups) {
+    out += "|cgroups=";
+    for (size_t g = 0; g < grouping.size(); ++g) {
+      if (g) out += ";";
+      out += JoinInts(grouping[g]);
+    }
+  }
+  return out;
+}
+
+std::string IndexGenProgram::Describe() const {
+  std::vector<std::string> parts;
+  if (btree) {
+    parts.push_back(std::string(clustered ? "clustered " : "") +
+                    "B+Tree on " +
+                    (key_expr ? key_expr->ToString() : "?"));
+  }
+  if (projection) {
+    parts.push_back("project to fields [" + JoinInts(kept_fields) + "]");
+  }
+  if (delta) {
+    parts.push_back("delta-encode fields [" + JoinInts(delta_fields) +
+                    "]");
+  }
+  if (dictionary) {
+    parts.push_back("dictionary-encode fields [" + JoinInts(dict_fields) +
+                    "]");
+  }
+  if (column_groups) {
+    parts.push_back(
+        StrPrintf("column-groups(%zu groups)", grouping.size()));
+  }
+  return "IndexGen{" + JoinStrings(parts, "; ") + "}";
+}
+
+std::vector<IndexGenProgram> SynthesizeIndexPrograms(
+    const mril::Program& program, const AnalysisReport& report) {
+  std::vector<IndexGenProgram> out;
+  const std::string schema = program.value_schema.ToString();
+
+  const bool have_select =
+      report.selection.has_value() && report.selection->indexable();
+  const bool have_project = report.projection.has_value();
+  const bool have_delta = report.delta.has_value();
+  const bool have_dict = report.direct_op.has_value();
+
+  auto base = [&]() {
+    IndexGenProgram p;
+    p.input_schema = schema;
+    return p;
+  };
+
+  // Maximal combination first. Selection conflicts with
+  // delta-compression (footnote 3: "we currently favor selection over
+  // delta-compression").
+  {
+    IndexGenProgram p = base();
+    if (have_select) {
+      p.btree = true;
+      p.key_expr = report.selection->indexed_expr;
+    }
+    if (have_project) {
+      p.projection = true;
+      p.kept_fields = report.projection->used_fields;
+    }
+    if (have_delta && !have_select) {
+      p.delta = true;
+      p.delta_fields = report.delta->numeric_fields;
+      if (have_project) {
+        // Only keep delta fields that survive projection.
+        std::vector<int> kept;
+        for (int f : p.delta_fields) {
+          if (std::find(p.kept_fields.begin(), p.kept_fields.end(), f) !=
+              p.kept_fields.end()) {
+            kept.push_back(f);
+          }
+        }
+        p.delta_fields = std::move(kept);
+        if (p.delta_fields.empty()) p.delta = false;
+      }
+    }
+    // Dictionary encoding never combines with a B+Tree artifact (the
+    // payload codec keeps true strings so range payloads stay
+    // self-contained).
+    if (have_dict && !have_select) {
+      p.dictionary = true;
+      p.dict_fields = report.direct_op->fields;
+      if (have_project) {
+        std::vector<int> kept;
+        for (int f : p.dict_fields) {
+          if (std::find(p.kept_fields.begin(), p.kept_fields.end(), f) !=
+              p.kept_fields.end()) {
+            kept.push_back(f);
+          }
+        }
+        p.dict_fields = std::move(kept);
+        if (p.dict_fields.empty()) p.dictionary = false;
+      }
+    }
+    if (p.btree || p.projection || p.delta || p.dictionary) {
+      out.push_back(std::move(p));
+    }
+  }
+
+  // Individually useful artifacts (deduplicated by signature).
+  auto push_unique = [&out](IndexGenProgram p) {
+    for (const IndexGenProgram& existing : out) {
+      if (existing.Signature() == p.Signature()) return;
+    }
+    out.push_back(std::move(p));
+  };
+
+  if (have_select) {
+    // The clustered variant (records embedded in key order); folds in
+    // projection when detected.
+    IndexGenProgram p = base();
+    p.btree = true;
+    p.clustered = true;
+    p.key_expr = report.selection->indexed_expr;
+    if (have_project) {
+      p.projection = true;
+      p.kept_fields = report.projection->used_fields;
+    }
+    push_unique(std::move(p));
+  }
+  if (have_select) {
+    // Clustered without projection (what the Table 3 experiment
+    // isolates).
+    IndexGenProgram p = base();
+    p.btree = true;
+    p.clustered = true;
+    p.key_expr = report.selection->indexed_expr;
+    push_unique(std::move(p));
+  }
+  if (have_select) {
+    IndexGenProgram p = base();
+    p.btree = true;
+    p.key_expr = report.selection->indexed_expr;
+    push_unique(std::move(p));
+  }
+  if (have_project) {
+    IndexGenProgram p = base();
+    p.projection = true;
+    p.kept_fields = report.projection->used_fields;
+    push_unique(std::move(p));
+  }
+  if (have_project && program.value_schema.num_fields() > 1) {
+    // The workload-agnostic projection realization (paper §2.1):
+    // per-field column groups. One artifact serves every future
+    // projection over this input — ranked below the program's exact
+    // projection, above the compression-only forms.
+    IndexGenProgram p = base();
+    p.column_groups = true;
+    for (int i = 0; i < program.value_schema.num_fields(); ++i) {
+      p.grouping.push_back({i});
+    }
+    push_unique(std::move(p));
+  }
+  if (have_delta) {
+    IndexGenProgram p = base();
+    p.delta = true;
+    p.delta_fields = report.delta->numeric_fields;
+    push_unique(std::move(p));
+  }
+  if (have_dict) {
+    IndexGenProgram p = base();
+    p.dictionary = true;
+    p.dict_fields = report.direct_op->fields;
+    push_unique(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace manimal::analyzer

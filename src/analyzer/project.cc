@@ -1,0 +1,114 @@
+#include "analyzer/project.h"
+
+#include "analysis/cfg.h"
+#include "analysis/expr_recovery.h"
+#include "analysis/paths.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/side_effects.h"
+
+namespace manimal::analyzer {
+
+using analysis::Cfg;
+using analysis::CollectUsedFields;
+using analysis::ExprRecovery;
+using analysis::ReachingDefs;
+using mril::Opcode;
+using mril::ValueParamKind;
+
+ProjectResult FindProject(const mril::Program& program) {
+  return FindProject(program, /*logs_are_uses=*/false);
+}
+
+ProjectResult FindProject(const mril::Program& program,
+                          bool logs_are_uses) {
+  ProjectResult result;
+  const mril::Function& fn = program.map_fn;
+
+  if (program.value_param_kind == ValueParamKind::kOpaque) {
+    result.miss_reason =
+        "map() value parameter uses a custom serialization format; the "
+        "analyzer cannot distinguish fields inside the blob";
+    return result;
+  }
+  const int num_fields = program.value_schema.num_fields();
+  if (num_fields == 0) {
+    result.miss_reason = "value schema has no fields";
+    return result;
+  }
+
+  // Impure library calls can smuggle values into untracked state (a
+  // Hashtable entry read back later); a single one makes field-level
+  // liveness unsound, so decline.
+  for (const analysis::SideEffect& se : analysis::FindSideEffects(fn)) {
+    if (se.kind == analysis::SideEffectKind::kImpureCall) {
+      result.miss_reason =
+          "map() " + se.description +
+          "; data flow through it cannot be tracked";
+      return result;
+    }
+  }
+
+  Cfg cfg = Cfg::Build(fn);
+  ReachingDefs reaching(fn, cfg);
+  ExprRecovery recovery(program, fn, cfg, reaching);
+
+  std::vector<bool> used(num_fields, false);
+  auto mark_all = [&used]() {
+    for (size_t i = 0; i < used.size(); ++i) used[i] = true;
+  };
+
+  // Which emits matter: all of them (conservative superset of Figure
+  // 6's path-restricted set; equally safe, simpler with loops).
+  for (int pc = 0; pc < static_cast<int>(fn.code.size()); ++pc) {
+    const mril::Instruction& inst = fn.code[pc];
+    switch (inst.op) {
+      case Opcode::kEmit: {
+        auto [key_expr, value_expr] = recovery.EmitOperands(pc);
+        if (!CollectUsedFields(key_expr, &used) ||
+            !CollectUsedFields(value_expr, &used)) {
+          mark_all();
+        }
+        break;
+      }
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse: {
+        // Conditions can guard emits; treat every branch condition as
+        // live (conservative superset of conds-on-paths-to-emits).
+        if (!CollectUsedFields(recovery.BranchCondition(pc), &used)) {
+          mark_all();
+        }
+        break;
+      }
+      case Opcode::kStoreMember: {
+        // Member state persists and can affect later emissions.
+        if (!CollectUsedFields(recovery.StoredValue(pc), &used)) {
+          mark_all();
+        }
+        break;
+      }
+      case Opcode::kLog:
+        // Log operands are deliberately NOT counted (Appendix C) —
+        // except in safe mode, where log output must be preserved.
+        if (logs_are_uses &&
+            !CollectUsedFields(recovery.LogOperand(pc), &used)) {
+          mark_all();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  ProjectionDescriptor desc;
+  for (int i = 0; i < num_fields; ++i) {
+    (used[i] ? desc.used_fields : desc.unneeded_fields).push_back(i);
+  }
+  if (desc.unneeded_fields.empty()) {
+    result.all_fields_used = true;
+    return result;
+  }
+  result.descriptor = std::move(desc);
+  return result;
+}
+
+}  // namespace manimal::analyzer

@@ -1,0 +1,45 @@
+// Projection detection — the Figure 6 algorithm.
+//
+// findProject enumerates the input-record fields that can influence
+// the program's final output: fields appearing in emitted data, in
+// conditions guarding emits, or flowing into any state the analyzer
+// cannot track (member writes, impure library calls). Everything else
+// — including fields used only for debug logging — is reported
+// unneeded, because "other reasons to use inputs – log messages,
+// debugging text, etc – we optimize away" (Appendix C).
+//
+// The analysis fails (finds nothing) on opaque value parameters: a
+// custom serialization format carries no field boundaries the analyzer
+// can see (Benchmark 1's AbstractTuple, Table 1).
+
+#ifndef MANIMAL_ANALYZER_PROJECT_H_
+#define MANIMAL_ANALYZER_PROJECT_H_
+
+#include <optional>
+#include <string>
+
+#include "analyzer/descriptor.h"
+#include "mril/program.h"
+
+namespace manimal::analyzer {
+
+struct ProjectResult {
+  // Set when at least one field is provably unneeded.
+  std::optional<ProjectionDescriptor> descriptor;
+  // Why nothing was found (empty when all fields are genuinely used —
+  // "not present" rather than a detection failure).
+  std::string miss_reason;
+  // True when analysis succeeded and every field is used.
+  bool all_fields_used = false;
+};
+
+// `logs_are_uses` is the safe-mode variant (paper fn. 2): fields that
+// feed debug logging count as live so optimization never perturbs log
+// output.
+ProjectResult FindProject(const mril::Program& program,
+                          bool logs_are_uses);
+ProjectResult FindProject(const mril::Program& program);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_PROJECT_H_

@@ -1,0 +1,142 @@
+#include "analyzer/reduce_filter.h"
+
+#include "analysis/cfg.h"
+#include "analysis/expr_recovery.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/side_effects.h"
+
+namespace manimal::analyzer {
+
+using analysis::Cfg;
+using analysis::Expr;
+using analysis::ExprRecovery;
+using analysis::ReachingDefs;
+using mril::Opcode;
+
+namespace {
+
+// True iff the expression depends only on the reduce's KEY parameter
+// and constants, through functional operations (so its value is fixed
+// for the whole group).
+bool IsKeyOnlyFunctional(const ExprRef& expr) {
+  if (expr == nullptr) return false;
+  switch (expr->kind) {
+    case Expr::Kind::kConst:
+      return true;
+    case Expr::Kind::kParam:
+      return expr->index == mril::kReduceKeyParam;
+    case Expr::Kind::kMember:
+    case Expr::Kind::kUnknown:
+      return false;
+    case Expr::Kind::kField:
+    case Expr::Kind::kOp:
+      for (const ExprRef& a : expr->args) {
+        if (!IsKeyOnlyFunctional(a)) return false;
+      }
+      return true;
+    case Expr::Kind::kCall:
+      if (expr->builtin == nullptr || !expr->builtin->functional) {
+        return false;
+      }
+      for (const ExprRef& a : expr->args) {
+        if (!IsKeyOnlyFunctional(a)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+// Can any emit be reached from the entry block when the given edge is
+// deleted?
+bool EmitsReachableWithoutEdge(const Cfg& cfg, const mril::Function& fn,
+                               int banned_edge) {
+  std::vector<bool> seen(cfg.blocks().size(), false);
+  std::vector<int> worklist = {cfg.entry_block()};
+  seen[cfg.entry_block()] = true;
+  while (!worklist.empty()) {
+    int b = worklist.back();
+    worklist.pop_back();
+    const analysis::BasicBlock& bb = cfg.block(b);
+    for (int pc = bb.first_pc; pc <= bb.last_pc; ++pc) {
+      if (fn.code[pc].op == Opcode::kEmit) return true;
+    }
+    for (int eid : bb.succ_edges) {
+      if (eid == banned_edge) continue;
+      int to = cfg.edge(eid).to;
+      if (!seen[to]) {
+        seen[to] = true;
+        worklist.push_back(to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ReduceFilterResult FindReduceKeyFilter(const mril::Program& program) {
+  ReduceFilterResult result;
+  if (!program.reduce_fn.has_value()) {
+    result.miss_reason = "program has no reduce()";
+    return result;
+  }
+  const mril::Function& fn = *program.reduce_fn;
+
+  // Skipping entire reduce invocations must not perturb persistent
+  // state other groups could observe.
+  if (analysis::HasMemberWrites(fn)) {
+    result.miss_reason =
+        "reduce() writes member variables; group skipping would "
+        "change cross-group state";
+    return result;
+  }
+  bool any_emit = false;
+  for (const mril::Instruction& inst : fn.code) {
+    if (inst.op == Opcode::kEmit) any_emit = true;
+  }
+  if (!any_emit) {
+    result.miss_reason = "reduce() never emits";
+    return result;
+  }
+
+  Cfg cfg = Cfg::Build(fn);
+  ReachingDefs reaching(fn, cfg);
+  ExprRecovery recovery(program, fn, cfg, reaching);
+
+  Conjunct required;
+  for (int eid = 0; eid < static_cast<int>(cfg.edges().size()); ++eid) {
+    const analysis::CfgEdge& edge = cfg.edge(eid);
+    if (edge.kind != analysis::EdgeKind::kTrue &&
+        edge.kind != analysis::EdgeKind::kFalse) {
+      continue;
+    }
+    ExprRef cond = recovery.BranchCondition(edge.branch_pc);
+    if (!IsKeyOnlyFunctional(cond)) continue;
+    // If removing this polarity's edge severs all emits, every
+    // emitting group takes it: the condition must equal the edge's
+    // polarity.
+    if (!EmitsReachableWithoutEdge(cfg, fn, eid)) {
+      bool polarity = edge.kind == analysis::EdgeKind::kTrue;
+      bool duplicate = false;
+      for (const SelectTerm& t : required.terms) {
+        if (t.polarity == polarity && t.expr->Equals(*cond)) {
+          duplicate = true;
+        }
+      }
+      if (!duplicate) {
+        required.terms.push_back(SelectTerm{cond, polarity});
+      }
+    }
+  }
+
+  if (required.terms.empty()) {
+    result.miss_reason = "";  // nothing to filter — not a failure
+    return result;
+  }
+  ReduceFilterDescriptor desc;
+  desc.required = std::move(required);
+  result.descriptor = std::move(desc);
+  return result;
+}
+
+}  // namespace manimal::analyzer

@@ -1,0 +1,38 @@
+// Reduce-side GROUP-BY/WHERE detection — the Appendix E extension:
+// "When results from the reduce function are filtered with a
+// conditional clause ... if we could accurately predict which
+// temporary map outputs will be removed by the WHERE-related filtering
+// clause inside reduce, then we could delete this temporary data prior
+// to shuffle-reduce without any impact on final program output."
+//
+// Detection must survive loops (real reduces aggregate before they
+// test), so instead of path enumeration we use an edge-deletion
+// argument: for a conditional branch whose condition is a pure
+// function of the GROUP KEY alone, the condition's value is invariant
+// for the whole reduce invocation. If deleting the branch's
+// polarity-p edge makes every emit unreachable from entry, then a
+// group whose key fails (condition == p) can never emit — its map
+// outputs are dead and may be dropped before the shuffle. The filter
+// is the conjunction of all such (condition, polarity) literals.
+
+#ifndef MANIMAL_ANALYZER_REDUCE_FILTER_H_
+#define MANIMAL_ANALYZER_REDUCE_FILTER_H_
+
+#include <optional>
+#include <string>
+
+#include "analyzer/descriptor.h"
+#include "mril/program.h"
+
+namespace manimal::analyzer {
+
+struct ReduceFilterResult {
+  std::optional<ReduceFilterDescriptor> descriptor;
+  std::string miss_reason;  // empty when simply nothing to filter
+};
+
+ReduceFilterResult FindReduceKeyFilter(const mril::Program& program);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_REDUCE_FILTER_H_

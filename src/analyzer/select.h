@@ -1,0 +1,56 @@
+// Selection detection — the Figure 3 algorithm.
+//
+// findSelect computes a DNF formula over map()'s inputs that holds iff
+// the function emits, gated by the isFunc safety test on every
+// condition (and, beyond the paper's pseudocode, on the emitted
+// key/value expressions and on the absence of member-variable writes —
+// the Figure 2 hazard). It then tries to make the formula
+// range-indexable: if every literal compares one common expression
+// against constants, the descriptor carries that expression as the
+// B+Tree key plus a union of key intervals that over-approximates the
+// satisfying records (never under-approximates — safety).
+
+#ifndef MANIMAL_ANALYZER_SELECT_H_
+#define MANIMAL_ANALYZER_SELECT_H_
+
+#include <optional>
+#include <string>
+
+#include "analyzer/descriptor.h"
+#include "mril/program.h"
+
+namespace manimal::analyzer {
+
+struct SelectResult {
+  // Set when a selection was safely detected AND is non-trivial (the
+  // map does not emit unconditionally).
+  std::optional<SelectionDescriptor> descriptor;
+  // When not detected, why (empty when the map simply always emits —
+  // that is "no selection present", not a failure).
+  std::string miss_reason;
+  // True when the map provably emits on every invocation (no selection
+  // semantics present at all).
+  bool always_emits = false;
+};
+
+SelectResult FindSelect(const mril::Program& program);
+
+// Attempts to derive (indexed_expr, intervals) from a DNF formula.
+// Returns false when the formula is not a single-expression range
+// predicate. On success the interval union covers every input that
+// could satisfy the formula (an over-approximation is fine — the map
+// still applies the original predicate — but never an
+// under-approximation).
+//
+// Beyond plain `E cmp const` literals, integer-shifted comparisons
+// `(E + c) cmp k` / `(E - c) cmp k` are normalized onto E when E is
+// statically i64-typed; because the VM's arithmetic wraps, the derived
+// ranges include an explicit wrap-guard region so adversarial values
+// near the i64 edge still land inside the scan.
+bool DeriveIndexRanges(const mril::Program& program,
+                       const DnfFormula& formula, ExprRef* indexed_expr,
+                       std::vector<KeyInterval>* intervals);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_SELECT_H_

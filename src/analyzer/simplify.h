@@ -1,0 +1,32 @@
+// Expression simplification for recovered use-def DAGs.
+//
+// The detectors work better on normalized conditions: a selection
+// like `v.rank + 10 > 50` is range-indexable on `v.rank` only after
+// rewriting to `v.rank > 40`. Simplify() applies semantics-preserving
+// rewrites:
+//
+//   * constant folding of pure subtrees (operators and functional
+//     builtins over constant arguments),
+//   * double-negation elimination and NOT-of-comparison inversion,
+//   * normalization of integer comparisons `(E + c) cmp k` and
+//     `(E - c) cmp k` to `E cmp k'` (guarded against i64 overflow),
+//   * canonical constant-on-the-right orientation for comparisons.
+//
+// Unknown/member/impure nodes are left untouched — simplification
+// never manufactures certainty the analyzer does not have.
+
+#ifndef MANIMAL_ANALYZER_SIMPLIFY_H_
+#define MANIMAL_ANALYZER_SIMPLIFY_H_
+
+#include "analysis/expr.h"
+
+namespace manimal::analyzer {
+
+// Returns a semantically equivalent, possibly simpler expression.
+// Never fails: inputs that cannot be simplified come back unchanged
+// (possibly the same object).
+analysis::ExprRef Simplify(const analysis::ExprRef& expr);
+
+}  // namespace manimal::analyzer
+
+#endif  // MANIMAL_ANALYZER_SIMPLIFY_H_

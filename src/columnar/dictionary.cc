@@ -1,0 +1,64 @@
+#include "columnar/dictionary.h"
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/strings.h"
+
+namespace manimal::columnar {
+
+namespace {
+constexpr char kMagic[4] = {'M', 'D', 'I', 'C'};
+}  // namespace
+
+int64_t DictionaryBuilder::EncodeOrAdd(std::string_view s) {
+  auto it = codes_.find(std::string(s));
+  if (it != codes_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  codes_.emplace(strings_.back(), code);
+  return code;
+}
+
+Status DictionaryBuilder::Save(const std::string& path) const {
+  std::string out(kMagic, 4);
+  PutVarint64(&out, strings_.size());
+  for (const std::string& s : strings_) PutLengthPrefixed(&out, s);
+  return WriteStringToFile(path, out);
+}
+
+Result<Dictionary> Dictionary::Load(const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  std::string_view in = data;
+  if (in.size() < 4 || in.substr(0, 4) != std::string_view(kMagic, 4)) {
+    return Status::Corruption("bad dictionary magic in " + path);
+  }
+  in.remove_prefix(4);
+  uint64_t count = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &count));
+  Dictionary dict;
+  dict.strings_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view s;
+    MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &s));
+    dict.strings_.emplace_back(s);
+    dict.codes_.emplace(dict.strings_.back(), static_cast<int64_t>(i));
+  }
+  return dict;
+}
+
+std::optional<int64_t> Dictionary::Encode(std::string_view s) const {
+  auto it = codes_.find(std::string(s));
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> Dictionary::Decode(int64_t code) const {
+  if (code < 0 || code >= size()) {
+    return Status::OutOfRange(
+        StrPrintf("dictionary code %lld out of range",
+                  static_cast<long long>(code)));
+  }
+  return strings_[code];
+}
+
+}  // namespace manimal::columnar

@@ -1,0 +1,59 @@
+// String dictionary for direct-operation compression (paper Appendix
+// C/D, Table 6): a string field is replaced on disk by an int32 code;
+// equality-only consumers operate on codes without ever
+// decompressing.
+//
+// File format: "MDIC" magic, varint count, count length-prefixed
+// strings; a string's code is its position.
+
+#ifndef MANIMAL_COLUMNAR_DICTIONARY_H_
+#define MANIMAL_COLUMNAR_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace manimal::columnar {
+
+// Accumulates codes during index generation.
+class DictionaryBuilder {
+ public:
+  // Returns the code for `s`, assigning the next one on first sight.
+  int64_t EncodeOrAdd(std::string_view s);
+
+  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+
+  Status Save(const std::string& path) const;
+
+ private:
+  std::unordered_map<std::string, int64_t> codes_;
+  std::vector<std::string> strings_;
+};
+
+// Immutable lookup view loaded from a saved dictionary.
+class Dictionary {
+ public:
+  static Result<Dictionary> Load(const std::string& path);
+
+  // Code for an exact string; nullopt when the string never occurred
+  // in the data (an equality test against it can never be true).
+  std::optional<int64_t> Encode(std::string_view s) const;
+
+  // The string for a code; OutOfRange on bad codes.
+  Result<std::string> Decode(int64_t code) const;
+
+  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> codes_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace manimal::columnar
+
+#endif  // MANIMAL_COLUMNAR_DICTIONARY_H_

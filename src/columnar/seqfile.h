@@ -1,0 +1,255 @@
+// SeqFile — the on-disk record file format for both raw inputs and the
+// optimized representations Manimal materializes:
+//
+//   * plain rows (the baseline "serialized objects" input file),
+//   * projected rows (unneeded fields removed; column-store-lite,
+//     paper §2.1 Projection),
+//   * delta rows (numeric fields stored as zigzag-varint deltas from
+//     the previous record, reset per block; paper Appendix C/D),
+//   * dictionary rows (string fields stored as codes; paper Table 6).
+//
+// Layout:
+//   header: "MSEQ" magic, varint version,
+//           length-prefixed original-schema string,
+//           length-prefixed stored-schema string,
+//           varint field-map length + varints (stored slot i holds
+//             original field field_map[i]),
+//           varint delta-slot count + varints (stored slots),
+//           varint dict-slot count + varints (stored slots),
+//           length-prefixed dictionary sidecar path ("" if none)
+//   blocks: fixed32 body length, body = varint record count + records
+//   footer: fixed64 * nblocks (block offsets), fixed64 nblocks,
+//           fixed64 footer offset, fixed32 magic
+//
+// Blocks are the split granularity for the execution fabric: a map
+// task owns a contiguous block range. Each RecordStream opens its own
+// file handle, so parallel tasks can scan disjoint ranges of one file.
+
+#ifndef MANIMAL_COLUMNAR_SEQFILE_H_
+#define MANIMAL_COLUMNAR_SEQFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "serde/schema.h"
+
+namespace manimal::columnar {
+
+class DictionaryBuilder;
+
+struct SeqFileMeta {
+  Schema original_schema;       // schema of the logical input records
+  Schema stored_schema;         // schema of what is physically stored
+  std::vector<int> field_map;   // stored slot -> original field index
+  std::vector<int> delta_slots; // stored slots that are delta-encoded
+  std::vector<int> dict_slots;  // stored slots that are dict-encoded
+  std::string dict_path;        // sidecar ("" when dict_slots empty)
+  // Derived files (projections, re-encodings) persist each record's
+  // ORIGINAL map() key so user programs observe identical inputs; raw
+  // files instead synthesize the key as the global record ordinal.
+  bool has_key_slot = false;
+
+  bool IsPlain() const {
+    return delta_slots.empty() && dict_slots.empty() && !has_key_slot &&
+           stored_schema == original_schema;
+  }
+};
+
+// Creates metadata for a plain file of `schema` (identity field map).
+SeqFileMeta PlainMeta(const Schema& schema);
+
+class SeqFileWriter {
+ public:
+  struct Options {
+    // Block size trades scan efficiency against locator-index
+    // granularity: a block is the unit a B+Tree range scan must decode
+    // to resolve one matching record.
+    uint32_t target_block_bytes = 16 * 1024;
+    // When non-zero, blocks are cut by record COUNT instead of bytes.
+    // Column-group sibling files use this so their blocks stay
+    // row-aligned and one split range is valid across all of them.
+    uint32_t records_per_block = 0;
+  };
+
+  static Result<std::unique_ptr<SeqFileWriter>> Create(
+      const std::string& path, SeqFileMeta meta, Options options);
+  static Result<std::unique_ptr<SeqFileWriter>> Create(
+      const std::string& path, SeqFileMeta meta) {
+    return Create(path, std::move(meta), Options());
+  }
+
+  // Required before Append iff meta.dict_slots is non-empty; the
+  // caller owns the builder and saves it to meta.dict_path afterwards.
+  void set_dict_builder(DictionaryBuilder* builder) {
+    dict_builder_ = builder;
+  }
+
+  // Appends a record in STORED layout: one value per stored slot, with
+  // dict slots still carrying their string values (encoding happens
+  // here). `key` is the record's map() key; persisted only when
+  // meta.has_key_slot.
+  Status Append(int64_t key, const Record& stored_record);
+  Status Append(const Record& stored_record) {
+    return Append(num_records_, stored_record);
+  }
+
+  // Flushes the last block and the footer; returns total bytes.
+  Result<uint64_t> Finish();
+
+  uint64_t num_records() const { return num_records_; }
+
+  // Locator of the most recently appended record (valid after the
+  // first Append): index builders record these so a B+Tree can point
+  // back into the file it is writing.
+  uint64_t last_block() const { return last_block_; }
+  uint32_t last_index_in_block() const { return last_index_in_block_; }
+
+ private:
+  SeqFileWriter(std::unique_ptr<WritableFile> file, SeqFileMeta meta,
+                Options options)
+      : options_(options), meta_(std::move(meta)), file_(std::move(file)) {}
+
+  Status WriteHeader();
+  Status FlushBlock();
+
+  Options options_;
+  SeqFileMeta meta_;
+  std::unique_ptr<WritableFile> file_;
+  DictionaryBuilder* dict_builder_ = nullptr;
+
+  uint64_t offset_ = 0;
+  std::string block_buf_;
+  uint32_t block_records_ = 0;
+  std::vector<int64_t> delta_prev_;  // per delta slot, reset each block
+  std::vector<uint64_t> block_offsets_;
+  std::vector<uint64_t> block_cum_records_;
+  uint64_t num_records_ = 0;
+  uint64_t last_block_ = 0;
+  uint32_t last_index_in_block_ = 0;
+};
+
+class SeqFileReader
+    : public std::enable_shared_from_this<SeqFileReader> {
+ public:
+  static Result<std::shared_ptr<SeqFileReader>> Open(
+      const std::string& path);
+
+  const SeqFileMeta& meta() const { return meta_; }
+  uint64_t num_blocks() const { return block_offsets_.size(); }
+  uint64_t file_size() const { return file_size_; }
+  const std::string& path() const { return path_; }
+  uint64_t num_records() const { return num_records_; }
+
+  // Streams records of a contiguous block range [begin, end).
+  // Dict-encoded slots surface as i64 codes (direct operation); use
+  // the dictionary sidecar to decode when string values are needed.
+  class RecordStream {
+   public:
+    // Returns true and fills *key / *record while records remain. The
+    // key is the persisted one (has_key_slot) or the global ordinal.
+    Result<bool> Next(int64_t* key, Record* record);
+    Result<bool> Next(Record* record) {
+      int64_t ignored = 0;
+      return Next(&ignored, record);
+    }
+
+    uint64_t bytes_read() const { return bytes_read_; }
+
+    // Position of the record most recently returned by Next() —
+    // the locator an index can later resolve via BlockAccessor.
+    uint64_t current_block() const { return next_block_ - 1; }
+    uint32_t current_index_in_block() const { return record_in_block_ - 1; }
+
+   private:
+    friend class SeqFileReader;
+    RecordStream(std::shared_ptr<const SeqFileReader> reader,
+                 std::unique_ptr<RandomAccessFile> file,
+                 uint64_t begin_block, uint64_t end_block)
+        : reader_(std::move(reader)),
+          file_(std::move(file)),
+          next_block_(begin_block),
+          end_block_(end_block) {}
+
+    Status LoadNextBlock();
+
+    std::shared_ptr<const SeqFileReader> reader_;
+    std::unique_ptr<RandomAccessFile> file_;
+    uint64_t next_block_;
+    uint64_t end_block_;
+    std::string block_data_;
+    std::string_view cursor_;
+    uint32_t remaining_ = 0;
+    uint32_t record_in_block_ = 0;
+    std::vector<int64_t> delta_prev_;
+    uint64_t bytes_read_ = 0;
+    int64_t next_ordinal_ = 0;  // synthesized key counter
+  };
+
+  // Opens a dedicated file handle for the stream (thread safe across
+  // streams).
+  Result<RecordStream> Scan(uint64_t begin_block, uint64_t end_block) const;
+  Result<RecordStream> ScanAll() const { return Scan(0, num_blocks()); }
+
+  // Locator-based access: decodes one whole block at a time and serves
+  // records by in-block index. B+Tree range scans resolve their
+  // (block, index) payloads through this; visiting locators in file
+  // order makes each block decode at most once.
+  class BlockAccessor {
+   public:
+    // Loads (and caches) block `b`.
+    Status Load(uint64_t block);
+
+    uint64_t loaded_block() const { return loaded_block_; }
+    const SeqFileMeta& reader_meta() const { return reader_->meta(); }
+    size_t num_records() const { return records_.size(); }
+    const Record& record(uint32_t index) const {
+      return records_.at(index);
+    }
+    int64_t key(uint32_t index) const { return keys_.at(index); }
+    uint64_t bytes_read() const { return bytes_read_; }
+
+   private:
+    friend class SeqFileReader;
+    BlockAccessor(std::shared_ptr<const SeqFileReader> reader,
+                  std::unique_ptr<RandomAccessFile> file)
+        : reader_(std::move(reader)), file_(std::move(file)) {}
+
+    std::shared_ptr<const SeqFileReader> reader_;
+    std::unique_ptr<RandomAccessFile> file_;
+    uint64_t loaded_block_ = UINT64_MAX;
+    std::vector<Record> records_;
+    std::vector<int64_t> keys_;
+    uint64_t bytes_read_ = 0;
+  };
+
+  Result<BlockAccessor> OpenBlockAccessor() const;
+
+ private:
+  SeqFileReader() = default;
+
+  Status Init(const std::string& path);
+
+  // Decodes one stored record from *in.
+  Status DecodeStored(std::string_view* in,
+                      std::vector<int64_t>* delta_prev, Record* out) const;
+
+  std::string path_;
+  SeqFileMeta meta_;
+  std::vector<uint64_t> block_offsets_;
+  std::vector<uint64_t> block_sizes_;
+  // Records preceding each block (for ordinal-key synthesis on raw
+  // files).
+  std::vector<uint64_t> block_cum_records_;
+  uint64_t file_size_ = 0;
+  uint64_t num_records_ = 0;
+  std::vector<bool> is_delta_slot_;
+  std::vector<bool> is_dict_slot_;
+};
+
+}  // namespace manimal::columnar
+
+#endif  // MANIMAL_COLUMNAR_SEQFILE_H_

@@ -1,0 +1,36 @@
+// Invariant-checking macros. A failed check indicates a programming
+// error inside Manimal (never bad user input, which surfaces as a
+// Status) and aborts the process with a location-stamped message.
+
+#ifndef MANIMAL_COMMON_CHECK_H_
+#define MANIMAL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MANIMAL_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "MANIMAL_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#define MANIMAL_CHECK_MSG(cond, msg)                                    \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "MANIMAL_CHECK failed at %s:%d: %s (%s)\n",  \
+                   __FILE__, __LINE__, #cond, msg);                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#define MANIMAL_UNREACHABLE()                                            \
+  do {                                                                   \
+    std::fprintf(stderr, "MANIMAL_UNREACHABLE reached at %s:%d\n",       \
+                 __FILE__, __LINE__);                                    \
+    std::abort();                                                        \
+  } while (0)
+
+#endif  // MANIMAL_COMMON_CHECK_H_

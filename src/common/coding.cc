@@ -1,0 +1,73 @@
+#include "common/coding.h"
+
+namespace manimal {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+Status GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < input->size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>((*input)[i]);
+    ++i;
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7F) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      input->remove_prefix(i);
+      *value = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("malformed varint64");
+}
+
+Status GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint64(input, &v));
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+int VarintLength(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return Status::OK();
+}
+
+}  // namespace manimal

@@ -1,0 +1,115 @@
+// Binary encoding helpers: fixed-width little-endian integers,
+// LEB128-style varints, zigzag transforms for signed deltas, and
+// length-prefixed strings. These are the byte-level substrate for the
+// row codec, the B+Tree node format, and the compression codecs.
+
+#ifndef MANIMAL_COMMON_CODING_H_
+#define MANIMAL_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace manimal {
+
+// ---------- fixed-width (little endian) ----------
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// ---------- varints ----------
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+// Each Get* consumes bytes from the front of `*input` on success.
+// Returns Corruption if the input is truncated or overlong.
+Status GetVarint32(std::string_view* input, uint32_t* value);
+Status GetVarint64(std::string_view* input, uint64_t* value);
+
+// Number of bytes PutVarint64 would append.
+int VarintLength(uint64_t v);
+
+// ---------- zigzag (signed <-> unsigned) ----------
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutVarintSigned(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigzagEncode(v));
+}
+
+inline Status GetVarintSigned(std::string_view* input, int64_t* value) {
+  uint64_t u = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint64(input, &u));
+  *value = ZigzagDecode(u);
+  return Status::OK();
+}
+
+// ---------- length-prefixed strings ----------
+
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// ---------- doubles ----------
+
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutFixed64(dst, bits);
+}
+
+inline Status GetDouble(std::string_view* input, double* v) {
+  if (input->size() < 8) return Status::Corruption("truncated double");
+  uint64_t bits = DecodeFixed64(input->data());
+  std::memcpy(v, &bits, 8);
+  input->remove_prefix(8);
+  return Status::OK();
+}
+
+inline Status GetFixed32(std::string_view* input, uint32_t* v) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  *v = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return Status::OK();
+}
+
+inline Status GetFixed64(std::string_view* input, uint64_t* v) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  *v = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return Status::OK();
+}
+
+}  // namespace manimal
+
+#endif  // MANIMAL_COMMON_CODING_H_

@@ -1,0 +1,64 @@
+// Deterministic, seedable PRNG (xoshiro256**) plus sampling helpers.
+// Benchmarks and data generators depend on reproducible streams, so we
+// do not use std::mt19937 (whose distributions vary across libstdc++
+// versions).
+
+#ifndef MANIMAL_COMMON_RANDOM_H_
+#define MANIMAL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace manimal {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Random lowercase-ascii string of exactly `len` bytes.
+  std::string AsciiString(int len);
+
+  // Random dotted-quad IPv4 string, e.g. "158.37.2.190".
+  std::string IpAddress();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over ranks {1..n} with exponent `theta`
+// (theta ~ 0.8-1.0 models web popularity). Uses the rejection-inversion
+// method so construction is O(1) memory and sampling is O(1).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  // Returns a rank in [1, n]; rank 1 is the most popular.
+  uint64_t Sample(Rng* rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace manimal
+
+#endif  // MANIMAL_COMMON_RANDOM_H_

@@ -1,0 +1,33 @@
+#ifndef MANIMAL_COMMON_STOPWATCH_H_
+#define MANIMAL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace manimal {
+
+// Wall-clock stopwatch used to time jobs and benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace manimal
+
+#endif  // MANIMAL_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string utilities shared across modules (splitting, joining,
+// escaping for the line-based catalog format, printf-style formatting).
+
+#ifndef MANIMAL_COMMON_STRINGS_H_
+#define MANIMAL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manimal {
+
+std::vector<std::string> SplitString(std::string_view s, char sep);
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Escapes tab/newline/backslash so a value can live in a single
+// tab-separated catalog line; UnescapeField reverses it.
+std::string EscapeField(std::string_view s);
+std::string UnescapeField(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "1.25 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace manimal
+
+#endif  // MANIMAL_COMMON_STRINGS_H_

@@ -1,0 +1,91 @@
+#include "core/manimal.h"
+
+#include "common/strings.h"
+
+namespace manimal::core {
+
+Result<std::unique_ptr<ManimalSystem>> ManimalSystem::Open(
+    Options options) {
+  if (options.workspace_dir.empty()) {
+    return Status::InvalidArgument("workspace_dir is required");
+  }
+  auto system =
+      std::unique_ptr<ManimalSystem>(new ManimalSystem(options));
+  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(options.workspace_dir));
+  MANIMAL_RETURN_IF_ERROR(
+      CreateDirIfMissing(options.workspace_dir + "/artifacts"));
+  MANIMAL_RETURN_IF_ERROR(
+      CreateDirIfMissing(options.workspace_dir + "/tmp"));
+  MANIMAL_ASSIGN_OR_RETURN(
+      index::Catalog catalog,
+      index::Catalog::Open(options.workspace_dir + "/catalog.txt"));
+  system->catalog_ =
+      std::make_unique<index::Catalog>(std::move(catalog));
+  return system;
+}
+
+exec::JobConfig ManimalSystem::MakeJobConfig(
+    const std::string& output_path) {
+  exec::JobConfig config;
+  config.map_parallelism = options_.map_parallelism;
+  config.num_partitions = options_.num_partitions;
+  config.simulated_startup_seconds = options_.simulated_startup_seconds;
+  config.simulated_disk_bytes_per_sec =
+      options_.simulated_disk_bytes_per_sec;
+  config.sort_buffer_bytes = options_.sort_buffer_bytes;
+  config.output_path = output_path;
+  config.temp_dir = FreshTempDir("job");
+  return config;
+}
+
+std::string ManimalSystem::FreshTempDir(const std::string& tag) {
+  return options_.workspace_dir + "/tmp/" + tag + "-" +
+         std::to_string(job_counter_++);
+}
+
+Result<ManimalSystem::SubmitOutcome> ManimalSystem::Submit(
+    const Submission& submission) {
+  MANIMAL_ASSIGN_OR_RETURN(analyzer::AnalysisReport report,
+                           analyzer::Analyze(submission.program));
+  return SubmitWithReport(submission, std::move(report));
+}
+
+Result<ManimalSystem::SubmitOutcome> ManimalSystem::SubmitWithReport(
+    const Submission& submission, analyzer::AnalysisReport report) {
+  SubmitOutcome outcome;
+  outcome.report = std::move(report);
+  outcome.index_programs = analyzer::SynthesizeIndexPrograms(
+      submission.program, outcome.report);
+  optimizer::PlanningOptions planning;
+  planning.cost_based = options_.cost_based_optimizer;
+  MANIMAL_ASSIGN_OR_RETURN(
+      outcome.plan,
+      optimizer::BuildPlan(submission.program, submission.input_path,
+                           outcome.report, *catalog_, planning));
+  exec::JobConfig config = MakeJobConfig(submission.output_path);
+  MANIMAL_ASSIGN_OR_RETURN(outcome.job,
+                           exec::RunJob(outcome.plan.descriptor, config));
+  return outcome;
+}
+
+Result<exec::JobResult> ManimalSystem::RunBaseline(
+    const Submission& submission) {
+  exec::ExecutionDescriptor descriptor = optimizer::BaselineDescriptor(
+      submission.program, submission.input_path);
+  exec::JobConfig config = MakeJobConfig(submission.output_path);
+  return exec::RunJob(descriptor, config);
+}
+
+Result<exec::IndexBuildResult> ManimalSystem::BuildIndex(
+    const analyzer::IndexGenProgram& spec,
+    const std::string& input_path) {
+  MANIMAL_ASSIGN_OR_RETURN(
+      exec::IndexBuildResult result,
+      exec::BuildIndexArtifact(spec, input_path,
+                               options_.workspace_dir + "/artifacts",
+                               FreshTempDir("indexgen")));
+  MANIMAL_RETURN_IF_ERROR(catalog_->Register(result.entry));
+  return result;
+}
+
+}  // namespace manimal::core

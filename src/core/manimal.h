@@ -1,0 +1,155 @@
+// ManimalSystem — the public entry point, mirroring the user
+// walkthrough of paper §2.2 and Figure 1:
+//
+//   1. Submit a compiled, unmodified MRIL program plus its input file.
+//   2. The ANALYZER derives optimization descriptors and emits
+//      index-generation programs.
+//   3. The OPTIMIZER consults the catalog and picks an execution
+//      descriptor.
+//   4. The EXECUTION FABRIC runs the (possibly modified copy of the)
+//      program, via B+Tree ranges or re-encoded inputs when available.
+//
+// "The decision to run an index-generation program is left to the
+// system administrator" — BuildIndex() is that decision.
+
+#ifndef MANIMAL_CORE_MANIMAL_H_
+#define MANIMAL_CORE_MANIMAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "common/status.h"
+#include "exec/engine.h"
+#include "exec/index_build.h"
+#include "index/catalog.h"
+#include "optimizer/optimizer.h"
+
+namespace manimal::core {
+
+class ManimalSystem {
+ public:
+  struct Options {
+    // Root directory for the catalog, index artifacts, and scratch
+    // space. Created if missing.
+    std::string workspace_dir;
+    int map_parallelism = 4;
+    int num_partitions = 4;
+    // Price cataloged artifacts (and the plain scan) in estimated
+    // bytes moved and pick the cheapest, instead of the paper's
+    // rule-based ranking (§2.2 names cost-based planning as the
+    // long-run approach).
+    bool cost_based_optimizer = false;
+    double simulated_startup_seconds = 3.0;
+    // See exec::JobConfig::simulated_disk_bytes_per_sec (0 disables).
+    uint64_t simulated_disk_bytes_per_sec = 16u << 20;
+    uint64_t sort_buffer_bytes = 32u << 20;
+  };
+
+  struct Submission {
+    mril::Program program;
+    std::string input_path;   // plain SeqFile
+    std::string output_path;  // PairFile the job writes
+  };
+
+  struct SubmitOutcome {
+    analyzer::AnalysisReport report;
+    // Index-generation programs handed back to the administrator
+    // (paper: submitting a job "yields not just a program result, but
+    // also an index-generation program").
+    std::vector<analyzer::IndexGenProgram> index_programs;
+    optimizer::Plan plan;
+    exec::JobResult job;
+  };
+
+  static Result<std::unique_ptr<ManimalSystem>> Open(Options options);
+
+  // The full Manimal pipeline: analyze, optimize, execute.
+  Result<SubmitOutcome> Submit(const Submission& submission);
+
+  // Appendix A path for layered tools (Pig/Hive): the caller supplies
+  // the analysis (its own high-level knowledge of job semantics) and
+  // the analyzer is bypassed.
+  Result<SubmitOutcome> SubmitWithReport(const Submission& submission,
+                                         analyzer::AnalysisReport report);
+
+  // Conventional execution — what standard Hadoop would do with the
+  // same program and input. The benchmarks' baseline.
+  Result<exec::JobResult> RunBaseline(const Submission& submission);
+
+  // Administrator action: materialize an index artifact and register
+  // it in the catalog.
+  Result<exec::IndexBuildResult> BuildIndex(
+      const analyzer::IndexGenProgram& spec,
+      const std::string& input_path);
+
+  // ---- pipelines (paper Appendix E: "extend Manimal techniques to
+  // optimize processing pipelines ... chained MapReduce jobs, in which
+  // the output of a given job forms the input of a separate job") ----
+
+  struct PipelineStage {
+    mril::Program program;
+    // Declared record layout of this stage's output — each emitted
+    // (k, v) pair becomes the record [k] ++ flatten(v). Required for
+    // every stage except the last (whose output is a PairFile).
+    // This is the "declared types" link that lets the analyzer track
+    // relational operations across jobs.
+    std::optional<Schema> output_schema;
+  };
+
+  struct PipelineStageOutcome {
+    analyzer::AnalysisReport report;
+    optimizer::Plan plan;
+    exec::JobResult job;
+    // Cross-stage projection: the declared output fields this stage
+    // actually wrote because the NEXT stage provably reads only them
+    // (empty = all fields written).
+    std::vector<int> written_fields;
+    std::string intermediate_path;  // "" for the final stage
+  };
+
+  struct PipelineOptions {
+    // Drop intermediate columns the next stage provably never reads
+    // (safe: pipeline intermediates have exactly one consumer).
+    bool cross_stage_projection = true;
+    analyzer::AnalyzeOptions analyze;
+  };
+
+  struct PipelineResult {
+    std::vector<PipelineStageOutcome> stages;
+    std::string final_output_path;
+  };
+
+  // Runs the chained jobs, analyzing and optimizing each stage. Each
+  // stage's map() value schema must equal the previous stage's
+  // declared output schema.
+  Result<PipelineResult> RunPipeline(std::vector<PipelineStage> stages,
+                                     const std::string& input_path,
+                                     const std::string& final_output_path,
+                                     const PipelineOptions& options);
+  Result<PipelineResult> RunPipeline(
+      std::vector<PipelineStage> stages, const std::string& input_path,
+      const std::string& final_output_path) {
+    return RunPipeline(std::move(stages), input_path, final_output_path,
+                       PipelineOptions{});
+  }
+
+  const index::Catalog& catalog() const { return *catalog_; }
+  const Options& options() const { return options_; }
+
+ private:
+  explicit ManimalSystem(Options options)
+      : options_(std::move(options)) {}
+
+  exec::JobConfig MakeJobConfig(const std::string& output_path);
+  std::string FreshTempDir(const std::string& tag);
+
+  Options options_;
+  std::unique_ptr<index::Catalog> catalog_;
+  int job_counter_ = 0;
+};
+
+}  // namespace manimal::core
+
+#endif  // MANIMAL_CORE_MANIMAL_H_

@@ -1,0 +1,108 @@
+// Execution descriptors (paper §2.2 Step 2: "The resulting execution
+// descriptor indicates to the final execution fabric which index file
+// to use, and which optimizations should be applied") plus the input
+// split machinery the map phase consumes.
+
+#ifndef MANIMAL_EXEC_DESCRIPTOR_H_
+#define MANIMAL_EXEC_DESCRIPTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/descriptor.h"
+#include "columnar/seqfile.h"
+#include "common/status.h"
+#include "mril/program.h"
+
+namespace manimal::exec {
+
+// How the map phase reads its input.
+enum class AccessPath {
+  kSeqScan,       // full scan of a SeqFile (raw or re-encoded artifact)
+  kBTree,         // range scans of a B+Tree artifact
+  kColumnGroups,  // zip scan of the column groups covering the
+                  // program's fields (§2.1)
+};
+
+struct ExecutionDescriptor {
+  AccessPath access_path = AccessPath::kSeqScan;
+
+  // SeqFile path (kSeqScan) or B+Tree path (kBTree).
+  std::string data_path;
+
+  // kBTree only: the record file the tree's locators point into — the
+  // raw input or a projected sibling copy (empty for clustered trees,
+  // which embed their records).
+  std::string base_path;
+
+  // kBTree only: clustered layout (records embedded in the leaves).
+  bool clustered = false;
+
+  // kBTree clustered only: layout of the embedded records.
+  columnar::SeqFileMeta artifact_meta;
+
+  // Key ranges to scan (kBTree only); empty means full scan.
+  std::vector<analyzer::KeyInterval> intervals;
+
+  // original-field -> runtime-slot remap handed to the VM when the
+  // artifact is projected; empty = identity.
+  std::vector<int> field_remap;
+
+  // The "potentially-modified copy of the user's original program"
+  // (constant patches for direct operation on compressed data).
+  mril::Program program;
+
+  // kColumnGroups only: original field indexes the program reads; the
+  // plan opens just the groups covering them (empty reads everything).
+  std::vector<int> needed_fields;
+
+  // Appendix E extension: map outputs whose key fails this key-only
+  // conjunction are deleted before the shuffle (the reduce provably
+  // discards such groups). Empty = no filtering.
+  std::optional<analyzer::ReduceFilterDescriptor> reduce_key_filter;
+
+  // Human-readable list of optimizations in effect (for reporting).
+  std::vector<std::string> applied;
+
+  std::string Describe() const;
+};
+
+// A stream of (key, record-value) map inputs owned by one map task.
+class InputSplit {
+ public:
+  virtual ~InputSplit() = default;
+
+  // Fills *key / *value; false at end. `value` is the runtime record
+  // (list value) or opaque blob (str value).
+  virtual Result<bool> Next(int64_t* key, Value* value) = 0;
+
+  virtual uint64_t bytes_read() const = 0;
+};
+
+// Plans and opens splits for a descriptor.
+class InputPlan {
+ public:
+  virtual ~InputPlan() = default;
+
+  virtual int num_splits() const = 0;
+  virtual Result<std::unique_ptr<InputSplit>> OpenSplit(int i) = 0;
+  virtual uint64_t total_input_bytes() const = 0;
+
+  // For self-describing projected inputs (SeqFiles whose stored layout
+  // differs from the original schema), the original-field ->
+  // runtime-slot remap derived from the file header; empty when the
+  // layout is the identity. Used when the descriptor does not supply
+  // its own remap (e.g. pipeline intermediates).
+  virtual std::vector<int> DerivedFieldRemap() const { return {}; }
+};
+
+// Builds the input plan: SeqFile block ranges for kSeqScan, or
+// interval sub-ranges (subdivided along B+Tree node boundaries) for
+// kBTree. `target_splits` is a parallelism hint.
+Result<std::unique_ptr<InputPlan>> PlanInput(
+    const ExecutionDescriptor& descriptor, int target_splits);
+
+}  // namespace manimal::exec
+
+#endif  // MANIMAL_EXEC_DESCRIPTOR_H_

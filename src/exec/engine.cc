@@ -1,0 +1,393 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "analyzer/expr_eval.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "exec/pairfile.h"
+#include "index/external_sorter.h"
+#include "mril/verifier.h"
+#include "mril/vm.h"
+#include "serde/key_codec.h"
+#include "serde/record_codec.h"
+
+namespace manimal::exec {
+
+namespace {
+
+// Shared error latch: first error wins; all tasks then bail early.
+class ErrorLatch {
+ public:
+  void Set(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok() && !status.ok()) first_ = status;
+  }
+  bool Failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !first_.ok();
+  }
+  Status First() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+struct PartitionShuffle {
+  std::mutex mu;
+  std::unique_ptr<index::ExternalSorter> sorter;
+};
+
+// Job output sink: a PairFile, or (pipeline mode) a typed SeqFile the
+// next MapReduce stage can consume.
+class OutputWriter {
+ public:
+  static Result<std::unique_ptr<OutputWriter>> Create(
+      const JobConfig& config) {
+    auto out = std::unique_ptr<OutputWriter>(new OutputWriter());
+    if (!config.output_schema.has_value()) {
+      MANIMAL_ASSIGN_OR_RETURN(out->pairs_,
+                               PairFileWriter::Create(config.output_path));
+      return out;
+    }
+    const Schema& declared = *config.output_schema;
+    columnar::SeqFileMeta meta;
+    meta.original_schema = declared;
+    if (config.output_kept_fields.empty() || declared.opaque()) {
+      meta.stored_schema = declared;
+      if (declared.opaque()) {
+        meta.field_map = {0};
+      } else {
+        for (int i = 0; i < declared.num_fields(); ++i) {
+          meta.field_map.push_back(i);
+        }
+      }
+    } else {
+      meta.stored_schema = declared.Project(config.output_kept_fields);
+      meta.field_map = config.output_kept_fields;
+      out->kept_fields_ = config.output_kept_fields;
+    }
+    out->declared_ = declared;
+    MANIMAL_ASSIGN_OR_RETURN(
+        out->records_,
+        columnar::SeqFileWriter::Create(config.output_path, meta));
+    return out;
+  }
+
+  Status Append(const Value& key, const Value& value) {
+    if (pairs_ != nullptr) return pairs_->Append(key, value);
+    // Flatten (k, v) into a record.
+    Record record;
+    record.push_back(key);
+    if (value.is_list()) {
+      for (const Value& item : value.list()) record.push_back(item);
+    } else {
+      record.push_back(value);
+    }
+    if (static_cast<int>(record.size()) != declared_.num_fields()) {
+      return Status::InvalidArgument(StrPrintf(
+          "pipeline output pair flattens to %zu fields; declared "
+          "schema has %d",
+          record.size(), declared_.num_fields()));
+    }
+    if (!kept_fields_.empty()) {
+      Record projected;
+      projected.reserve(kept_fields_.size());
+      for (int f : kept_fields_) projected.push_back(record[f]);
+      record = std::move(projected);
+    }
+    ++num_records_;
+    return records_->Append(record);
+  }
+
+  uint64_t num_outputs() const {
+    return pairs_ != nullptr ? pairs_->num_pairs() : num_records_;
+  }
+
+  Result<uint64_t> Finish() {
+    if (pairs_ != nullptr) return pairs_->Finish();
+    return records_->Finish();
+  }
+
+ private:
+  OutputWriter() = default;
+
+  std::unique_ptr<PairFileWriter> pairs_;
+  std::unique_ptr<columnar::SeqFileWriter> records_;
+  Schema declared_;
+  std::vector<int> kept_fields_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace
+
+Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
+                         const JobConfig& config) {
+  if (config.temp_dir.empty() || config.output_path.empty()) {
+    return Status::InvalidArgument("temp_dir and output_path required");
+  }
+  const mril::Program& program = descriptor.program;
+  MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
+  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(config.temp_dir));
+
+  JobResult result;
+  result.output_path = config.output_path;
+  result.applied_optimizations = descriptor.applied;
+  Stopwatch total_watch;
+
+  MANIMAL_ASSIGN_OR_RETURN(
+      std::unique_ptr<InputPlan> plan,
+      PlanInput(descriptor, config.map_parallelism * 3));
+  result.counters.input_file_bytes = plan->total_input_bytes();
+
+  // Self-describing projected inputs carry their own remap.
+  const std::vector<int> field_remap =
+      descriptor.field_remap.empty() ? plan->DerivedFieldRemap()
+                                     : descriptor.field_remap;
+
+  const bool has_reduce = program.has_reduce();
+  const int num_partitions = std::max(1, config.num_partitions);
+
+  // Shuffle targets (with reduce) or per-split output buffers
+  // (map-only).
+  std::vector<PartitionShuffle> partitions(has_reduce ? num_partitions
+                                                      : 0);
+  for (int p = 0; p < static_cast<int>(partitions.size()); ++p) {
+    index::ExternalSorter::Options opts;
+    opts.temp_dir = config.temp_dir + "/part-" + std::to_string(p);
+    MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(opts.temp_dir));
+    opts.memory_budget_bytes =
+        std::max<uint64_t>(1u << 20,
+                           config.sort_buffer_bytes / num_partitions);
+    partitions[p].sorter =
+        std::make_unique<index::ExternalSorter>(opts);
+  }
+  std::vector<std::string> map_only_outputs(
+      has_reduce ? 0 : plan->num_splits());
+
+  ErrorLatch errors;
+  std::atomic<uint64_t> input_records{0}, input_bytes{0},
+      map_invocations{0}, map_output_records{0}, map_output_bytes{0},
+      map_output_filtered{0}, log_messages{0};
+
+  // ---------------- map phase ----------------
+  Stopwatch map_watch;
+  {
+    ThreadPool pool(std::max(1, config.map_parallelism));
+    for (int i = 0; i < plan->num_splits(); ++i) {
+      pool.Submit([&, i] {
+        if (errors.Failed()) return;
+        auto run = [&]() -> Status {
+          MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
+                                   plan->OpenSplit(i));
+          mril::VmOptions vm_options;
+          vm_options.field_remap = field_remap;
+          mril::VmInstance vm(&program, vm_options);
+          vm.set_log_sink([&log_messages](const Value&) {
+            log_messages.fetch_add(1, std::memory_order_relaxed);
+          });
+          std::string* local_out =
+              has_reduce ? nullptr : &map_only_outputs[i];
+          vm.set_emit_sink([&](const Value& k, const Value& v) -> Status {
+            // Appendix E: delete pairs the reduce provably discards.
+            if (descriptor.reduce_key_filter.has_value()) {
+              for (const analyzer::SelectTerm& term :
+                   descriptor.reduce_key_filter->required.terms) {
+                MANIMAL_ASSIGN_OR_RETURN(
+                    Value verdict,
+                    analyzer::EvalExpr(term.expr, k, Value::Null()));
+                if (!verdict.is_bool()) {
+                  return Status::Internal(
+                      "non-boolean reduce filter term");
+                }
+                if (verdict.bool_value() != term.polarity) {
+                  map_output_filtered.fetch_add(
+                      1, std::memory_order_relaxed);
+                  return Status::OK();
+                }
+              }
+            }
+            std::string value_bytes;
+            MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &value_bytes));
+            map_output_records.fetch_add(1, std::memory_order_relaxed);
+            if (has_reduce) {
+              std::string key_bytes;
+              MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(k, &key_bytes));
+              map_output_bytes.fetch_add(
+                  key_bytes.size() + value_bytes.size(),
+                  std::memory_order_relaxed);
+              int p = static_cast<int>(k.Hash() % num_partitions);
+              std::lock_guard<std::mutex> lock(partitions[p].mu);
+              return partitions[p].sorter->Add(key_bytes, value_bytes);
+            }
+            // Map-only: output pair directly.
+            std::string pair_bytes;
+            MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &pair_bytes));
+            pair_bytes += value_bytes;
+            map_output_bytes.fetch_add(pair_bytes.size(),
+                                       std::memory_order_relaxed);
+            local_out->append(pair_bytes);
+            return Status::OK();
+          });
+
+          int64_t key = 0;
+          Value value;
+          uint64_t records = 0;
+          while (true) {
+            MANIMAL_ASSIGN_OR_RETURN(bool more, split->Next(&key, &value));
+            if (!more) break;
+            if (errors.Failed()) return Status::OK();
+            ++records;
+            MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
+          }
+          input_records.fetch_add(records, std::memory_order_relaxed);
+          input_bytes.fetch_add(split->bytes_read(),
+                                std::memory_order_relaxed);
+          map_invocations.fetch_add(vm.map_invocations(),
+                                    std::memory_order_relaxed);
+          return Status::OK();
+        };
+        Status st = run();
+        if (!st.ok()) errors.Set(st);
+      });
+    }
+    pool.Wait();
+  }
+  MANIMAL_RETURN_IF_ERROR(errors.First());
+  result.map_seconds = map_watch.ElapsedSeconds();
+
+  // ---------------- reduce / output phase ----------------
+  Stopwatch reduce_watch;
+  uint64_t reduce_groups_total = 0;
+
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<OutputWriter> out,
+                           OutputWriter::Create(config));
+
+  if (!has_reduce) {
+    for (const std::string& buf : map_only_outputs) {
+      std::string_view in = buf;
+      // Each buffered chunk holds whole encoded pairs.
+      while (!in.empty()) {
+        Value k, v;
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &k));
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
+        MANIMAL_RETURN_IF_ERROR(out->Append(k, v));
+      }
+    }
+  } else {
+    // Reduce partitions in parallel, buffering each partition's output.
+    std::vector<std::string> partition_outputs(num_partitions);
+    std::vector<uint64_t> partition_groups(num_partitions, 0);
+    {
+      ThreadPool pool(std::max(1, config.map_parallelism));
+      for (int p = 0; p < num_partitions; ++p) {
+        pool.Submit([&, p] {
+          if (errors.Failed()) return;
+          auto run = [&]() -> Status {
+            MANIMAL_ASSIGN_OR_RETURN(
+                std::unique_ptr<index::SortedStream> stream,
+                partitions[p].sorter->Finish());
+            mril::VmInstance vm(&program);
+            vm.set_log_sink([&log_messages](const Value&) {
+              log_messages.fetch_add(1, std::memory_order_relaxed);
+            });
+            std::string& out_buf = partition_outputs[p];
+            vm.set_emit_sink(
+                [&out_buf](const Value& k, const Value& v) -> Status {
+                  MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_buf));
+                  return EncodeValue(v, &out_buf);
+                });
+
+            while (stream->Valid()) {
+              std::string group_key(stream->key());
+              std::vector<std::string> encoded_values;
+              while (stream->Valid() && stream->key() == group_key) {
+                encoded_values.emplace_back(stream->payload());
+                MANIMAL_RETURN_IF_ERROR(stream->Next());
+              }
+              // Canonical value order: the shuffle's arrival order is
+              // nondeterministic, so reduce sees values in sorted
+              // encoded order, making runs reproducible and
+              // baseline/optimized outputs comparable.
+              std::sort(encoded_values.begin(), encoded_values.end());
+              ValueList values;
+              values.reserve(encoded_values.size());
+              for (const std::string& ev : encoded_values) {
+                std::string_view in = ev;
+                Value v;
+                MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
+                values.push_back(std::move(v));
+              }
+              Value key;
+              MANIMAL_RETURN_IF_ERROR(DecodeOrderedKey(group_key, &key));
+              ++partition_groups[p];
+              MANIMAL_RETURN_IF_ERROR(
+                  vm.InvokeReduce(key, Value::List(std::move(values))));
+            }
+            return Status::OK();
+          };
+          Status st = run();
+          if (!st.ok()) errors.Set(st);
+        });
+      }
+      pool.Wait();
+    }
+    MANIMAL_RETURN_IF_ERROR(errors.First());
+    for (int p = 0; p < num_partitions; ++p) {
+      reduce_groups_total += partition_groups[p];
+      std::string_view in = partition_outputs[p];
+      while (!in.empty()) {
+        Value k, v;
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &k));
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
+        MANIMAL_RETURN_IF_ERROR(out->Append(k, v));
+      }
+    }
+    for (int p = 0; p < num_partitions; ++p) {
+      result.counters.shuffle_spilled_runs +=
+          partitions[p].sorter->stats().spilled_runs;
+      result.counters.shuffle_spilled_bytes +=
+          partitions[p].sorter->stats().spilled_bytes;
+    }
+  }
+
+  result.counters.output_records = out->num_outputs();
+  MANIMAL_ASSIGN_OR_RETURN(result.counters.output_bytes, out->Finish());
+  result.reduce_seconds = reduce_watch.ElapsedSeconds();
+
+  result.counters.input_records = input_records.load();
+  result.counters.input_bytes = input_bytes.load();
+  result.counters.map_invocations = map_invocations.load();
+  result.counters.map_output_records = map_output_records.load();
+  result.counters.map_output_bytes = map_output_bytes.load();
+  result.counters.map_output_filtered = map_output_filtered.load();
+  result.counters.log_messages = log_messages.load();
+  result.counters.reduce_groups = reduce_groups_total;
+
+  result.wall_seconds = total_watch.ElapsedSeconds();
+  if (config.simulated_disk_bytes_per_sec > 0) {
+    uint64_t bytes_moved = result.counters.input_bytes +
+                           result.counters.map_output_bytes +
+                           result.counters.output_bytes;
+    double aggregate_rate =
+        static_cast<double>(config.simulated_disk_bytes_per_sec) *
+        std::max(1, config.map_parallelism);
+    result.simulated_io_seconds =
+        static_cast<double>(bytes_moved) / aggregate_rate;
+  }
+  result.reported_seconds = result.wall_seconds +
+                            config.simulated_startup_seconds +
+                            result.simulated_io_seconds;
+  return result;
+}
+
+}  // namespace manimal::exec

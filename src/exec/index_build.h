@@ -1,0 +1,37 @@
+// Executes index-generation programs (paper §2.2): scans the raw input
+// file, applies the transformations the analyzer prescribed
+// (projection, delta encoding, dictionary encoding), and either
+// bulk-loads a B+Tree keyed by the selection expression or writes a
+// re-encoded SeqFile. The artifact is then registered in the catalog.
+//
+// This is the fabric-side realization of "an index-generation program
+// ... is itself a MapReduce program": scan (map) -> sort by index key
+// (shuffle) -> bulk load (reduce).
+
+#ifndef MANIMAL_EXEC_INDEX_BUILD_H_
+#define MANIMAL_EXEC_INDEX_BUILD_H_
+
+#include <string>
+
+#include "analyzer/index_gen.h"
+#include "common/status.h"
+#include "index/catalog.h"
+
+namespace manimal::exec {
+
+struct IndexBuildResult {
+  index::CatalogEntry entry;
+  double seconds = 0;
+  uint64_t records = 0;
+};
+
+// Builds the artifact for `spec` from `input_path` (a plain SeqFile),
+// placing outputs under `artifact_dir` and spill files under
+// `temp_dir`. Does not touch the catalog; callers register the entry.
+Result<IndexBuildResult> BuildIndexArtifact(
+    const analyzer::IndexGenProgram& spec, const std::string& input_path,
+    const std::string& artifact_dir, const std::string& temp_dir);
+
+}  // namespace manimal::exec
+
+#endif  // MANIMAL_EXEC_INDEX_BUILD_H_

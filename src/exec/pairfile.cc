@@ -1,0 +1,83 @@
+#include "exec/pairfile.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "serde/record_codec.h"
+
+namespace manimal::exec {
+
+namespace {
+constexpr char kMagic[4] = {'M', 'P', 'R', 'S'};
+}  // namespace
+
+Result<std::unique_ptr<PairFileWriter>> PairFileWriter::Create(
+    const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                           WritableFile::Create(path));
+  MANIMAL_RETURN_IF_ERROR(f->Append(std::string_view(kMagic, 4)));
+  return std::unique_ptr<PairFileWriter>(
+      new PairFileWriter(std::move(f)));
+}
+
+Status PairFileWriter::Append(const Value& key, const Value& value) {
+  std::string buf;
+  MANIMAL_RETURN_IF_ERROR(EncodeValue(key, &buf));
+  MANIMAL_RETURN_IF_ERROR(EncodeValue(value, &buf));
+  return AppendEncoded(buf);
+}
+
+Status PairFileWriter::AppendEncoded(std::string_view bytes) {
+  MANIMAL_RETURN_IF_ERROR(file_->Append(bytes));
+  ++num_pairs_;
+  return Status::OK();
+}
+
+Result<uint64_t> PairFileWriter::Finish() {
+  std::string footer;
+  PutFixed64(&footer, num_pairs_);
+  MANIMAL_RETURN_IF_ERROR(file_->Append(footer));
+  uint64_t total = file_->bytes_written();
+  MANIMAL_RETURN_IF_ERROR(file_->Close());
+  return total;
+}
+
+Result<std::vector<std::pair<Value, Value>>> ReadAllPairs(
+    const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < 12 ||
+      std::string_view(data).substr(0, 4) != std::string_view(kMagic, 4)) {
+    return Status::Corruption("bad pair file: " + path);
+  }
+  uint64_t count = DecodeFixed64(data.data() + data.size() - 8);
+  std::string_view in(data.data() + 4, data.size() - 12);
+  std::vector<std::pair<Value, Value>> out;
+  out.reserve(count);
+  while (!in.empty()) {
+    Value key, value;
+    MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &key));
+    MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &value));
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  if (out.size() != count) {
+    return Status::Corruption("pair count mismatch in " + path);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ReadCanonicalPairs(
+    const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(auto pairs, ReadAllPairs(path));
+  std::vector<std::string> encoded;
+  encoded.reserve(pairs.size());
+  for (const auto& [k, v] : pairs) {
+    std::string buf;
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &buf));
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &buf));
+    encoded.push_back(std::move(buf));
+  }
+  std::sort(encoded.begin(), encoded.end());
+  return encoded;
+}
+
+}  // namespace manimal::exec

@@ -1,0 +1,51 @@
+// PairFile: the output format of a MapReduce job — a flat sequence of
+// (key, value) pairs in self-describing Value encoding.
+
+#ifndef MANIMAL_EXEC_PAIRFILE_H_
+#define MANIMAL_EXEC_PAIRFILE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "serde/value.h"
+
+namespace manimal::exec {
+
+class PairFileWriter {
+ public:
+  static Result<std::unique_ptr<PairFileWriter>> Create(
+      const std::string& path);
+
+  Status Append(const Value& key, const Value& value);
+  // Appends pre-encoded pair bytes (EncodeValue(key)+EncodeValue(value)).
+  Status AppendEncoded(std::string_view bytes);
+
+  Result<uint64_t> Finish();  // returns total bytes
+
+  uint64_t num_pairs() const { return num_pairs_; }
+
+ private:
+  explicit PairFileWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t num_pairs_ = 0;
+};
+
+// Loads an entire pair file (outputs are small relative to inputs).
+Result<std::vector<std::pair<Value, Value>>> ReadAllPairs(
+    const std::string& path);
+
+// Canonicalized multiset view for output-equivalence checks: encoded
+// pairs, sorted. Two jobs produced identical output multisets iff
+// these match.
+Result<std::vector<std::string>> ReadCanonicalPairs(
+    const std::string& path);
+
+}  // namespace manimal::exec
+
+#endif  // MANIMAL_EXEC_PAIRFILE_H_

@@ -1,0 +1,429 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace manimal::index {
+
+namespace {
+constexpr uint32_t kBTreeMagic = 0xB7EE2024;
+constexpr size_t kFooterSize = 8 + 4 + 8 + 4;
+}  // namespace
+
+// ---------------- builder ----------------
+
+Result<std::unique_ptr<BTreeBuilder>> BTreeBuilder::Create(
+    const std::string& path, Options options) {
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                           WritableFile::Create(path));
+  return std::unique_ptr<BTreeBuilder>(
+      new BTreeBuilder(std::move(f), options));
+}
+
+Status BTreeBuilder::Add(std::string_view key, std::string_view payload) {
+  if (num_entries_ > 0 && key < last_key_) {
+    return Status::InvalidArgument(
+        "B+Tree bulk load requires non-decreasing keys");
+  }
+  if (leaf_count_ == 0) leaf_first_key_.assign(key.data(), key.size());
+  // Prefix-compress against the previous key in this leaf.
+  size_t shared = 0;
+  if (leaf_count_ > 0) {
+    size_t limit = std::min(key.size(), last_key_.size());
+    while (shared < limit && key[shared] == last_key_[shared]) ++shared;
+  }
+  PutVarint32(&leaf_buf_, static_cast<uint32_t>(shared));
+  PutVarint32(&leaf_buf_, static_cast<uint32_t>(key.size() - shared));
+  leaf_buf_.append(key.substr(shared));
+  PutVarint32(&leaf_buf_, static_cast<uint32_t>(payload.size()));
+  leaf_buf_.append(payload);
+  ++leaf_count_;
+  ++num_entries_;
+  last_key_.assign(key.data(), key.size());
+  if (leaf_buf_.size() >= options_.target_node_bytes) {
+    MANIMAL_RETURN_IF_ERROR(FlushLeaf());
+  }
+  return Status::OK();
+}
+
+Status BTreeBuilder::FlushLeaf() {
+  if (leaf_count_ == 0) return Status::OK();
+  std::string body;
+  PutVarint32(&body, leaf_count_);
+  body += leaf_buf_;
+  // Leaves are buffered one deep: a leaf's next-pointer is only known
+  // to be 0 or non-0 once we see whether another leaf follows, and the
+  // file is written append-only.
+  pending_leaves_.push_back(std::move(body));
+  pending_first_keys_.push_back(leaf_first_key_);
+  pending_counts_.push_back(leaf_count_);
+  leaf_buf_.clear();
+  leaf_count_ = 0;
+  // Flush all but the newest pending leaf (its next pointer is now
+  // known to exist).
+  while (pending_leaves_.size() > 1) {
+    MANIMAL_RETURN_IF_ERROR(WritePendingLeaf(/*has_next=*/true));
+  }
+  return Status::OK();
+}
+
+Status BTreeBuilder::WritePendingLeaf(bool has_next) {
+  MANIMAL_CHECK(!pending_leaves_.empty());
+  std::string body = std::move(pending_leaves_.front());
+  pending_leaves_.pop_front();
+  std::string first_key = std::move(pending_first_keys_.front());
+  pending_first_keys_.pop_front();
+  uint64_t entry_count = pending_counts_.front();
+  pending_counts_.pop_front();
+
+  uint64_t my_offset = offset_;
+  uint64_t node_size = 4 + body.size() + 8;
+  uint64_t next_offset = has_next ? my_offset + node_size : 0;
+
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(body.size() + 8));
+  out += body;
+  PutFixed64(&out, next_offset);
+  MANIMAL_RETURN_IF_ERROR(file_->Append(out));
+  offset_ += out.size();
+  level0_.push_back(
+      ChildRef{std::move(first_key), my_offset, entry_count});
+  return Status::OK();
+}
+
+Result<uint64_t> BTreeBuilder::Finish() {
+  MANIMAL_RETURN_IF_ERROR(FlushLeaf());
+  while (!pending_leaves_.empty()) {
+    MANIMAL_RETURN_IF_ERROR(
+        WritePendingLeaf(/*has_next=*/pending_leaves_.size() > 1));
+  }
+  if (level0_.empty()) {
+    // Empty tree: write a single empty leaf so readers have a root.
+    std::string body;
+    PutVarint32(&body, 0);
+    std::string out;
+    PutFixed32(&out, static_cast<uint32_t>(body.size() + 8));
+    out += body;
+    PutFixed64(&out, 0);
+    MANIMAL_RETURN_IF_ERROR(file_->Append(out));
+    level0_.push_back(ChildRef{"", offset_, 0});
+    offset_ += out.size();
+  }
+
+  // Build internal levels bottom-up.
+  std::vector<ChildRef> level = std::move(level0_);
+  int height = 1;
+  while (level.size() > 1) {
+    std::vector<ChildRef> parent_level;
+    std::string body;
+    uint32_t count = 0;
+    uint64_t entries_in_node = 0;
+    std::string first_key_of_node;
+    auto flush_internal = [&]() -> Status {
+      if (count == 0) return Status::OK();
+      std::string full;
+      PutVarint32(&full, count);
+      full += body;
+      std::string out;
+      PutFixed32(&out, static_cast<uint32_t>(full.size()));
+      out += full;
+      MANIMAL_RETURN_IF_ERROR(file_->Append(out));
+      parent_level.push_back(
+          ChildRef{first_key_of_node, offset_, entries_in_node});
+      offset_ += out.size();
+      body.clear();
+      count = 0;
+      entries_in_node = 0;
+      return Status::OK();
+    };
+    for (const ChildRef& child : level) {
+      if (count == 0) first_key_of_node = child.first_key;
+      PutVarint32(&body, static_cast<uint32_t>(child.first_key.size()));
+      body += child.first_key;
+      PutFixed64(&body, child.offset);
+      PutVarint64(&body, child.entry_count);
+      ++count;
+      entries_in_node += child.entry_count;
+      if (body.size() >= options_.target_node_bytes) {
+        MANIMAL_RETURN_IF_ERROR(flush_internal());
+      }
+    }
+    MANIMAL_RETURN_IF_ERROR(flush_internal());
+    level = std::move(parent_level);
+    ++height;
+  }
+
+  // Footer.
+  std::string footer;
+  PutFixed64(&footer, level[0].offset);
+  PutFixed32(&footer, static_cast<uint32_t>(height));
+  PutFixed64(&footer, num_entries_);
+  PutFixed32(&footer, kBTreeMagic);
+  MANIMAL_RETURN_IF_ERROR(file_->Append(footer));
+  offset_ += footer.size();
+  MANIMAL_RETURN_IF_ERROR(file_->Close());
+  return offset_;
+}
+
+// ---------------- reader ----------------
+
+Result<std::unique_ptr<BTreeReader>> BTreeReader::Open(
+    const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f,
+                           RandomAccessFile::Open(path));
+  auto reader = std::unique_ptr<BTreeReader>(new BTreeReader(std::move(f)));
+  MANIMAL_RETURN_IF_ERROR(reader->Init());
+  return reader;
+}
+
+Status BTreeReader::Init() {
+  if (file_->size() < kFooterSize) {
+    return Status::Corruption("B+Tree file too small");
+  }
+  std::string footer;
+  MANIMAL_RETURN_IF_ERROR(
+      file_->ReadAt(file_->size() - kFooterSize, kFooterSize, &footer));
+  std::string_view in = footer;
+  uint64_t root = 0, entries = 0;
+  uint32_t height = 0, magic = 0;
+  MANIMAL_RETURN_IF_ERROR(GetFixed64(&in, &root));
+  MANIMAL_RETURN_IF_ERROR(GetFixed32(&in, &height));
+  MANIMAL_RETURN_IF_ERROR(GetFixed64(&in, &entries));
+  MANIMAL_RETURN_IF_ERROR(GetFixed32(&in, &magic));
+  if (magic != kBTreeMagic) return Status::Corruption("bad B+Tree magic");
+  root_offset_ = root;
+  height_ = static_cast<int>(height);
+  num_entries_ = entries;
+  first_leaf_offset_ = 0;  // leaves start at file offset 0
+  return Status::OK();
+}
+
+Status BTreeReader::ReadNode(uint64_t offset, std::string* out) const {
+  std::string len_buf;
+  MANIMAL_RETURN_IF_ERROR(file_->ReadAt(offset, 4, &len_buf));
+  uint32_t len = DecodeFixed32(len_buf.data());
+  if (len > (64u << 20)) return Status::Corruption("implausible node size");
+  return file_->ReadAt(offset + 4, len, out);
+}
+
+Result<uint64_t> BTreeReader::FindLeaf(std::string_view key) const {
+  uint64_t offset = root_offset_;
+  for (int level = height_; level > 1; --level) {
+    std::string node;
+    MANIMAL_RETURN_IF_ERROR(ReadNode(offset, &node));
+    std::string_view in = node;
+    uint32_t count = 0;
+    MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
+    if (count == 0) return Status::Corruption("empty internal node");
+    uint64_t chosen = 0;
+    bool have = false;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view first_key;
+      MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &first_key));
+      uint64_t child = 0;
+      MANIMAL_RETURN_IF_ERROR(GetFixed64(&in, &child));
+      uint64_t entry_count = 0;
+      MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &entry_count));
+      // Choose the last child whose first key is strictly below the
+      // target: a run of duplicate keys can begin in the child BEFORE
+      // the one whose first_key equals the target, and Seek must land
+      // at the earliest occurrence (the iterator then walks forward
+      // through the leaf chain).
+      if (i == 0 || first_key < key) {
+        chosen = child;
+        have = true;
+      } else {
+        break;
+      }
+    }
+    MANIMAL_CHECK(have);
+    offset = chosen;
+  }
+  return offset;
+}
+
+Status BTreeReader::Iterator::LoadLeaf(uint64_t offset) {
+  MANIMAL_RETURN_IF_ERROR(reader_->ReadNode(offset, &leaf_data_));
+  if (leaf_data_.size() < 8) return Status::Corruption("short leaf");
+  next_leaf_ = DecodeFixed64(leaf_data_.data() + leaf_data_.size() - 8);
+  std::string_view in(leaf_data_.data(), leaf_data_.size() - 8);
+  uint32_t count = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
+  remaining_in_leaf_ = count;
+  pos_ = leaf_data_.size() - 8 - in.size();
+  return Status::OK();
+}
+
+Status BTreeReader::Iterator::Next() {
+  for (;;) {
+    if (remaining_in_leaf_ > 0) {
+      std::string_view in(leaf_data_.data() + pos_,
+                          leaf_data_.size() - 8 - pos_);
+      uint32_t shared = 0, unshared = 0;
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &shared));
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &unshared));
+      if (in.size() < unshared || shared > key_.size()) {
+        return Status::Corruption("bad prefix-compressed leaf entry");
+      }
+      key_.resize(shared);
+      key_.append(in.data(), unshared);
+      in.remove_prefix(unshared);
+      std::string_view payload;
+      MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &payload));
+      payload_.assign(payload.data(), payload.size());
+      pos_ = leaf_data_.size() - 8 - in.size();
+      --remaining_in_leaf_;
+      valid_ = true;
+      return Status::OK();
+    }
+    if (next_leaf_ == 0) {
+      valid_ = false;
+      return Status::OK();
+    }
+    MANIMAL_RETURN_IF_ERROR(LoadLeaf(next_leaf_));
+  }
+}
+
+Result<BTreeReader::Iterator> BTreeReader::Seek(std::string_view key,
+                                                bool inclusive) const {
+  MANIMAL_ASSIGN_OR_RETURN(uint64_t leaf, FindLeaf(key));
+  Iterator it(this);
+  MANIMAL_RETURN_IF_ERROR(it.LoadLeaf(leaf));
+  MANIMAL_RETURN_IF_ERROR(it.Next());
+  while (it.Valid()) {
+    if (inclusive ? it.key() >= key : it.key() > key) break;
+    MANIMAL_RETURN_IF_ERROR(it.Next());
+  }
+  return it;
+}
+
+Result<std::vector<std::string>> BTreeReader::RootChildKeys() const {
+  std::vector<std::string> keys;
+  if (height_ <= 1) return keys;
+  std::string node;
+  MANIMAL_RETURN_IF_ERROR(ReadNode(root_offset_, &node));
+  std::string_view in = node;
+  uint32_t count = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
+  keys.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view first_key;
+    MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &first_key));
+    uint64_t child = 0;
+    MANIMAL_RETURN_IF_ERROR(GetFixed64(&in, &child));
+    uint64_t entry_count = 0;
+    MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &entry_count));
+    keys.emplace_back(first_key);
+  }
+  return keys;
+}
+
+// Fraction of the subtree rooted at `offset` (at `level`; 1 = leaf)
+// whose keys fall in [lo, hi]. Interior nodes treat every child
+// subtree as equal-sized; boundary children are descended into, so the
+// estimate sharpens to leaf granularity along the range edges with
+// only O(height) node reads per edge.
+Result<double> BTreeReader::EstimateInNode(
+    uint64_t offset, int level, const std::optional<std::string>& lo,
+    const std::optional<std::string>& hi) const {
+  std::string node;
+  MANIMAL_RETURN_IF_ERROR(ReadNode(offset, &node));
+  if (level <= 1) {
+    // Leaf: count exactly. Prefix-compressed entries are reconstructed
+    // the same way the iterator does.
+    if (node.size() < 8) return Status::Corruption("short leaf");
+    std::string_view in(node.data(), node.size() - 8);
+    uint32_t count = 0;
+    MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
+    if (count == 0) return 0.0;
+    std::string key;
+    uint32_t matched = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t shared = 0, unshared = 0;
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &shared));
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &unshared));
+      if (in.size() < unshared || shared > key.size()) {
+        return Status::Corruption("bad leaf entry");
+      }
+      key.resize(shared);
+      key.append(in.data(), unshared);
+      in.remove_prefix(unshared);
+      std::string_view payload;
+      MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &payload));
+      bool ok = true;
+      if (lo.has_value() && key < *lo) ok = false;
+      if (hi.has_value() && key > *hi) ok = false;
+      if (ok) ++matched;
+    }
+    return static_cast<double>(matched) / static_cast<double>(count);
+  }
+
+  // Internal node: weight children by their exact subtree entry
+  // counts (this is a counted B+Tree).
+  std::string_view in = node;
+  uint32_t count = 0;
+  MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
+  if (count == 0) return Status::Corruption("empty internal node");
+  std::vector<std::string> first_keys;
+  std::vector<uint64_t> offsets;
+  std::vector<uint64_t> child_entries;
+  first_keys.reserve(count);
+  offsets.reserve(count);
+  child_entries.reserve(count);
+  uint64_t total_entries = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view first_key;
+    MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&in, &first_key));
+    uint64_t child = 0;
+    MANIMAL_RETURN_IF_ERROR(GetFixed64(&in, &child));
+    uint64_t entry_count = 0;
+    MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &entry_count));
+    first_keys.emplace_back(first_key);
+    offsets.push_back(child);
+    child_entries.push_back(entry_count);
+    total_entries += entry_count;
+  }
+  if (total_entries == 0) return 0.0;
+
+  double matched = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    // Child i spans [first_keys[i], first_keys[i+1]) — the last
+    // child's upper extent is unknown, so a lower bound beyond its
+    // first key forces a descent.
+    const std::string* next = i + 1 < count ? &first_keys[i + 1] : nullptr;
+    bool disjoint_low =
+        lo.has_value() && next != nullptr && *next <= *lo;
+    bool disjoint_high = hi.has_value() && first_keys[i] > *hi;
+    if (disjoint_low || disjoint_high) continue;
+    bool cut_low = lo.has_value() && first_keys[i] < *lo;
+    bool cut_high =
+        hi.has_value() && (next == nullptr || *next > *hi);
+    if (cut_low || cut_high) {
+      MANIMAL_ASSIGN_OR_RETURN(
+          double inner, EstimateInNode(offsets[i], level - 1, lo, hi));
+      matched += inner * static_cast<double>(child_entries[i]);
+    } else {
+      matched += static_cast<double>(child_entries[i]);
+    }
+  }
+  return matched / static_cast<double>(total_entries);
+}
+
+Result<double> BTreeReader::EstimateRangeFraction(
+    const std::optional<std::string>& lo,
+    const std::optional<std::string>& hi) const {
+  if (num_entries_ == 0) return 0.0;
+  return EstimateInNode(root_offset_, height_, lo, hi);
+}
+
+Result<BTreeReader::Iterator> BTreeReader::SeekToFirst() const {
+  Iterator it(this);
+  MANIMAL_RETURN_IF_ERROR(it.LoadLeaf(first_leaf_offset_));
+  MANIMAL_RETURN_IF_ERROR(it.Next());
+  return it;
+}
+
+}  // namespace manimal::index

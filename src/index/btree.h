@@ -1,0 +1,178 @@
+// Disk-resident, bulk-loaded B+Tree (paper §2.1: "we can optimize such
+// code at runtime by using a B+Tree to scan just the relevant portion
+// of the input data").
+//
+// The tree is immutable after building — Manimal indexes are
+// materialized views produced by index-generation jobs, rebuilt rather
+// than updated, like relational indexes over append-only logs.
+//
+// File layout (little endian):
+//   [leaf nodes][internal levels bottom-up][footer]
+//   leaf:     varint n, n * (varint shared, varint unshared,
+//             key_suffix, varint plen, payload),
+//             fixed64 next_leaf_offset (0 = none)
+//             — keys are prefix-compressed against their predecessor
+//             within the leaf (sorted keys share long prefixes, which
+//             keeps selection indexes small relative to the data).
+//   internal: varint n, n * (varint klen, first_key, fixed64 child,
+//             varint subtree_entry_count) — a counted B+Tree, so range
+//             selectivity can be estimated exactly from the structure
+//   footer:   fixed64 root_offset, fixed32 height (1 = root is leaf),
+//             fixed64 num_entries, fixed32 magic
+//
+// Keys are opaque byte strings compared with memcmp; callers encode
+// with the ordered key codec so byte order equals value order.
+
+#ifndef MANIMAL_INDEX_BTREE_H_
+#define MANIMAL_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace manimal::index {
+
+class BTreeBuilder {
+ public:
+  struct Options {
+    // Flush a leaf/internal node when its encoded size reaches this.
+    uint32_t target_node_bytes = 16 * 1024;
+  };
+
+  static Result<std::unique_ptr<BTreeBuilder>> Create(
+      const std::string& path, Options options);
+  static Result<std::unique_ptr<BTreeBuilder>> Create(
+      const std::string& path) {
+    return Create(path, Options());
+  }
+
+  // Keys must arrive in non-decreasing order (duplicates allowed).
+  Status Add(std::string_view key, std::string_view payload);
+
+  // Writes internal levels and the footer; returns total file size.
+  Result<uint64_t> Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  BTreeBuilder(std::unique_ptr<WritableFile> file, Options options)
+      : options_(options), file_(std::move(file)) {}
+
+  Status FlushLeaf();
+  // Writes the oldest pending leaf; `has_next` controls its next-leaf
+  // pointer (leaves are buffered one deep so the last leaf can carry
+  // next=0 without seeking back).
+  Status WritePendingLeaf(bool has_next);
+
+  struct ChildRef {
+    std::string first_key;
+    uint64_t offset;
+    uint64_t entry_count;
+  };
+
+  Options options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t offset_ = 0;
+
+  std::string leaf_buf_;
+  uint32_t leaf_count_ = 0;
+  std::string leaf_first_key_;
+  std::string last_key_;
+  uint64_t num_entries_ = 0;
+
+  std::deque<std::string> pending_leaves_;
+  std::deque<std::string> pending_first_keys_;
+  std::deque<uint64_t> pending_counts_;
+
+  // children of the level currently being accumulated, bottom-up
+  std::vector<ChildRef> level0_;
+};
+
+class BTreeReader {
+ public:
+  static Result<std::unique_ptr<BTreeReader>> Open(const std::string& path);
+
+  uint64_t num_entries() const { return num_entries_; }
+  int height() const { return height_; }
+  uint64_t file_size() const { return file_->size(); }
+  uint64_t bytes_read() const { return file_->bytes_read(); }
+
+  // Forward iterator positioned by Seek.
+  class Iterator {
+   public:
+    Iterator() = default;  // invalid until assigned from Seek*
+
+    bool Valid() const { return valid_; }
+    std::string_view key() const { return key_; }
+    std::string_view payload() const { return payload_; }
+    Status Next();
+
+   private:
+    friend class BTreeReader;
+    explicit Iterator(const BTreeReader* reader) : reader_(reader) {}
+
+    Status LoadLeaf(uint64_t offset);
+    void ParseCurrent();
+
+    const BTreeReader* reader_ = nullptr;
+    std::string leaf_data_;
+    uint64_t next_leaf_ = 0;
+    uint32_t remaining_in_leaf_ = 0;
+    size_t pos_ = 0;
+    bool valid_ = false;
+    std::string key_, payload_;
+  };
+
+  // Positions at the first entry with key >= `key` (or > when
+  // `inclusive` is false). An empty key with inclusive=true scans from
+  // the start.
+  Result<Iterator> Seek(std::string_view key, bool inclusive = true) const;
+
+  Result<Iterator> SeekToFirst() const;
+
+  // First keys of the root's children (empty when the root is a
+  // leaf). Range scans can be parallelized by cutting intervals at
+  // these boundaries.
+  Result<std::vector<std::string>> RootChildKeys() const;
+
+  // Estimated fraction of entries whose key lies in [lo, hi] (either
+  // bound optional). The tree acts as its own equi-depth histogram:
+  // interior children fully inside the range count whole; boundary
+  // children are descended recursively (O(height) node reads per
+  // bound), so estimates stay sharp even for needle ranges.
+  Result<double> EstimateRangeFraction(
+      const std::optional<std::string>& lo,
+      const std::optional<std::string>& hi) const;
+
+ private:
+  BTreeReader(std::unique_ptr<RandomAccessFile> file)
+      : file_(std::move(file)) {}
+
+  Status Init();
+
+  // Finds the leaf that may contain `key`.
+  Result<uint64_t> FindLeaf(std::string_view key) const;
+
+  Result<double> EstimateInNode(uint64_t offset, int level,
+                                const std::optional<std::string>& lo,
+                                const std::optional<std::string>& hi) const;
+
+  Status ReadNode(uint64_t offset, std::string* out) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t root_offset_ = 0;
+  int height_ = 0;
+  uint64_t num_entries_ = 0;
+  uint64_t first_leaf_offset_ = 0;
+};
+
+}  // namespace manimal::index
+
+#endif  // MANIMAL_INDEX_BTREE_H_

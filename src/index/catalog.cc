@@ -1,0 +1,89 @@
+#include "index/catalog.h"
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/strings.h"
+
+namespace manimal::index {
+
+Result<Catalog> Catalog::Open(const std::string& path) {
+  Catalog catalog(path);
+  if (!FileExists(path)) return catalog;
+  MANIMAL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  int line_no = 0;
+  for (const std::string& line : SplitString(data, '\n')) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = SplitString(line, '\t');
+    if (cols.size() != 7) {
+      return Status::Corruption(
+          StrPrintf("catalog %s line %d: expected 7 columns, got %zu",
+                    path.c_str(), line_no, cols.size()));
+    }
+    CatalogEntry e;
+    e.input_file = UnescapeField(cols[0]);
+    e.signature = UnescapeField(cols[1]);
+    e.artifact_path = UnescapeField(cols[2]);
+    e.dict_path = UnescapeField(cols[3]);
+    e.base_path = UnescapeField(cols[4]);
+    e.artifact_bytes = std::strtoull(cols[5].c_str(), nullptr, 10);
+    e.input_bytes = std::strtoull(cols[6].c_str(), nullptr, 10);
+    catalog.entries_.push_back(std::move(e));
+  }
+  return catalog;
+}
+
+Status Catalog::Register(const CatalogEntry& entry) {
+  for (CatalogEntry& e : entries_) {
+    if (e.input_file == entry.input_file &&
+        e.signature == entry.signature) {
+      e = entry;
+      return Save();
+    }
+  }
+  entries_.push_back(entry);
+  return Save();
+}
+
+std::vector<CatalogEntry> Catalog::FindForInput(
+    const std::string& input_file) const {
+  std::vector<CatalogEntry> out;
+  for (const CatalogEntry& e : entries_) {
+    if (e.input_file == input_file) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<CatalogEntry> Catalog::Find(
+    const std::string& input_file, const std::string& signature) const {
+  for (const CatalogEntry& e : entries_) {
+    if (e.input_file == input_file && e.signature == signature) return e;
+  }
+  return std::nullopt;
+}
+
+Status Catalog::Save() const {
+  std::string out =
+      "# Manimal catalog: input\tsignature\tartifact\tdict\tbase\t"
+      "bytes\tinput_bytes\n";
+  for (const CatalogEntry& e : entries_) {
+    out += EscapeField(e.input_file);
+    out += '\t';
+    out += EscapeField(e.signature);
+    out += '\t';
+    out += EscapeField(e.artifact_path);
+    out += '\t';
+    out += EscapeField(e.dict_path);
+    out += '\t';
+    out += EscapeField(e.base_path);
+    out += '\t';
+    out += std::to_string(e.artifact_bytes);
+    out += '\t';
+    out += std::to_string(e.input_bytes);
+    out += '\n';
+  }
+  return WriteStringToFile(path_, out);
+}
+
+}  // namespace manimal::index

@@ -1,0 +1,70 @@
+// The Manimal catalog (paper Fig. 1 / §2.2): a persistent registry of
+// index artifacts keyed by (input file, index signature). The
+// optimizer consults it to find an indexed version of a job's input;
+// the admin's decision to actually run an index-generation program is
+// what populates it.
+//
+// Stored as a tab-separated text manifest (one artifact per line) so
+// it is inspectable with standard tools.
+
+#ifndef MANIMAL_INDEX_CATALOG_H_
+#define MANIMAL_INDEX_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace manimal::index {
+
+struct CatalogEntry {
+  std::string input_file;     // the raw data file this indexes
+  std::string signature;      // IndexGenProgram::Signature()
+  std::string artifact_path;  // the B+Tree / projected / encoded file
+  std::string dict_path;      // dictionary sidecar ("" if none)
+  // For B+Tree artifacts: the record file the tree's locators point
+  // into — the raw input itself, or a projected sibling copy ("" for
+  // non-B+Tree artifacts).
+  std::string base_path;
+  uint64_t artifact_bytes = 0;
+  uint64_t input_bytes = 0;
+
+  double SpaceOverhead() const {
+    return input_bytes == 0
+               ? 0.0
+               : static_cast<double>(artifact_bytes) /
+                     static_cast<double>(input_bytes);
+  }
+};
+
+class Catalog {
+ public:
+  // Loads the manifest at `path` if it exists; otherwise starts empty.
+  static Result<Catalog> Open(const std::string& path);
+
+  // Registers (or replaces, matching input_file+signature) an entry
+  // and persists the manifest.
+  Status Register(const CatalogEntry& entry);
+
+  // All artifacts available for an input file.
+  std::vector<CatalogEntry> FindForInput(const std::string& input_file) const;
+
+  // Exact lookup.
+  std::optional<CatalogEntry> Find(const std::string& input_file,
+                                   const std::string& signature) const;
+
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+
+ private:
+  explicit Catalog(std::string path) : path_(std::move(path)) {}
+
+  Status Save() const;
+
+  std::string path_;
+  std::vector<CatalogEntry> entries_;
+};
+
+}  // namespace manimal::index
+
+#endif  // MANIMAL_INDEX_CATALOG_H_

@@ -1,0 +1,263 @@
+#include "index/external_sorter.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace manimal::index {
+
+namespace {
+
+// Reader over one spilled run file (length-prefixed key/payload pairs).
+class RunReader {
+ public:
+  static Result<std::unique_ptr<RunReader>> Open(const std::string& path) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> f,
+                             SequentialFile::Open(path));
+    auto reader = std::unique_ptr<RunReader>(new RunReader(std::move(f)));
+    MANIMAL_RETURN_IF_ERROR(reader->Next());
+    return reader;
+  }
+
+  bool Valid() const { return valid_; }
+  std::string_view key() const { return key_; }
+  std::string_view payload() const { return payload_; }
+
+  Status Next() {
+    uint32_t key_len = 0;
+    MANIMAL_ASSIGN_OR_RETURN(bool have, ReadVarint32(&key_len));
+    if (!have) {
+      valid_ = false;
+      return Status::OK();
+    }
+    MANIMAL_RETURN_IF_ERROR(ReadExact(key_len, &key_));
+    uint32_t payload_len = 0;
+    MANIMAL_ASSIGN_OR_RETURN(have, ReadVarint32(&payload_len));
+    if (!have) return Status::Corruption("truncated run entry");
+    MANIMAL_RETURN_IF_ERROR(ReadExact(payload_len, &payload_));
+    valid_ = true;
+    return Status::OK();
+  }
+
+ private:
+  explicit RunReader(std::unique_ptr<SequentialFile> f)
+      : file_(std::move(f)) {}
+
+  // Returns false at clean EOF (no bytes).
+  Result<bool> ReadVarint32(uint32_t* out) {
+    uint32_t result = 0;
+    int shift = 0;
+    for (;;) {
+      std::string byte;
+      MANIMAL_RETURN_IF_ERROR(file_->Read(1, &byte));
+      if (byte.empty()) {
+        if (shift == 0) return false;
+        return Status::Corruption("truncated varint in run");
+      }
+      uint8_t b = static_cast<uint8_t>(byte[0]);
+      result |= static_cast<uint32_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 28) return Status::Corruption("varint overflow in run");
+    }
+    *out = result;
+    return true;
+  }
+
+  Status ReadExact(uint32_t n, std::string* out) {
+    MANIMAL_RETURN_IF_ERROR(file_->Read(n, out));
+    if (out->size() != n) return Status::Corruption("short run read");
+    return Status::OK();
+  }
+
+  std::unique_ptr<SequentialFile> file_;
+  std::string key_, payload_;
+  bool valid_ = false;
+};
+
+struct MemEntry {
+  uint32_t key_offset;
+  uint32_t key_len;
+  uint32_t payload_offset;
+  uint32_t payload_len;
+};
+
+// K-way merge over run readers plus an optional in-memory tail. The
+// arena is owned here so the in-memory entry offsets stay valid.
+class MergeStream : public SortedStream {
+ public:
+  MergeStream(std::vector<std::unique_ptr<RunReader>> runs,
+              std::string arena, std::vector<MemEntry> entries)
+      : runs_(std::move(runs)), arena_(std::move(arena)) {
+    in_memory_.reserve(entries.size());
+    for (const MemEntry& e : entries) {
+      in_memory_.emplace_back(
+          std::string_view(arena_.data() + e.key_offset, e.key_len),
+          std::string_view(arena_.data() + e.payload_offset,
+                           e.payload_len));
+    }
+    Advance();
+  }
+
+  bool Valid() const override { return valid_; }
+  std::string_view key() const override { return key_; }
+  std::string_view payload() const override { return payload_; }
+
+  Status Next() override {
+    MANIMAL_RETURN_IF_ERROR(Consume());
+    Advance();
+    return Status::OK();
+  }
+
+ private:
+  // Selects the smallest head among runs and the in-memory cursor.
+  void Advance() {
+    int best_run = -1;
+    bool use_memory = false;
+    std::string_view best_key;
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (!runs_[i]->Valid()) continue;
+      if (best_run < 0 && !use_memory) {
+        best_run = static_cast<int>(i);
+        best_key = runs_[i]->key();
+      } else if (runs_[i]->key() < best_key) {
+        best_run = static_cast<int>(i);
+        best_key = runs_[i]->key();
+      }
+    }
+    if (mem_pos_ < in_memory_.size()) {
+      if (best_run < 0 || in_memory_[mem_pos_].first < best_key) {
+        use_memory = true;
+      }
+    }
+    if (use_memory) {
+      current_run_ = -1;
+      key_ = in_memory_[mem_pos_].first;
+      payload_ = in_memory_[mem_pos_].second;
+      valid_ = true;
+    } else if (best_run >= 0) {
+      current_run_ = best_run;
+      key_ = runs_[best_run]->key();
+      payload_ = runs_[best_run]->payload();
+      valid_ = true;
+    } else {
+      valid_ = false;
+    }
+  }
+
+  Status Consume() {
+    if (!valid_) return Status::OK();
+    if (current_run_ < 0) {
+      ++mem_pos_;
+    } else {
+      MANIMAL_RETURN_IF_ERROR(runs_[current_run_]->Next());
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::unique_ptr<RunReader>> runs_;
+  std::string arena_;
+  std::vector<std::pair<std::string_view, std::string_view>> in_memory_;
+  size_t mem_pos_ = 0;
+  int current_run_ = -1;
+  bool valid_ = false;
+  std::string_view key_, payload_;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {
+  MANIMAL_CHECK(!options_.temp_dir.empty());
+}
+
+ExternalSorter::~ExternalSorter() {
+  for (const std::string& path : run_paths_) {
+    (void)RemoveFileIfExists(path);
+  }
+}
+
+Status ExternalSorter::Add(std::string_view key, std::string_view payload) {
+  MANIMAL_CHECK(!finished_);
+  Entry e;
+  e.key_offset = static_cast<uint32_t>(arena_.size());
+  e.key_len = static_cast<uint32_t>(key.size());
+  arena_.append(key);
+  e.payload_offset = static_cast<uint32_t>(arena_.size());
+  e.payload_len = static_cast<uint32_t>(payload.size());
+  arena_.append(payload);
+  buffered_.push_back(e);
+  ++stats_.entries;
+  if (arena_.size() >= options_.memory_budget_bytes ||
+      arena_.size() > (3u << 30)) {
+    MANIMAL_RETURN_IF_ERROR(SpillBuffer());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillBuffer() {
+  if (buffered_.empty()) return Status::OK();
+  std::sort(buffered_.begin(), buffered_.end(),
+            [this](const Entry& a, const Entry& b) {
+              std::string_view ka(arena_.data() + a.key_offset, a.key_len);
+              std::string_view kb(arena_.data() + b.key_offset, b.key_len);
+              return ka < kb;
+            });
+  std::string path = options_.temp_dir + "/" +
+                     StrPrintf("run-%04d.sort",
+                               static_cast<int>(run_paths_.size()));
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                           WritableFile::Create(path));
+  std::string buf;
+  for (const Entry& e : buffered_) {
+    buf.clear();
+    PutVarint32(&buf, e.key_len);
+    buf.append(arena_.data() + e.key_offset, e.key_len);
+    PutVarint32(&buf, e.payload_len);
+    buf.append(arena_.data() + e.payload_offset, e.payload_len);
+    MANIMAL_RETURN_IF_ERROR(f->Append(buf));
+  }
+  stats_.spilled_bytes += f->bytes_written();
+  MANIMAL_RETURN_IF_ERROR(f->Close());
+  run_paths_.push_back(std::move(path));
+  ++stats_.spilled_runs;
+  buffered_.clear();
+  arena_.clear();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
+  MANIMAL_CHECK(!finished_);
+  finished_ = true;
+
+  // Sort the in-memory tail.
+  std::sort(buffered_.begin(), buffered_.end(),
+            [this](const Entry& a, const Entry& b) {
+              std::string_view ka(arena_.data() + a.key_offset, a.key_len);
+              std::string_view kb(arena_.data() + b.key_offset, b.key_len);
+              return ka < kb;
+            });
+  std::vector<MemEntry> entries;
+  entries.reserve(buffered_.size());
+  for (const Entry& e : buffered_) {
+    entries.push_back(MemEntry{e.key_offset, e.key_len, e.payload_offset,
+                               e.payload_len});
+  }
+
+  std::vector<std::unique_ptr<RunReader>> runs;
+  runs.reserve(run_paths_.size());
+  for (const std::string& path : run_paths_) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> r,
+                             RunReader::Open(path));
+    runs.push_back(std::move(r));
+  }
+  // The arena moves into the stream, which rebuilds views against its
+  // own copy (offsets survive the move; raw pointers might not).
+  return std::unique_ptr<SortedStream>(new MergeStream(
+      std::move(runs), std::move(arena_), std::move(entries)));
+}
+
+}  // namespace manimal::index

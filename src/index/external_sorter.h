@@ -1,0 +1,82 @@
+// External merge sorter over (key-bytes, payload-bytes) entries.
+//
+// Used by the shuffle (sorting intermediate map output by partition
+// key) and by index generation (sorting records by index key before
+// B+Tree bulk-load). Entries are buffered in memory, spilled as sorted
+// runs when the budget is exceeded, and merged with a k-way heap.
+// Comparison is plain memcmp on the key bytes — callers encode keys
+// with the ordered key codec so byte order equals logical order.
+
+#ifndef MANIMAL_INDEX_EXTERNAL_SORTER_H_
+#define MANIMAL_INDEX_EXTERNAL_SORTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace manimal::index {
+
+// Streaming view over sorted (key, payload) entries.
+class SortedStream {
+ public:
+  virtual ~SortedStream() = default;
+
+  virtual bool Valid() const = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view payload() const = 0;
+  virtual Status Next() = 0;
+};
+
+class ExternalSorter {
+ public:
+  struct Options {
+    std::string temp_dir;  // required: where spill runs live
+    uint64_t memory_budget_bytes = 64u << 20;
+  };
+
+  struct Stats {
+    int spilled_runs = 0;
+    uint64_t spilled_bytes = 0;
+    uint64_t entries = 0;
+  };
+
+  explicit ExternalSorter(Options options);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  Status Add(std::string_view key, std::string_view payload);
+
+  // Finalizes input and returns the globally sorted stream. Call at
+  // most once; the sorter must outlive the stream.
+  Result<std::unique_ptr<SortedStream>> Finish();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint32_t key_offset;
+    uint32_t key_len;
+    uint32_t payload_offset;
+    uint32_t payload_len;
+  };
+
+  Status SpillBuffer();
+
+  Options options_;
+  Stats stats_;
+  std::string arena_;  // contiguous key/payload bytes of buffered entries
+  std::vector<Entry> buffered_;
+  std::vector<std::string> run_paths_;
+  bool finished_ = false;
+};
+
+}  // namespace manimal::index
+
+#endif  // MANIMAL_INDEX_EXTERNAL_SORTER_H_

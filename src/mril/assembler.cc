@@ -1,0 +1,297 @@
+#include "mril/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+#include "mril/builtins.h"
+#include "mril/verifier.h"
+
+namespace manimal::mril {
+
+namespace {
+
+// Strips comments and surrounding whitespace; returns empty for blank
+// lines.
+std::string CleanLine(std::string_view line) {
+  size_t hash = std::string_view::npos;
+  bool in_str = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_str = !in_str;
+    if (line[i] == '#' && !in_str) {
+      hash = i;
+      break;
+    }
+  }
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  size_t b = line.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  size_t e = line.find_last_not_of(" \t\r");
+  return std::string(line.substr(b, e - b + 1));
+}
+
+// Splits "mnemonic rest-of-line" at the first space run.
+std::pair<std::string, std::string> SplitFirstToken(const std::string& s) {
+  size_t sp = s.find_first_of(" \t");
+  if (sp == std::string::npos) return {s, ""};
+  size_t rest = s.find_first_not_of(" \t", sp);
+  return {s.substr(0, sp),
+          rest == std::string::npos ? "" : s.substr(rest)};
+}
+
+Result<FieldType> ParseFieldType(std::string_view s) {
+  if (s == "i64") return FieldType::kI64;
+  if (s == "f64") return FieldType::kF64;
+  if (s == "str") return FieldType::kStr;
+  if (s == "bool") return FieldType::kBool;
+  return Status::InvalidArgument("bad field type: " + std::string(s));
+}
+
+struct PendingJump {
+  int pc;
+  std::string label;
+  int line_no;
+};
+
+}  // namespace
+
+Result<Value> ParseValueLiteral(std::string_view token) {
+  if (token == "null") return Value::Null();
+  if (token == "bool:true" || token == "true") return Value::Bool(true);
+  if (token == "bool:false" || token == "false") return Value::Bool(false);
+  if (StartsWith(token, "i64:")) {
+    return Value::I64(std::strtoll(std::string(token.substr(4)).c_str(),
+                                   nullptr, 10));
+  }
+  if (StartsWith(token, "f64:")) {
+    return Value::F64(
+        std::strtod(std::string(token.substr(4)).c_str(), nullptr));
+  }
+  if (StartsWith(token, "str:\"") && EndsWith(token, "\"") &&
+      token.size() >= 6) {
+    return Value::Str(UnescapeField(token.substr(5, token.size() - 6)));
+  }
+  return Status::InvalidArgument("bad value literal: " + std::string(token));
+}
+
+Result<Program> AssembleProgram(std::string_view text) {
+  Program program;
+  bool saw_program_directive = false;
+
+  Function* current_fn = nullptr;
+  Function map_fn, reduce_fn;
+  bool have_map = false, have_reduce = false;
+  std::map<std::string, int> labels;
+  std::vector<PendingJump> pending;
+
+  auto finish_function = [&](int line_no) -> Status {
+    for (const PendingJump& j : pending) {
+      auto it = labels.find(j.label);
+      if (it == labels.end()) {
+        return Status::InvalidArgument(StrPrintf(
+            "line %d: unresolved label '%s'", j.line_no, j.label.c_str()));
+      }
+      current_fn->code[j.pc].operand = it->second;
+    }
+    // Allow labels pointing one past the end.
+    bool needs_pad = false;
+    for (const auto& [name, target] : labels) {
+      (void)name;
+      if (target == static_cast<int>(current_fn->code.size())) {
+        needs_pad = true;
+      }
+    }
+    if (needs_pad || current_fn->code.empty() ||
+        (current_fn->code.back().op != Opcode::kReturn &&
+         current_fn->code.back().op != Opcode::kJmp)) {
+      current_fn->code.push_back(Instruction{Opcode::kReturn, 0});
+    }
+    (void)line_no;
+    labels.clear();
+    pending.clear();
+    current_fn = nullptr;
+    return Status::OK();
+  };
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(
+          StrPrintf("line %d: %s", line_no, why.c_str()));
+    };
+
+    // ---- directives ----
+    if (line[0] == '.') {
+      auto [directive, rest] = SplitFirstToken(line);
+      if (directive == ".program") {
+        if (rest.empty()) return bad("missing program name");
+        program.name = rest;
+        saw_program_directive = true;
+      } else if (directive == ".key_type") {
+        MANIMAL_ASSIGN_OR_RETURN(program.key_type, ParseFieldType(rest));
+      } else if (directive == ".value_schema") {
+        if (rest == "<opaque>") {
+          program.value_param_kind = ValueParamKind::kOpaque;
+          program.value_schema = Schema::Opaque();
+        } else {
+          MANIMAL_ASSIGN_OR_RETURN(program.value_schema,
+                                   Schema::Parse(rest));
+          program.value_param_kind = ValueParamKind::kRecord;
+        }
+      } else if (directive == ".requires_sorted_output") {
+        program.requires_sorted_output = true;
+      } else if (directive == ".member") {
+        auto [name, literal] = SplitFirstToken(rest);
+        if (name.empty() || literal.empty()) {
+          return bad(".member needs <name> <literal>");
+        }
+        MANIMAL_ASSIGN_OR_RETURN(Value init, ParseValueLiteral(literal));
+        program.members.push_back(MemberVar{name, std::move(init)});
+      } else if (directive == ".func") {
+        if (current_fn != nullptr) return bad("nested .func");
+        auto [fname, opts] = SplitFirstToken(rest);
+        Function* target = nullptr;
+        if (fname == "map") {
+          if (have_map) return bad("duplicate map function");
+          target = &map_fn;
+          have_map = true;
+        } else if (fname == "reduce") {
+          if (have_reduce) return bad("duplicate reduce function");
+          target = &reduce_fn;
+          have_reduce = true;
+        } else {
+          return bad("function must be 'map' or 'reduce'");
+        }
+        target->name = fname;
+        target->num_params = 2;
+        target->num_locals = 0;
+        if (!opts.empty()) {
+          if (!StartsWith(opts, "locals=")) {
+            return bad("expected locals=<n>");
+          }
+          target->num_locals =
+              static_cast<int>(std::strtol(opts.c_str() + 7, nullptr, 10));
+        }
+        current_fn = target;
+      } else if (directive == ".endfunc") {
+        if (current_fn == nullptr) return bad(".endfunc outside .func");
+        MANIMAL_RETURN_IF_ERROR(finish_function(line_no));
+      } else {
+        return bad("unknown directive: " + directive);
+      }
+      continue;
+    }
+
+    // ---- labels ----
+    if (line.back() == ':') {
+      if (current_fn == nullptr) return bad("label outside .func");
+      std::string name = line.substr(0, line.size() - 1);
+      if (!labels.emplace(name, static_cast<int>(current_fn->code.size()))
+               .second) {
+        return bad("duplicate label: " + name);
+      }
+      continue;
+    }
+
+    // ---- instructions ----
+    if (current_fn == nullptr) return bad("instruction outside .func");
+    auto [mnemonic, operand_text] = SplitFirstToken(line);
+    auto op = OpcodeFromMnemonic(mnemonic);
+    if (!op.has_value()) return bad("unknown mnemonic: " + mnemonic);
+    const OpcodeInfo& info = GetOpcodeInfo(*op);
+
+    Instruction inst;
+    inst.op = *op;
+    if (!info.has_operand) {
+      if (!operand_text.empty()) return bad("unexpected operand");
+      current_fn->code.push_back(inst);
+      continue;
+    }
+    if (operand_text.empty()) return bad("missing operand");
+
+    switch (*op) {
+      case Opcode::kLoadConst: {
+        MANIMAL_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(operand_text));
+        inst.operand = program.AddConstant(v);
+        break;
+      }
+      case Opcode::kGetField: {
+        if (std::isdigit(static_cast<unsigned char>(operand_text[0]))) {
+          inst.operand = static_cast<int>(
+              std::strtol(operand_text.c_str(), nullptr, 10));
+        } else {
+          auto idx = program.value_schema.FieldIndex(operand_text);
+          if (!idx.has_value()) {
+            return bad("unknown field: " + operand_text);
+          }
+          inst.operand = *idx;
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const Builtin* b =
+            BuiltinRegistry::Get().FindByName(operand_text);
+        if (b == nullptr) return bad("unknown builtin: " + operand_text);
+        inst.operand = b->id;
+        break;
+      }
+      case Opcode::kJmp:
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse: {
+        pending.push_back(PendingJump{
+            static_cast<int>(current_fn->code.size()), operand_text,
+            line_no});
+        inst.operand = -1;
+        break;
+      }
+      case Opcode::kLoadMember:
+      case Opcode::kStoreMember: {
+        if (std::isdigit(static_cast<unsigned char>(operand_text[0]))) {
+          inst.operand = static_cast<int>(
+              std::strtol(operand_text.c_str(), nullptr, 10));
+        } else {
+          auto idx = program.MemberIndex(operand_text);
+          if (!idx.has_value()) {
+            return bad("unknown member: " + operand_text);
+          }
+          inst.operand = *idx;
+        }
+        break;
+      }
+      default:
+        inst.operand = static_cast<int>(
+            std::strtol(operand_text.c_str(), nullptr, 10));
+        break;
+    }
+    current_fn->code.push_back(inst);
+  }
+
+  if (current_fn != nullptr) {
+    return Status::InvalidArgument("missing .endfunc at end of input");
+  }
+  if (!saw_program_directive) {
+    return Status::InvalidArgument("missing .program directive");
+  }
+  if (!have_map) {
+    return Status::InvalidArgument("program has no map function");
+  }
+  program.map_fn = std::move(map_fn);
+  if (have_reduce) program.reduce_fn = std::move(reduce_fn);
+
+  MANIMAL_RETURN_IF_ERROR(VerifyProgram(program));
+  return program;
+}
+
+}  // namespace manimal::mril

@@ -1,0 +1,43 @@
+// Textual assembler for MRIL. Used by tests, documentation, and anyone
+// who wants to write a UDF without linking C++ (the builder API is the
+// other frontend).
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   .program <name>
+//   .key_type i64|f64|str|bool
+//   .value_schema <name>:<type>,... | <opaque>
+//   .requires_sorted_output            (optional)
+//   .member <name> <literal>           (zero or more)
+//   .func map|reduce locals=<n>
+//     <label>:                         (jump target)
+//     <mnemonic> [operand]
+//   .endfunc
+//
+// Operands:
+//   load_const   a literal: i64:<n>, f64:<x>, str:"...", bool:true/false
+//   get_field    a field name from the value schema, or an index
+//   call         a builtin name, e.g. str.contains
+//   jmp*         a label
+//   others       a decimal integer
+
+#ifndef MANIMAL_MRIL_ASSEMBLER_H_
+#define MANIMAL_MRIL_ASSEMBLER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "mril/program.h"
+
+namespace manimal::mril {
+
+// Parses and verifies a program from assembler text.
+Result<Program> AssembleProgram(std::string_view text);
+
+// Parses a single literal token (i64:5, f64:1.5, str:"x", bool:true,
+// null).
+Result<Value> ParseValueLiteral(std::string_view token);
+
+}  // namespace manimal::mril
+
+#endif  // MANIMAL_MRIL_ASSEMBLER_H_

@@ -1,0 +1,194 @@
+#include "mril/builder.h"
+
+#include "common/check.h"
+#include "mril/builtins.h"
+
+namespace manimal::mril {
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder* parent, std::string name,
+                                 int num_params)
+    : parent_(parent) {
+  fn_.name = std::move(name);
+  fn_.num_params = num_params;
+}
+
+FunctionBuilder& FunctionBuilder::Push(Opcode op, int32_t operand) {
+  fn_.code.push_back(Instruction{op, operand});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::LoadConst(const Value& v) {
+  return Push(Opcode::kLoadConst, parent_->program_.AddConstant(v));
+}
+
+FunctionBuilder& FunctionBuilder::LoadParam(int idx) {
+  MANIMAL_CHECK(idx >= 0 && idx < fn_.num_params);
+  return Push(Opcode::kLoadParam, idx);
+}
+
+FunctionBuilder& FunctionBuilder::LoadLocal(int slot) {
+  MANIMAL_CHECK(slot >= 0 && slot < fn_.num_locals);
+  return Push(Opcode::kLoadLocal, slot);
+}
+
+FunctionBuilder& FunctionBuilder::StoreLocal(int slot) {
+  MANIMAL_CHECK(slot >= 0 && slot < fn_.num_locals);
+  return Push(Opcode::kStoreLocal, slot);
+}
+
+FunctionBuilder& FunctionBuilder::LoadMember(std::string_view name) {
+  auto idx = parent_->program_.MemberIndex(name);
+  MANIMAL_CHECK_MSG(idx.has_value(), "unknown member variable");
+  return Push(Opcode::kLoadMember, *idx);
+}
+
+FunctionBuilder& FunctionBuilder::StoreMember(std::string_view name) {
+  auto idx = parent_->program_.MemberIndex(name);
+  MANIMAL_CHECK_MSG(idx.has_value(), "unknown member variable");
+  return Push(Opcode::kStoreMember, *idx);
+}
+
+FunctionBuilder& FunctionBuilder::GetField(std::string_view field_name) {
+  const Program& p = parent_->program_;
+  MANIMAL_CHECK_MSG(p.value_param_kind == ValueParamKind::kRecord,
+                    "GetField on opaque value parameter");
+  auto idx = p.value_schema.FieldIndex(field_name);
+  MANIMAL_CHECK_MSG(idx.has_value(), "unknown field name");
+  return Push(Opcode::kGetField, *idx);
+}
+
+FunctionBuilder& FunctionBuilder::GetFieldIndex(int idx) {
+  return Push(Opcode::kGetField, idx);
+}
+
+FunctionBuilder& FunctionBuilder::Dup() { return Push(Opcode::kDup); }
+FunctionBuilder& FunctionBuilder::Pop() { return Push(Opcode::kPop); }
+FunctionBuilder& FunctionBuilder::Swap() { return Push(Opcode::kSwap); }
+FunctionBuilder& FunctionBuilder::Add() { return Push(Opcode::kAdd); }
+FunctionBuilder& FunctionBuilder::Sub() { return Push(Opcode::kSub); }
+FunctionBuilder& FunctionBuilder::Mul() { return Push(Opcode::kMul); }
+FunctionBuilder& FunctionBuilder::Div() { return Push(Opcode::kDiv); }
+FunctionBuilder& FunctionBuilder::Mod() { return Push(Opcode::kMod); }
+FunctionBuilder& FunctionBuilder::Neg() { return Push(Opcode::kNeg); }
+FunctionBuilder& FunctionBuilder::CmpLt() { return Push(Opcode::kCmpLt); }
+FunctionBuilder& FunctionBuilder::CmpLe() { return Push(Opcode::kCmpLe); }
+FunctionBuilder& FunctionBuilder::CmpGt() { return Push(Opcode::kCmpGt); }
+FunctionBuilder& FunctionBuilder::CmpGe() { return Push(Opcode::kCmpGe); }
+FunctionBuilder& FunctionBuilder::CmpEq() { return Push(Opcode::kCmpEq); }
+FunctionBuilder& FunctionBuilder::CmpNe() { return Push(Opcode::kCmpNe); }
+FunctionBuilder& FunctionBuilder::And() { return Push(Opcode::kAnd); }
+FunctionBuilder& FunctionBuilder::Or() { return Push(Opcode::kOr); }
+FunctionBuilder& FunctionBuilder::Not() { return Push(Opcode::kNot); }
+
+FunctionBuilder& FunctionBuilder::Jmp(std::string_view label) {
+  pending_jumps_.emplace_back(static_cast<int>(fn_.code.size()),
+                              std::string(label));
+  return Push(Opcode::kJmp, -1);
+}
+
+FunctionBuilder& FunctionBuilder::JmpIfTrue(std::string_view label) {
+  pending_jumps_.emplace_back(static_cast<int>(fn_.code.size()),
+                              std::string(label));
+  return Push(Opcode::kJmpIfTrue, -1);
+}
+
+FunctionBuilder& FunctionBuilder::JmpIfFalse(std::string_view label) {
+  pending_jumps_.emplace_back(static_cast<int>(fn_.code.size()),
+                              std::string(label));
+  return Push(Opcode::kJmpIfFalse, -1);
+}
+
+FunctionBuilder& FunctionBuilder::Label(std::string_view label) {
+  auto [it, inserted] =
+      labels_.emplace(std::string(label), static_cast<int>(fn_.code.size()));
+  MANIMAL_CHECK_MSG(inserted, "duplicate label");
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Call(std::string_view builtin_name) {
+  const Builtin* b = BuiltinRegistry::Get().FindByName(builtin_name);
+  MANIMAL_CHECK_MSG(b != nullptr, "unknown builtin");
+  return Push(Opcode::kCall, b->id);
+}
+
+FunctionBuilder& FunctionBuilder::Emit() { return Push(Opcode::kEmit); }
+FunctionBuilder& FunctionBuilder::Log() { return Push(Opcode::kLog); }
+FunctionBuilder& FunctionBuilder::Ret() { return Push(Opcode::kReturn); }
+
+int FunctionBuilder::NewLocal() { return fn_.num_locals++; }
+
+Function FunctionBuilder::Finish() {
+  for (const auto& [pc, label] : pending_jumps_) {
+    auto it = labels_.find(label);
+    MANIMAL_CHECK_MSG(it != labels_.end(), "unresolved label");
+    fn_.code[pc].operand = it->second;
+  }
+  // A label may point one past the last instruction; give it a landing
+  // pad.
+  bool needs_pad = false;
+  for (const auto& [label, target] : labels_) {
+    if (target == static_cast<int>(fn_.code.size())) needs_pad = true;
+  }
+  if (needs_pad || fn_.code.empty() ||
+      fn_.code.back().op != Opcode::kReturn) {
+    fn_.code.push_back(Instruction{Opcode::kReturn, 0});
+  }
+  return fn_;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+ProgramBuilder& ProgramBuilder::SetKeyType(FieldType t) {
+  program_.key_type = t;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SetValueSchema(Schema schema) {
+  MANIMAL_CHECK_MSG(!schema.opaque(), "use SetOpaqueValue()");
+  program_.value_param_kind = ValueParamKind::kRecord;
+  program_.value_schema = std::move(schema);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SetOpaqueValue() {
+  program_.value_param_kind = ValueParamKind::kOpaque;
+  program_.value_schema = Schema::Opaque();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::RequireSortedOutput() {
+  program_.requires_sorted_output = true;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddMember(std::string name, Value initial) {
+  program_.members.push_back(MemberVar{std::move(name), std::move(initial)});
+  return *this;
+}
+
+FunctionBuilder& ProgramBuilder::Map() {
+  if (map_builder_ == nullptr) {
+    map_builder_.reset(new FunctionBuilder(this, "map", 2));
+  }
+  return *map_builder_;
+}
+
+FunctionBuilder& ProgramBuilder::Reduce() {
+  if (reduce_builder_ == nullptr) {
+    reduce_builder_.reset(new FunctionBuilder(this, "reduce", 2));
+  }
+  return *reduce_builder_;
+}
+
+Program ProgramBuilder::Build() {
+  MANIMAL_CHECK_MSG(map_builder_ != nullptr, "program has no map()");
+  program_.map_fn = map_builder_->Finish();
+  if (reduce_builder_ != nullptr) {
+    program_.reduce_fn = reduce_builder_->Finish();
+  }
+  return program_;
+}
+
+}  // namespace manimal::mril

@@ -1,0 +1,120 @@
+// Fluent construction API for MRIL programs — the "compiler frontend"
+// used by the workload definitions, tests, and examples. Label-based
+// jumps are resolved at Build() time.
+
+#ifndef MANIMAL_MRIL_BUILDER_H_
+#define MANIMAL_MRIL_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mril/program.h"
+
+namespace manimal::mril {
+
+class ProgramBuilder;
+
+class FunctionBuilder {
+ public:
+  // Stack / constants / parameters.
+  FunctionBuilder& LoadConst(const Value& v);
+  FunctionBuilder& LoadI64(int64_t v) { return LoadConst(Value::I64(v)); }
+  FunctionBuilder& LoadF64(double v) { return LoadConst(Value::F64(v)); }
+  FunctionBuilder& LoadStr(std::string s) {
+    return LoadConst(Value::Str(std::move(s)));
+  }
+  FunctionBuilder& LoadParam(int idx);
+  FunctionBuilder& LoadLocal(int slot);
+  FunctionBuilder& StoreLocal(int slot);
+  FunctionBuilder& LoadMember(std::string_view name);
+  FunctionBuilder& StoreMember(std::string_view name);
+
+  // Field access on the map value record: by name (resolved against the
+  // program's value schema) or by index.
+  FunctionBuilder& GetField(std::string_view field_name);
+  FunctionBuilder& GetFieldIndex(int idx);
+
+  FunctionBuilder& Dup();
+  FunctionBuilder& Pop();
+  FunctionBuilder& Swap();
+
+  FunctionBuilder& Add();
+  FunctionBuilder& Sub();
+  FunctionBuilder& Mul();
+  FunctionBuilder& Div();
+  FunctionBuilder& Mod();
+  FunctionBuilder& Neg();
+
+  FunctionBuilder& CmpLt();
+  FunctionBuilder& CmpLe();
+  FunctionBuilder& CmpGt();
+  FunctionBuilder& CmpGe();
+  FunctionBuilder& CmpEq();
+  FunctionBuilder& CmpNe();
+  FunctionBuilder& And();
+  FunctionBuilder& Or();
+  FunctionBuilder& Not();
+
+  FunctionBuilder& Jmp(std::string_view label);
+  FunctionBuilder& JmpIfTrue(std::string_view label);
+  FunctionBuilder& JmpIfFalse(std::string_view label);
+  FunctionBuilder& Label(std::string_view label);
+
+  // Calls a builtin by name; aborts if unknown (builder misuse is a
+  // programming error, not user input).
+  FunctionBuilder& Call(std::string_view builtin_name);
+
+  FunctionBuilder& Emit();
+  FunctionBuilder& Log();
+  FunctionBuilder& Ret();
+
+  // Allocates a fresh local slot.
+  int NewLocal();
+
+ private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder* parent, std::string name, int num_params);
+
+  FunctionBuilder& Push(Opcode op, int32_t operand = 0);
+  Function Finish();
+
+  ProgramBuilder* parent_;
+  Function fn_;
+  // label -> instruction index
+  std::map<std::string, int, std::less<>> labels_;
+  // instruction index -> label (patched at Finish)
+  std::vector<std::pair<int, std::string>> pending_jumps_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  ProgramBuilder& SetKeyType(FieldType t);
+  ProgramBuilder& SetValueSchema(Schema schema);
+  // Declares the map value parameter as a custom-serialized blob (the
+  // AbstractTuple model).
+  ProgramBuilder& SetOpaqueValue();
+  ProgramBuilder& RequireSortedOutput();
+  ProgramBuilder& AddMember(std::string name, Value initial);
+
+  // Begins the map()/reduce() body; exactly one Map() is required.
+  FunctionBuilder& Map();
+  FunctionBuilder& Reduce();
+
+  // Finalizes the program (resolves labels). Aborts on builder misuse
+  // such as unresolved labels.
+  Program Build();
+
+ private:
+  friend class FunctionBuilder;
+  Program program_;
+  std::unique_ptr<FunctionBuilder> map_builder_;
+  std::unique_ptr<FunctionBuilder> reduce_builder_;
+};
+
+}  // namespace manimal::mril
+
+#endif  // MANIMAL_MRIL_BUILDER_H_

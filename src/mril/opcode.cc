@@ -1,0 +1,35 @@
+#include "mril/opcode.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace manimal::mril {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+#define MANIMAL_OPCODE_INFO(name, mnemonic, has_operand, pops, pushes) \
+  OpcodeInfo{mnemonic, has_operand, pops, pushes},
+    MANIMAL_OPCODE_LIST(MANIMAL_OPCODE_INFO)
+#undef MANIMAL_OPCODE_INFO
+}};
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  int idx = static_cast<int>(op);
+  MANIMAL_CHECK(idx >= 0 && idx < kNumOpcodes);
+  return kOpcodeTable[idx];
+}
+
+std::optional<Opcode> OpcodeFromMnemonic(std::string_view mnemonic) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kOpcodeTable[i].mnemonic == mnemonic) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace manimal::mril

@@ -1,0 +1,100 @@
+#include "mril/program.h"
+
+#include "common/strings.h"
+#include "mril/builtins.h"
+
+namespace manimal::mril {
+
+int Program::AddConstant(const Value& v) {
+  for (size_t i = 0; i < constants.size(); ++i) {
+    if (!constants[i].is_handle() && !constants[i].is_list() &&
+        constants[i].kind() == v.kind() && constants[i] == v) {
+      return static_cast<int>(i);
+    }
+  }
+  constants.push_back(v);
+  return static_cast<int>(constants.size() - 1);
+}
+
+std::optional<int> Program::MemberIndex(std::string_view name) const {
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::string FormatInstruction(const Program& program, const Function& fn,
+                              int pc) {
+  const Instruction& inst = fn.code.at(pc);
+  const OpcodeInfo& info = GetOpcodeInfo(inst.op);
+  std::string out = StrPrintf("%4d: %-14s", pc,
+                              std::string(info.mnemonic).c_str());
+  if (!info.has_operand) return out;
+  out += StrPrintf(" %d", inst.operand);
+  // Resolve what the operand means for the reader.
+  switch (inst.op) {
+    case Opcode::kLoadConst:
+      if (inst.operand >= 0 &&
+          inst.operand < static_cast<int>(program.constants.size())) {
+        out += "    ; " + program.constants[inst.operand].ToString();
+      }
+      break;
+    case Opcode::kLoadMember:
+    case Opcode::kStoreMember:
+      if (inst.operand >= 0 &&
+          inst.operand < static_cast<int>(program.members.size())) {
+        out += "    ; " + program.members[inst.operand].name;
+      }
+      break;
+    case Opcode::kGetField:
+      if (!program.value_schema.opaque() && inst.operand >= 0 &&
+          inst.operand < program.value_schema.num_fields()) {
+        out += "    ; ." + program.value_schema.field(inst.operand).name;
+      }
+      break;
+    case Opcode::kCall: {
+      const Builtin* b = BuiltinRegistry::Get().FindById(inst.operand);
+      if (b != nullptr) out += "    ; " + b->name;
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+std::string DisassembleFunction(const Program& program, const Function& fn) {
+  std::string out;
+  out += StrPrintf(".func %s params=%d locals=%d\n", fn.name.c_str(),
+                   fn.num_params, fn.num_locals);
+  for (int pc = 0; pc < static_cast<int>(fn.code.size()); ++pc) {
+    out += FormatInstruction(program, fn, pc);
+    out += "\n";
+  }
+  out += ".endfunc\n";
+  return out;
+}
+
+std::string Program::Disassemble() const {
+  std::string out = ".program " + name + "\n";
+  out += StrPrintf(".key_type %s\n", FieldTypeName(key_type));
+  if (value_param_kind == ValueParamKind::kOpaque) {
+    out += ".value_schema <opaque>\n";
+  } else {
+    out += ".value_schema " + value_schema.ToString() + "\n";
+  }
+  if (requires_sorted_output) out += ".requires_sorted_output\n";
+  for (const MemberVar& m : members) {
+    out += ".member " + m.name + " = " + m.initial_value.ToString() + "\n";
+  }
+  for (size_t i = 0; i < constants.size(); ++i) {
+    out += StrPrintf(".const %zu = %s\n", i, constants[i].ToString().c_str());
+  }
+  out += DisassembleFunction(*this, map_fn);
+  if (reduce_fn.has_value()) {
+    out += DisassembleFunction(*this, *reduce_fn);
+  }
+  return out;
+}
+
+}  // namespace manimal::mril

@@ -1,0 +1,97 @@
+// MRIL program containers: Instruction, Function, Program.
+//
+// A Program is the compiled unit a user submits to Manimal: the map()
+// function (mandatory), an optional reduce() function, class member
+// variables (state that persists across map() invocations — the
+// Figure 2 hazard), a constant pool, and the declared input types of
+// map(): the key schema and value schema, which "effectively declare
+// the file's schema" (paper §2.2).
+
+#ifndef MANIMAL_MRIL_PROGRAM_H_
+#define MANIMAL_MRIL_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mril/opcode.h"
+#include "serde/schema.h"
+#include "serde/value.h"
+
+namespace manimal::mril {
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  int32_t operand = 0;
+
+  bool operator==(const Instruction& other) const = default;
+};
+
+struct MemberVar {
+  std::string name;
+  Value initial_value;
+};
+
+// Which VM parameter the map()'s record argument occupies.
+inline constexpr int kMapKeyParam = 0;
+inline constexpr int kMapValueParam = 1;
+inline constexpr int kReduceKeyParam = 0;
+inline constexpr int kReduceValuesParam = 1;
+
+struct Function {
+  std::string name;
+  int num_params = 2;
+  int num_locals = 0;
+  std::vector<Instruction> code;
+};
+
+// What the declared type of the map() *value* parameter is.
+enum class ValueParamKind {
+  kRecord,  // structured record described by value_schema
+  kOpaque,  // custom serialization: a blob the analyzer can't see into
+};
+
+class Program {
+ public:
+  std::string name;
+
+  // Declared input types of map().
+  FieldType key_type = FieldType::kI64;
+  ValueParamKind value_param_kind = ValueParamKind::kRecord;
+  Schema value_schema;
+
+  // If true, the job's contract requires final output in sorted key
+  // order, which vetoes direct-operation compression of the map output
+  // key (paper §2.1, footnote 1).
+  bool requires_sorted_output = false;
+
+  std::vector<MemberVar> members;
+  std::vector<Value> constants;
+
+  Function map_fn;
+  std::optional<Function> reduce_fn;
+
+  // Adds a constant, deduplicating scalars; returns pool index.
+  int AddConstant(const Value& v);
+
+  std::optional<int> MemberIndex(std::string_view name) const;
+
+  bool has_reduce() const { return reduce_fn.has_value(); }
+
+  // Full human-readable textual disassembly.
+  std::string Disassemble() const;
+};
+
+// Disassembles a single function body with one instruction per line.
+std::string DisassembleFunction(const Program& program, const Function& fn);
+
+// Renders one instruction, resolving operand meaning (constant value,
+// builtin name, field name) against the program.
+std::string FormatInstruction(const Program& program, const Function& fn,
+                              int pc);
+
+}  // namespace manimal::mril
+
+#endif  // MANIMAL_MRIL_PROGRAM_H_

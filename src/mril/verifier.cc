@@ -1,0 +1,183 @@
+#include "mril/verifier.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "mril/builtins.h"
+
+namespace manimal::mril {
+
+namespace {
+
+Status Err(const Function& fn, int pc, const std::string& what) {
+  return Status::InvalidArgument(
+      StrPrintf("%s@%d: %s", fn.name.c_str(), pc, what.c_str()));
+}
+
+// Number of values this instruction pops (resolving kCall arity).
+Result<int> PopCount(const Function& fn, int pc) {
+  const Instruction& inst = fn.code[pc];
+  const OpcodeInfo& info = GetOpcodeInfo(inst.op);
+  if (inst.op != Opcode::kCall) return info.pops;
+  const Builtin* b = BuiltinRegistry::Get().FindById(inst.operand);
+  if (b == nullptr) return Err(fn, pc, "unknown builtin id");
+  return b->arity;
+}
+
+}  // namespace
+
+Status VerifyFunction(const Program& program, const Function& fn) {
+  const int n = static_cast<int>(fn.code.size());
+  if (n == 0) return Err(fn, 0, "empty function body");
+  if (fn.code.back().op != Opcode::kJmp &&
+      fn.code.back().op != Opcode::kReturn) {
+    return Err(fn, n - 1, "function may fall off the end");
+  }
+
+  // --- operand range checks ---
+  for (int pc = 0; pc < n; ++pc) {
+    const Instruction& inst = fn.code[pc];
+    int32_t x = inst.operand;
+    switch (inst.op) {
+      case Opcode::kLoadConst:
+        if (x < 0 || x >= static_cast<int>(program.constants.size())) {
+          return Err(fn, pc, "constant index out of range");
+        }
+        break;
+      case Opcode::kLoadParam:
+        if (x < 0 || x >= fn.num_params) {
+          return Err(fn, pc, "parameter index out of range");
+        }
+        break;
+      case Opcode::kLoadLocal:
+      case Opcode::kStoreLocal:
+        if (x < 0 || x >= fn.num_locals) {
+          return Err(fn, pc, "local slot out of range");
+        }
+        break;
+      case Opcode::kLoadMember:
+      case Opcode::kStoreMember:
+        if (x < 0 || x >= static_cast<int>(program.members.size())) {
+          return Err(fn, pc, "member index out of range");
+        }
+        break;
+      case Opcode::kGetField:
+        if (fn.name == "map") {
+          if (program.value_param_kind == ValueParamKind::kOpaque) {
+            return Err(fn, pc,
+                       "get_field on opaque value parameter (use the "
+                       "opaque.get_* builtins)");
+          }
+          if (x < 0 || x >= program.value_schema.num_fields()) {
+            return Err(fn, pc, "field index out of range for value schema");
+          }
+        } else {
+          if (x < 0) return Err(fn, pc, "negative field index");
+        }
+        break;
+      case Opcode::kJmp:
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse:
+        if (x < 0 || x >= n) {
+          return Err(fn, pc, "jump target out of range");
+        }
+        break;
+      case Opcode::kCall:
+        if (BuiltinRegistry::Get().FindById(x) == nullptr) {
+          return Err(fn, pc, "unknown builtin id");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- stack-depth dataflow ---
+  std::vector<int> depth_at(n, -1);  // -1: not yet reached
+  std::vector<int> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+
+  auto propagate = [&](int target, int depth) -> Status {
+    if (depth < 0) {
+      return Status::InvalidArgument(
+          StrPrintf("%s: negative stack depth into %d", fn.name.c_str(),
+                    target));
+    }
+    if (depth_at[target] == -1) {
+      depth_at[target] = depth;
+      worklist.push_back(target);
+    } else if (depth_at[target] != depth) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s@%d: inconsistent stack depth (%d vs %d)", fn.name.c_str(),
+          target, depth_at[target], depth));
+    }
+    return Status::OK();
+  };
+
+  while (!worklist.empty()) {
+    int pc = worklist.back();
+    worklist.pop_back();
+    const Instruction& inst = fn.code[pc];
+    const OpcodeInfo& info = GetOpcodeInfo(inst.op);
+    MANIMAL_ASSIGN_OR_RETURN(int pops, PopCount(fn, pc));
+    int depth = depth_at[pc];
+    if (depth < pops) {
+      return Err(fn, pc, StrPrintf("stack underflow (depth %d, pops %d)",
+                                   depth, pops));
+    }
+    int after = depth - pops + info.pushes;
+
+    switch (inst.op) {
+      case Opcode::kReturn:
+        if (after != 0) {
+          return Err(fn, pc, StrPrintf("return with stack depth %d", after));
+        }
+        break;
+      case Opcode::kJmp:
+        if (after != 0) {
+          return Err(fn, pc, "jump with non-empty stack");
+        }
+        MANIMAL_RETURN_IF_ERROR(propagate(inst.operand, 0));
+        break;
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse:
+        if (after != 0) {
+          return Err(fn, pc, "conditional jump with non-empty stack");
+        }
+        MANIMAL_RETURN_IF_ERROR(propagate(inst.operand, 0));
+        if (pc + 1 >= n) return Err(fn, pc, "branch at end of function");
+        MANIMAL_RETURN_IF_ERROR(propagate(pc + 1, 0));
+        break;
+      default:
+        if (pc + 1 >= n) return Err(fn, pc, "falls off end of function");
+        MANIMAL_RETURN_IF_ERROR(propagate(pc + 1, after));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyProgram(const Program& program) {
+  if (program.map_fn.name != "map") {
+    return Status::InvalidArgument("map function must be named 'map'");
+  }
+  if (program.map_fn.num_params != 2) {
+    return Status::InvalidArgument("map() must take (key, value)");
+  }
+  MANIMAL_RETURN_IF_ERROR(VerifyFunction(program, program.map_fn));
+  if (program.reduce_fn.has_value()) {
+    if (program.reduce_fn->num_params != 2) {
+      return Status::InvalidArgument("reduce() must take (key, values)");
+    }
+    MANIMAL_RETURN_IF_ERROR(VerifyFunction(program, *program.reduce_fn));
+  }
+  for (const Value& c : program.constants) {
+    if (c.is_handle()) {
+      return Status::InvalidArgument("handle values cannot be constants");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace manimal::mril

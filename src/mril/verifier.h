@@ -1,0 +1,28 @@
+// Static well-formedness verification for MRIL programs, run before
+// both execution and analysis (the analyzer assumes verified input).
+//
+// Checks, per function:
+//   * operands are in range (constants, params, locals, members,
+//     builtins, jump targets, field indexes against the value schema);
+//   * GetField is only applied to the map's record parameter when the
+//     program declares a structured (non-opaque) value schema;
+//   * stack discipline: the operand-stack depth at every instruction is
+//     consistent across all control-flow paths, never goes negative,
+//     and is exactly zero at every jump target and at every return.
+//     (This is the property that lets the analyzer recover symbolic
+//     expressions block-locally, like JVM stack-map frames.)
+
+#ifndef MANIMAL_MRIL_VERIFIER_H_
+#define MANIMAL_MRIL_VERIFIER_H_
+
+#include "common/status.h"
+#include "mril/program.h"
+
+namespace manimal::mril {
+
+Status VerifyFunction(const Program& program, const Function& fn);
+Status VerifyProgram(const Program& program);
+
+}  // namespace manimal::mril
+
+#endif  // MANIMAL_MRIL_VERIFIER_H_

@@ -1,0 +1,328 @@
+#include "mril/vm.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "mril/builtins.h"
+
+namespace manimal::mril {
+
+namespace {
+
+Status TypeError(const char* op, const Value& a) {
+  return Status::InvalidArgument(StrPrintf("%s: bad operand kind %s", op,
+                                           ValueKindName(a.kind())));
+}
+
+Status TypeError2(const char* op, const Value& a, const Value& b) {
+  return Status::InvalidArgument(
+      StrPrintf("%s: bad operand kinds %s, %s", op,
+                ValueKindName(a.kind()), ValueKindName(b.kind())));
+}
+
+Status Arith(Opcode op, const Value& a, const Value& b, Value* out) {
+  if (op == Opcode::kAdd && a.is_str() && b.is_str()) {
+    *out = Value::Str(a.str() + b.str());
+    return Status::OK();
+  }
+  if (!a.is_numeric() || !b.is_numeric()) {
+    std::string name(GetOpcodeInfo(op).mnemonic);
+    return TypeError2(name.c_str(), a, b);
+  }
+  if (a.is_i64() && b.is_i64()) {
+    int64_t x = a.i64(), y = b.i64();
+    // Arithmetic is defined two's-complement wrapping (via unsigned),
+    // like the JVM's — never C++ signed-overflow UB.
+    auto wrap = [](uint64_t v) { return static_cast<int64_t>(v); };
+    switch (op) {
+      case Opcode::kAdd:
+        *out = Value::I64(wrap(static_cast<uint64_t>(x) +
+                               static_cast<uint64_t>(y)));
+        return Status::OK();
+      case Opcode::kSub:
+        *out = Value::I64(wrap(static_cast<uint64_t>(x) -
+                               static_cast<uint64_t>(y)));
+        return Status::OK();
+      case Opcode::kMul:
+        *out = Value::I64(wrap(static_cast<uint64_t>(x) *
+                               static_cast<uint64_t>(y)));
+        return Status::OK();
+      case Opcode::kDiv:
+        if (y == 0) return Status::InvalidArgument("integer division by 0");
+        *out = Value::I64(x / y);
+        return Status::OK();
+      case Opcode::kMod:
+        if (y == 0) return Status::InvalidArgument("integer modulo by 0");
+        *out = Value::I64(x % y);
+        return Status::OK();
+      default:
+        MANIMAL_UNREACHABLE();
+    }
+  }
+  double x = a.AsF64(), y = b.AsF64();
+  switch (op) {
+    case Opcode::kAdd:
+      *out = Value::F64(x + y);
+      return Status::OK();
+    case Opcode::kSub:
+      *out = Value::F64(x - y);
+      return Status::OK();
+    case Opcode::kMul:
+      *out = Value::F64(x * y);
+      return Status::OK();
+    case Opcode::kDiv:
+      *out = Value::F64(x / y);
+      return Status::OK();
+    case Opcode::kMod:
+      return Status::InvalidArgument("mod requires integer operands");
+    default:
+      MANIMAL_UNREACHABLE();
+  }
+}
+
+Status Compare(Opcode op, const Value& a, const Value& b, Value* out) {
+  // Equality works across kinds; ordering needs comparable kinds.
+  if (op == Opcode::kCmpEq) {
+    *out = Value::Bool(a == b);
+    return Status::OK();
+  }
+  if (op == Opcode::kCmpNe) {
+    *out = Value::Bool(!(a == b));
+    return Status::OK();
+  }
+  bool comparable = (a.is_numeric() && b.is_numeric()) ||
+                    (a.is_str() && b.is_str()) ||
+                    (a.is_bool() && b.is_bool());
+  if (!comparable) return TypeError2("compare", a, b);
+  int c = a.Compare(b);
+  switch (op) {
+    case Opcode::kCmpLt:
+      *out = Value::Bool(c < 0);
+      return Status::OK();
+    case Opcode::kCmpLe:
+      *out = Value::Bool(c <= 0);
+      return Status::OK();
+    case Opcode::kCmpGt:
+      *out = Value::Bool(c > 0);
+      return Status::OK();
+    case Opcode::kCmpGe:
+      *out = Value::Bool(c >= 0);
+      return Status::OK();
+    default:
+      MANIMAL_UNREACHABLE();
+  }
+}
+
+}  // namespace
+
+VmInstance::VmInstance(const Program* program, VmOptions options)
+    : program_(program), options_(std::move(options)) {
+  ResetMembers();
+}
+
+void VmInstance::ResetMembers() {
+  members_.clear();
+  members_.reserve(program_->members.size());
+  for (const MemberVar& m : program_->members) {
+    members_.push_back(m.initial_value);
+  }
+}
+
+Status VmInstance::InvokeMap(const Value& key, const Value& value) {
+  ++map_invocations_;
+  return Invoke(program_->map_fn, key, value);
+}
+
+Status VmInstance::InvokeReduce(const Value& key, const Value& values) {
+  if (!program_->reduce_fn.has_value()) {
+    return Status::InvalidArgument("program has no reduce()");
+  }
+  return Invoke(*program_->reduce_fn, key, values);
+}
+
+Status VmInstance::Invoke(const Function& fn, const Value& p0,
+                          const Value& p1) {
+  const Value params[2] = {p0, p1};
+  std::vector<Value> locals(fn.num_locals);
+  std::vector<Value> stack;
+  stack.reserve(16);
+  const BuiltinRegistry& registry = BuiltinRegistry::Get();
+  const bool is_map = (&fn == &program_->map_fn);
+
+  int64_t steps = 0;
+  int pc = 0;
+  const int n = static_cast<int>(fn.code.size());
+
+  auto pop = [&stack]() {
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  while (pc < n) {
+    if (++steps > options_.max_steps_per_invocation) {
+      return Status::Internal(
+          StrPrintf("%s: exceeded %lld steps (infinite loop?)",
+                    fn.name.c_str(),
+                    static_cast<long long>(options_.max_steps_per_invocation)));
+    }
+    const Instruction& inst = fn.code[pc];
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kLoadConst:
+        stack.push_back(program_->constants[inst.operand]);
+        break;
+      case Opcode::kLoadParam:
+        stack.push_back(params[inst.operand]);
+        break;
+      case Opcode::kLoadLocal:
+        stack.push_back(locals[inst.operand]);
+        break;
+      case Opcode::kStoreLocal:
+        locals[inst.operand] = pop();
+        break;
+      case Opcode::kLoadMember:
+        stack.push_back(members_[inst.operand]);
+        break;
+      case Opcode::kStoreMember:
+        members_[inst.operand] = pop();
+        break;
+      case Opcode::kGetField: {
+        Value rec = pop();
+        if (!rec.is_list()) return TypeError("get_field", rec);
+        int idx = inst.operand;
+        if (is_map && !options_.field_remap.empty()) {
+          if (idx < 0 ||
+              idx >= static_cast<int>(options_.field_remap.size())) {
+            return Status::Internal(StrPrintf(
+                "get_field %d outside the field remap", idx));
+          }
+          if (options_.field_remap[idx] < 0) {
+            // The field was projected away. The analyzer only removes
+            // fields whose every output-relevant use is absent, so
+            // this read can feed nothing but debug logging — which the
+            // paper explicitly allows optimization to perturb
+            // (§2.2/Appendix C). Observe null.
+            stack.push_back(Value::Null());
+            break;
+          }
+          idx = options_.field_remap[idx];
+        }
+        if (idx < 0 || static_cast<size_t>(idx) >= rec.list().size()) {
+          return Status::InvalidArgument(
+              StrPrintf("get_field %d out of range (%zu fields)", idx,
+                        rec.list().size()));
+        }
+        stack.push_back(rec.list()[idx]);
+        break;
+      }
+      case Opcode::kDup:
+        stack.push_back(stack.back());
+        break;
+      case Opcode::kPop:
+        stack.pop_back();
+        break;
+      case Opcode::kSwap:
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod: {
+        Value b = pop();
+        Value a = pop();
+        Value out;
+        MANIMAL_RETURN_IF_ERROR(Arith(inst.op, a, b, &out));
+        stack.push_back(std::move(out));
+        break;
+      }
+      case Opcode::kNeg: {
+        Value a = pop();
+        if (a.is_i64()) {
+          stack.push_back(Value::I64(-a.i64()));
+        } else if (a.is_f64()) {
+          stack.push_back(Value::F64(-a.f64()));
+        } else {
+          return TypeError("neg", a);
+        }
+        break;
+      }
+      case Opcode::kCmpLt:
+      case Opcode::kCmpLe:
+      case Opcode::kCmpGt:
+      case Opcode::kCmpGe:
+      case Opcode::kCmpEq:
+      case Opcode::kCmpNe: {
+        Value b = pop();
+        Value a = pop();
+        Value out;
+        MANIMAL_RETURN_IF_ERROR(Compare(inst.op, a, b, &out));
+        stack.push_back(std::move(out));
+        break;
+      }
+      case Opcode::kAnd:
+      case Opcode::kOr: {
+        Value b = pop();
+        Value a = pop();
+        if (!a.is_bool() || !b.is_bool()) {
+          return TypeError2("and/or", a, b);
+        }
+        bool r = inst.op == Opcode::kAnd
+                     ? (a.bool_value() && b.bool_value())
+                     : (a.bool_value() || b.bool_value());
+        stack.push_back(Value::Bool(r));
+        break;
+      }
+      case Opcode::kNot: {
+        Value a = pop();
+        if (!a.is_bool()) return TypeError("not", a);
+        stack.push_back(Value::Bool(!a.bool_value()));
+        break;
+      }
+      case Opcode::kJmp:
+        pc = inst.operand;
+        continue;
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse: {
+        Value c = pop();
+        if (!c.is_bool()) return TypeError("branch condition", c);
+        bool taken = (inst.op == Opcode::kJmpIfTrue) == c.bool_value();
+        if (taken) {
+          pc = inst.operand;
+          continue;
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const Builtin* b = registry.FindById(inst.operand);
+        MANIMAL_CHECK(b != nullptr);  // verifier guarantees
+        std::vector<Value> args(b->arity);
+        for (int i = b->arity - 1; i >= 0; --i) args[i] = pop();
+        Value result;
+        MANIMAL_RETURN_IF_ERROR(b->fn(args, &result));
+        stack.push_back(std::move(result));
+        break;
+      }
+      case Opcode::kEmit: {
+        Value value = pop();
+        Value key = pop();
+        if (emit_) MANIMAL_RETURN_IF_ERROR(emit_(key, value));
+        break;
+      }
+      case Opcode::kLog: {
+        Value v = pop();
+        if (log_) log_(v);
+        break;
+      }
+      case Opcode::kReturn:
+        total_steps_ += steps;
+        return Status::OK();
+    }
+    ++pc;
+  }
+  total_steps_ += steps;
+  return Status::Internal(fn.name + ": fell off end of bytecode");
+}
+
+}  // namespace manimal::mril

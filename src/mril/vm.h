@@ -1,0 +1,78 @@
+// The MRIL interpreter — the part of the execution fabric that actually
+// runs user map()/reduce() code over records.
+//
+// A VmInstance holds the per-task runtime state: the program's member
+// variables (persisting across map() invocations within a task, which
+// is what makes Figure 2's numMapsRun pattern observable), the emit
+// sink, the log sink, and step limits.
+
+#ifndef MANIMAL_MRIL_VM_H_
+#define MANIMAL_MRIL_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mril/program.h"
+
+namespace manimal::mril {
+
+// Receives (key, value) pairs emitted by user code.
+using EmitSink = std::function<Status(const Value& key, const Value& value)>;
+
+// Receives values passed to the `log` side-effect instruction.
+using LogSink = std::function<void(const Value& value)>;
+
+struct VmOptions {
+  // Abort an invocation after this many executed instructions (guards
+  // against accidental infinite loops in user code).
+  int64_t max_steps_per_invocation = 50'000'000;
+
+  // When set (non-empty), get_field indexes on the map value parameter
+  // are remapped for projected input files: field_remap[original_field]
+  // is the slot of that field in the runtime (projected) record, or -1
+  // if the field was projected away. The optimizer only projects away
+  // fields it proved the program never reads, so a -1 access is an
+  // internal error.
+  std::vector<int> field_remap;
+};
+
+class VmInstance {
+ public:
+  // The program must have passed VerifyProgram.
+  VmInstance(const Program* program, VmOptions options = {});
+
+  void set_emit_sink(EmitSink sink) { emit_ = std::move(sink); }
+  void set_log_sink(LogSink sink) { log_ = std::move(sink); }
+
+  // Runs map(key, value). `value` is the deserialized record (a list
+  // value) or the opaque blob (a str value).
+  Status InvokeMap(const Value& key, const Value& value);
+
+  // Runs reduce(key, values).
+  Status InvokeReduce(const Value& key, const Value& values);
+
+  // Member-variable state (tests inspect this; Fig. 2 scenarios).
+  const Value& member(int idx) const { return members_.at(idx); }
+  void ResetMembers();
+
+  int64_t total_steps() const { return total_steps_; }
+  int64_t map_invocations() const { return map_invocations_; }
+
+ private:
+  Status Invoke(const Function& fn, const Value& p0, const Value& p1);
+
+  const Program* program_;
+  VmOptions options_;
+  std::vector<Value> members_;
+  EmitSink emit_;
+  LogSink log_;
+  int64_t total_steps_ = 0;
+  int64_t map_invocations_ = 0;
+};
+
+}  // namespace manimal::mril
+
+#endif  // MANIMAL_MRIL_VM_H_

@@ -1,0 +1,119 @@
+#include "optimizer/cost.h"
+
+#include <algorithm>
+
+#include "columnar/column_groups.h"
+#include "common/env.h"
+#include "common/strings.h"
+#include "index/btree.h"
+#include "serde/key_codec.h"
+
+namespace manimal::optimizer {
+
+namespace {
+
+// Encodes the selection intervals as byte bounds and sums the
+// estimated matching fraction over the (disjoint) intervals.
+Result<double> EstimateSelectivity(
+    const index::BTreeReader& tree,
+    const std::vector<analyzer::KeyInterval>& intervals) {
+  if (intervals.empty()) return 1.0;  // full index scan
+  double total = 0;
+  for (const analyzer::KeyInterval& iv : intervals) {
+    std::optional<std::string> lo, hi;
+    if (iv.lo.has_value()) {
+      std::string bytes;
+      MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(*iv.lo, &bytes));
+      lo = std::move(bytes);
+    }
+    if (iv.hi.has_value()) {
+      std::string bytes;
+      MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(*iv.hi, &bytes));
+      hi = std::move(bytes);
+    }
+    MANIMAL_ASSIGN_OR_RETURN(double fraction,
+                             tree.EstimateRangeFraction(lo, hi));
+    total += fraction;
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace
+
+CandidateCost BaselineCost(uint64_t input_bytes) {
+  CandidateCost cost;
+  cost.bytes = static_cast<double>(input_bytes);
+  cost.selectivity = 1.0;
+  cost.detail = "full scan of " + HumanBytes(input_bytes);
+  return cost;
+}
+
+Result<CandidateCost> EstimateArtifactCost(
+    const analyzer::IndexGenProgram& spec,
+    const index::CatalogEntry& entry,
+    const analyzer::AnalysisReport& report) {
+  CandidateCost cost;
+
+  if (spec.column_groups) {
+    MANIMAL_ASSIGN_OR_RETURN(
+        std::shared_ptr<columnar::ColumnGroupReader> reader,
+        columnar::ColumnGroupReader::Open(entry.artifact_path));
+    std::vector<int> needed;
+    if (report.projection.has_value()) {
+      needed = report.projection->used_fields;
+    }
+    auto selection = reader->SelectGroups(needed);
+    cost.bytes = static_cast<double>(selection.bytes);
+    cost.detail = StrPrintf("column groups: %zu groups, %s",
+                            selection.group_indexes.size(),
+                            HumanBytes(selection.bytes).c_str());
+    return cost;
+  }
+
+  if (spec.btree) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<index::BTreeReader> tree,
+                             index::BTreeReader::Open(entry.artifact_path));
+    const std::vector<analyzer::KeyInterval>& intervals =
+        report.selection.has_value()
+            ? report.selection->intervals
+            : std::vector<analyzer::KeyInterval>{};
+    MANIMAL_ASSIGN_OR_RETURN(double selectivity,
+                             EstimateSelectivity(*tree, intervals));
+    cost.selectivity = selectivity;
+    if (spec.clustered) {
+      // Embedded records: bytes scale with selectivity.
+      cost.bytes = selectivity * static_cast<double>(tree->file_size());
+      cost.detail = StrPrintf("clustered btree: sel %.3f of %s",
+                              selectivity,
+                              HumanBytes(tree->file_size()).c_str());
+      return cost;
+    }
+    // Locator tree: matching index entries plus the touched base
+    // blocks (each match may decode one block; capped by the base
+    // size).
+    MANIMAL_ASSIGN_OR_RETURN(uint64_t base_bytes,
+                             GetFileSize(entry.base_path));
+    double index_bytes =
+        selectivity * static_cast<double>(tree->file_size());
+    double matches =
+        selectivity * static_cast<double>(tree->num_entries());
+    constexpr double kBlockBytes = 16 * 1024;
+    double touched =
+        std::min(static_cast<double>(base_bytes), matches * kBlockBytes);
+    cost.bytes = index_bytes + touched;
+    cost.detail = StrPrintf(
+        "locator btree: sel %.3f, index %s + <=%s of base", selectivity,
+        HumanBytes(static_cast<uint64_t>(index_bytes)).c_str(),
+        HumanBytes(static_cast<uint64_t>(touched)).c_str());
+    return cost;
+  }
+
+  // Re-encoded SeqFile artifacts (projection / delta / dictionary):
+  // full scan of the artifact.
+  cost.bytes = static_cast<double>(entry.artifact_bytes);
+  cost.detail =
+      "artifact scan of " + HumanBytes(entry.artifact_bytes);
+  return cost;
+}
+
+}  // namespace manimal::optimizer

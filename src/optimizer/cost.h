@@ -1,0 +1,43 @@
+// Cost estimation for candidate execution plans — the cost-based
+// planning the paper defers (§2.2: the optimizer's choices "in the
+// long run should be determined by a cost-based approach, but for now
+// are solved with simple rule-based heuristics").
+//
+// The cost unit is estimated BYTES MOVED by the map phase, the
+// quantity the whole evaluation shows performance tracks. Selectivity
+// for B+Tree candidates is estimated from the tree itself: its root
+// fan-out is an equi-depth histogram of the key distribution, so the
+// fraction of root children overlapping the scan intervals
+// approximates the matching-entry fraction with no extra statistics
+// infrastructure.
+
+#ifndef MANIMAL_OPTIMIZER_COST_H_
+#define MANIMAL_OPTIMIZER_COST_H_
+
+#include "analyzer/analyzer.h"
+#include "common/status.h"
+#include "index/catalog.h"
+
+namespace manimal::optimizer {
+
+struct CandidateCost {
+  // Estimated bytes the map phase reads under this candidate.
+  double bytes = 0;
+  // Estimated matching fraction (1.0 for full scans).
+  double selectivity = 1.0;
+  std::string detail;  // human-readable breakdown
+};
+
+// Cost of a cataloged artifact for this program/report. Opens the
+// artifact's metadata (footers/manifests only — O(1) I/O).
+Result<CandidateCost> EstimateArtifactCost(
+    const analyzer::IndexGenProgram& spec,
+    const index::CatalogEntry& entry,
+    const analyzer::AnalysisReport& report);
+
+// Cost of the conventional full scan.
+CandidateCost BaselineCost(uint64_t input_bytes);
+
+}  // namespace manimal::optimizer
+
+#endif  // MANIMAL_OPTIMIZER_COST_H_

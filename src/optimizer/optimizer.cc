@@ -1,0 +1,266 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "columnar/dictionary.h"
+#include "common/env.h"
+#include "optimizer/cost.h"
+#include "common/strings.h"
+
+namespace manimal::optimizer {
+
+using analyzer::IndexGenProgram;
+using exec::AccessPath;
+using exec::ExecutionDescriptor;
+
+exec::ExecutionDescriptor BaselineDescriptor(
+    const mril::Program& program, const std::string& input_path) {
+  ExecutionDescriptor d;
+  d.access_path = AccessPath::kSeqScan;
+  d.data_path = input_path;
+  d.program = program;
+  return d;
+}
+
+namespace {
+
+// Builds the original-field -> runtime-slot remap for a projected
+// artifact; empty when the mapping is the identity.
+std::vector<int> MakeFieldRemap(const mril::Program& program,
+                                const IndexGenProgram& spec) {
+  if (!spec.projection || program.value_schema.opaque()) return {};
+  std::vector<int> remap(program.value_schema.num_fields(), -1);
+  bool identity =
+      static_cast<int>(spec.kept_fields.size()) == program.value_schema.num_fields();
+  for (size_t slot = 0; slot < spec.kept_fields.size(); ++slot) {
+    remap[spec.kept_fields[slot]] = static_cast<int>(slot);
+    if (spec.kept_fields[slot] != static_cast<int>(slot)) {
+      identity = false;
+    }
+  }
+  if (identity) return {};
+  return remap;
+}
+
+// Applies direct-operation constant patches to a copy of the program:
+// string constants compared against dictionary-compressed fields
+// become their codes (or a sentinel no-match code when the string
+// never occurs in the data).
+Status PatchProgramForDictionary(
+    const analyzer::AnalysisReport& report,
+    const columnar::Dictionary& dict, mril::Program* program) {
+  if (!report.direct_op.has_value()) return Status::OK();
+  for (const auto& patch : report.direct_op->const_patches) {
+    if (patch.load_const_pc < 0 ||
+        patch.load_const_pc >=
+            static_cast<int>(program->map_fn.code.size())) {
+      return Status::Internal("const patch pc out of range");
+    }
+    mril::Instruction& inst = program->map_fn.code[patch.load_const_pc];
+    if (inst.op != mril::Opcode::kLoadConst) {
+      return Status::Internal("const patch target is not load_const");
+    }
+    const Value& original = program->constants.at(inst.operand);
+    if (!original.is_str()) {
+      return Status::Internal("const patch target is not a string");
+    }
+    std::optional<int64_t> code = dict.Encode(original.str());
+    // A string absent from the dictionary can never equal any field
+    // value; -1 is never a valid code.
+    int64_t replacement = code.has_value() ? *code : -1;
+    inst.operand = program->AddConstant(Value::I64(replacement));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+// The Appendix E reduce-side key filter needs no artifact; it rides on
+// whatever plan is chosen.
+void AttachReduceFilter(const analyzer::AnalysisReport& report,
+                        Plan* plan) {
+  if (!report.reduce_filter.has_value()) return;
+  plan->descriptor.reduce_key_filter = report.reduce_filter;
+  plan->descriptor.applied.push_back(
+      "reduce-key-filter(" +
+      report.reduce_filter->required.ToString() + ")");
+  plan->optimized = true;
+}
+
+}  // namespace
+
+Result<Plan> BuildPlan(const mril::Program& program,
+                       const std::string& input_path,
+                       const analyzer::AnalysisReport& report,
+                       const index::Catalog& catalog) {
+  return BuildPlan(program, input_path, report, catalog,
+                   PlanningOptions{});
+}
+
+namespace {
+
+// Materializes the execution plan for one cataloged candidate.
+Result<Plan> MakePlanForSpec(const mril::Program& program,
+                             const IndexGenProgram& spec,
+                             const index::CatalogEntry& entry,
+                             const analyzer::AnalysisReport& report) {
+  Plan plan;
+  {
+    plan.optimized = true;
+    ExecutionDescriptor& d = plan.descriptor;
+    d.program = program;
+    d.data_path = entry.artifact_path;
+    d.field_remap = MakeFieldRemap(program, spec);
+
+    if (spec.column_groups) {
+      d.access_path = AccessPath::kColumnGroups;
+      // Open only the groups covering the program's live fields.
+      if (report.projection.has_value()) {
+        d.needed_fields = report.projection->used_fields;
+      }
+      d.applied.push_back(StrPrintf(
+          "column-groups(%zu of %d fields read)",
+          report.projection.has_value()
+              ? report.projection->used_fields.size()
+              : static_cast<size_t>(program.value_schema.num_fields()),
+          program.value_schema.num_fields()));
+    } else if (spec.btree) {
+      d.access_path = AccessPath::kBTree;
+      d.base_path = entry.base_path;
+      d.clustered = spec.clustered;
+      if (spec.clustered) {
+        // Layout of the embedded records.
+        columnar::SeqFileMeta meta;
+        meta.original_schema = program.value_schema;
+        if (spec.projection && !program.value_schema.opaque()) {
+          meta.stored_schema =
+              program.value_schema.Project(spec.kept_fields);
+          meta.field_map = spec.kept_fields;
+        } else {
+          meta.stored_schema = program.value_schema;
+          if (program.value_schema.opaque()) {
+            meta.field_map = {0};
+          } else {
+            for (int i = 0; i < program.value_schema.num_fields(); ++i) {
+              meta.field_map.push_back(i);
+            }
+          }
+        }
+        d.artifact_meta = std::move(meta);
+      }
+      d.intervals = report.selection->intervals;
+      d.applied.push_back(std::string(spec.clustered ? "clustered " : "") +
+                          "selection(B+Tree on " +
+                          spec.key_expr->ToString() + ")");
+    } else {
+      d.access_path = AccessPath::kSeqScan;
+    }
+    if (spec.projection) {
+      d.applied.push_back(StrPrintf(
+          "projection(%zu of %d fields)", spec.kept_fields.size(),
+          program.value_schema.num_fields()));
+    }
+    if (spec.delta) {
+      d.applied.push_back(StrPrintf("delta-compression(%zu fields)",
+                                    spec.delta_fields.size()));
+    }
+    if (spec.dictionary) {
+      MANIMAL_ASSIGN_OR_RETURN(columnar::Dictionary dict,
+                               columnar::Dictionary::Load(entry.dict_path));
+      MANIMAL_RETURN_IF_ERROR(
+          PatchProgramForDictionary(report, dict, &d.program));
+      d.applied.push_back(StrPrintf("direct-operation(%zu fields)",
+                                    spec.dict_fields.size()));
+    }
+  }
+  plan.explanation = "using catalog artifact " + entry.artifact_path +
+                     " (" + spec.Describe() + ")";
+  AttachReduceFilter(report, &plan);
+  return plan;
+}
+
+}  // namespace
+
+Result<Plan> BuildPlan(const mril::Program& program,
+                       const std::string& input_path,
+                       const analyzer::AnalysisReport& report,
+                       const index::Catalog& catalog,
+                       const PlanningOptions& options) {
+  // Candidates come pre-ranked for the rule-based mode: the maximal
+  // combination first, then selection, projection, column groups,
+  // delta, direct-op.
+  std::vector<IndexGenProgram> candidates =
+      analyzer::SynthesizeIndexPrograms(program, report);
+
+  std::vector<std::pair<const IndexGenProgram*, index::CatalogEntry>>
+      available;
+  for (const IndexGenProgram& spec : candidates) {
+    std::optional<index::CatalogEntry> entry =
+        catalog.Find(input_path, spec.Signature());
+    if (entry.has_value()) {
+      available.emplace_back(&spec, std::move(*entry));
+    }
+  }
+
+  if (!options.cost_based) {
+    if (!available.empty()) {
+      return MakePlanForSpec(program, *available[0].first,
+                             available[0].second, report);
+    }
+  } else {
+    // Price everything, including the plain scan.
+    MANIMAL_ASSIGN_OR_RETURN(uint64_t input_bytes,
+                             GetFileSize(input_path));
+    CandidateCost best = BaselineCost(input_bytes);
+    const IndexGenProgram* chosen_spec = nullptr;
+    const index::CatalogEntry* chosen_entry = nullptr;
+    for (const auto& [spec, entry] : available) {
+      auto cost_or = EstimateArtifactCost(*spec, entry, report);
+      if (!cost_or.ok()) continue;  // unpriceable: skip, stay safe
+      if (cost_or->bytes < best.bytes) {
+        best = *cost_or;
+        chosen_spec = spec;
+        chosen_entry = &entry;
+      }
+    }
+    if (chosen_spec != nullptr) {
+      MANIMAL_ASSIGN_OR_RETURN(
+          Plan plan,
+          MakePlanForSpec(program, *chosen_spec, *chosen_entry, report));
+      plan.explanation += StrPrintf("; cost-based choice: %s (~%s)",
+                                    best.detail.c_str(),
+                                    HumanBytes(static_cast<uint64_t>(
+                                                   best.bytes))
+                                        .c_str());
+      return plan;
+    }
+    if (!available.empty()) {
+      // Artifacts exist but none beats the scan.
+      Plan plan;
+      plan.descriptor = BaselineDescriptor(program, input_path);
+      plan.explanation = StrPrintf(
+          "cost-based: no cataloged artifact beats the full scan "
+          "(~%s); running conventionally",
+          HumanBytes(input_bytes).c_str());
+      AttachReduceFilter(report, &plan);
+      return plan;
+    }
+  }
+
+  Plan plan;
+  plan.descriptor = BaselineDescriptor(program, input_path);
+  plan.explanation =
+      candidates.empty()
+          ? "no optimizations detected; running conventionally"
+          : "no matching index artifact in catalog; running "
+            "conventionally (index-generation program available)";
+  AttachReduceFilter(report, &plan);
+  if (plan.optimized) {
+    plan.explanation += "; pre-shuffle reduce-key filtering in effect";
+  }
+  return plan;
+}
+
+}  // namespace manimal::optimizer

@@ -1,0 +1,214 @@
+#include "serde/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace manimal {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kI64:
+      return "i64";
+    case ValueKind::kF64:
+      return "f64";
+    case ValueKind::kStr:
+      return "str";
+    case ValueKind::kList:
+      return "list";
+    case ValueKind::kHandle:
+      return "handle";
+  }
+  return "?";
+}
+
+ValueKind Value::kind() const {
+  return static_cast<ValueKind>(rep_.index());
+}
+
+bool Value::bool_value() const {
+  MANIMAL_CHECK(is_bool());
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::i64() const {
+  MANIMAL_CHECK(is_i64());
+  return std::get<int64_t>(rep_);
+}
+
+double Value::f64() const {
+  MANIMAL_CHECK(is_f64());
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::str() const {
+  MANIMAL_CHECK(is_str());
+  return *std::get<std::shared_ptr<std::string>>(rep_);
+}
+
+const ValueList& Value::list() const {
+  MANIMAL_CHECK(is_list());
+  return *std::get<std::shared_ptr<ValueList>>(rep_);
+}
+
+ValueList& Value::mutable_list() {
+  MANIMAL_CHECK(is_list());
+  return *std::get<std::shared_ptr<ValueList>>(rep_);
+}
+
+const std::shared_ptr<ObjectHandle>& Value::handle() const {
+  MANIMAL_CHECK(is_handle());
+  return std::get<std::shared_ptr<ObjectHandle>>(rep_);
+}
+
+double Value::AsF64() const {
+  if (is_i64()) return static_cast<double>(i64());
+  MANIMAL_CHECK(is_f64());
+  return f64();
+}
+
+namespace {
+
+int KindRank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return 1;
+    case ValueKind::kI64:
+    case ValueKind::kF64:
+      return 2;  // numerics compare with each other
+    case ValueKind::kStr:
+      return 3;
+    case ValueKind::kList:
+      return 4;
+    case ValueKind::kHandle:
+      return 5;
+  }
+  return 6;
+}
+
+template <typename T>
+int Cmp3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(kind());
+  int rb = KindRank(other.kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return Cmp3(bool_value(), other.bool_value());
+    case ValueKind::kI64:
+    case ValueKind::kF64: {
+      if (is_i64() && other.is_i64()) return Cmp3(i64(), other.i64());
+      return Cmp3(AsF64(), other.AsF64());
+    }
+    case ValueKind::kStr:
+      return str().compare(other.str()) < 0
+                 ? -1
+                 : (str() == other.str() ? 0 : 1);
+    case ValueKind::kList: {
+      const auto& a = list();
+      const auto& b = other.list();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp3(a.size(), b.size());
+    }
+    case ValueKind::kHandle:
+      return Cmp3(reinterpret_cast<uintptr_t>(handle().get()),
+                  reinterpret_cast<uintptr_t>(other.handle().get()));
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over a kind tag plus the canonical byte representation.
+  auto mix = [](uint64_t h, uint64_t x) {
+    h ^= x;
+    h *= 0x100000001B3ULL;
+    return h;
+  };
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, static_cast<uint64_t>(KindRank(kind())));
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      h = mix(h, bool_value() ? 1 : 0);
+      break;
+    case ValueKind::kI64:
+      h = mix(h, static_cast<uint64_t>(i64()));
+      break;
+    case ValueKind::kF64: {
+      double d = f64();
+      if (d == static_cast<int64_t>(d)) {
+        // Hash integral doubles like their i64 twin so Compare==0
+        // implies equal hashes.
+        h = mix(h, static_cast<uint64_t>(static_cast<int64_t>(d)));
+      } else {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, 8);
+        h = mix(h, bits);
+      }
+      break;
+    }
+    case ValueKind::kStr:
+      for (char c : str()) h = mix(h, static_cast<uint8_t>(c));
+      break;
+    case ValueKind::kList:
+      for (const Value& v : list()) h = mix(h, v.Hash());
+      break;
+    case ValueKind::kHandle:
+      h = mix(h, reinterpret_cast<uintptr_t>(handle().get()));
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueKind::kI64:
+      return StrPrintf("i64:%lld", static_cast<long long>(i64()));
+    case ValueKind::kF64:
+      return StrPrintf("f64:%.17g", f64());
+    case ValueKind::kStr:
+      return "str:\"" + str() + "\"";
+    case ValueKind::kList: {
+      std::string out = "list:[";
+      const auto& items = list();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        out += items[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueKind::kHandle:
+      return "handle:" + handle()->TypeName();
+  }
+  return "?";
+}
+
+}  // namespace manimal

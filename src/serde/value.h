@@ -1,0 +1,109 @@
+// Runtime value model. A Value is what flows through the MRIL virtual
+// machine, the shuffle, and the storage codecs: null, bool, int64,
+// double, string, a list (reduce-side grouped values), or an opaque
+// object handle (e.g. a Hashtable created by user code).
+
+#ifndef MANIMAL_SERDE_VALUE_H_
+#define MANIMAL_SERDE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace manimal {
+
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kI64 = 2,
+  kF64 = 3,
+  kStr = 4,
+  kList = 5,
+  kHandle = 6,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+class Value;
+using ValueList = std::vector<Value>;
+
+// Base for runtime-only objects referenced by kHandle values (the MRIL
+// builtin library defines concrete subclasses, e.g. HashtableObject).
+class ObjectHandle {
+ public:
+  virtual ~ObjectHandle() = default;
+  virtual std::string TypeName() const = 0;
+};
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value I64(int64_t v) { return Value(Rep(v)); }
+  static Value F64(double v) { return Value(Rep(v)); }
+  static Value Str(std::string s) {
+    return Value(Rep(std::make_shared<std::string>(std::move(s))));
+  }
+  static Value List(ValueList items) {
+    return Value(Rep(std::make_shared<ValueList>(std::move(items))));
+  }
+  static Value Handle(std::shared_ptr<ObjectHandle> h) {
+    return Value(Rep(std::move(h)));
+  }
+
+  ValueKind kind() const;
+
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_i64() const { return kind() == ValueKind::kI64; }
+  bool is_f64() const { return kind() == ValueKind::kF64; }
+  bool is_str() const { return kind() == ValueKind::kStr; }
+  bool is_list() const { return kind() == ValueKind::kList; }
+  bool is_handle() const { return kind() == ValueKind::kHandle; }
+  bool is_numeric() const { return is_i64() || is_f64(); }
+
+  // Accessors; preconditions on kind are checked.
+  bool bool_value() const;
+  int64_t i64() const;
+  double f64() const;
+  const std::string& str() const;
+  const ValueList& list() const;
+  ValueList& mutable_list();
+  const std::shared_ptr<ObjectHandle>& handle() const;
+
+  // Numeric value as double (i64 or f64).
+  double AsF64() const;
+
+  // Total order across values: first by kind rank, then by value.
+  // Numeric kinds (i64/f64) compare by numeric value so mixed-type
+  // comparisons behave naturally. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const;
+
+  // Debug/round-trippable-for-scalars textual form, e.g. `i64:42`,
+  // `str:"abc"`.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double,
+                           std::shared_ptr<std::string>,
+                           std::shared_ptr<ValueList>,
+                           std::shared_ptr<ObjectHandle>>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace manimal
+
+#endif  // MANIMAL_SERDE_VALUE_H_

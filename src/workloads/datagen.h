@@ -1,0 +1,81 @@
+// Synthetic data generators modeled on Pavlo et al.'s tools (paper
+// §4.2 / Appendix D): WebPages with Zipfian popularity, UserVisits
+// with uniform-random fields and Zipf-chosen destURLs, Rankings in the
+// custom AbstractTuple serialization, and text Documents embedding
+// URLs for the UDF-aggregation task. Deterministic given the seed.
+
+#ifndef MANIMAL_WORKLOADS_DATAGEN_H_
+#define MANIMAL_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace manimal::workloads {
+
+struct GenStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
+// The URL for page `i`, shared by all generators so destURLs join
+// against WebPages/Rankings.
+std::string PageUrl(uint64_t i);
+
+struct WebPagesOptions {
+  uint64_t num_pages = 100000;
+  // Average length of the content field; actual lengths vary ±25%.
+  int content_len = 512;
+  // pageRank is uniform in [0, rank_range) so selectivity thresholds
+  // are exact; destination popularity (in UserVisits) is the Zipfian
+  // part of the web model.
+  int64_t rank_range = 100000;
+  uint64_t seed = 42;
+};
+Result<GenStats> GenerateWebPages(const std::string& path,
+                                  const WebPagesOptions& options);
+
+struct UserVisitsOptions {
+  uint64_t num_visits = 500000;
+  uint64_t num_pages = 100000;  // destURL pool (Zipf-distributed)
+  double zipf_theta = 0.8;
+  // visitDate covers [epoch, epoch+range) and is generated in roughly
+  // chronological order with jitter, like a real access log — which is
+  // what makes delta-compression effective on it (Appendix D).
+  int64_t date_range = 30 * 86400;          // 30 days of seconds
+  int64_t date_epoch = 1'200'000'000;       // unix seconds
+  int64_t revenue_range = 1'000'000;        // adRevenue cents [0, range)
+  int64_t duration_range = 1000;
+  uint64_t seed = 43;
+};
+Result<GenStats> GenerateUserVisits(const std::string& path,
+                                    const UserVisitsOptions& options);
+
+struct RankingsOptions {
+  uint64_t num_pages = 100000;
+  int64_t rank_range = 100000;  // pageRank uniform in [0, range)
+  uint64_t seed = 44;
+  // Benchmark 1 stores Rankings with the custom AbstractTuple
+  // serialization (an opaque blob per record) — the very thing that
+  // defeats the analyzer's projection/delta detection in Table 1.
+  bool opaque_serialization = true;
+};
+Result<GenStats> GenerateRankings(const std::string& path,
+                                  const RankingsOptions& options);
+
+struct DocumentsOptions {
+  uint64_t num_docs = 20000;
+  int words_per_doc = 80;
+  // Every ~k-th word is an embedded URL from the page pool.
+  int url_every = 8;
+  uint64_t num_pages = 100000;
+  double zipf_theta = 0.8;
+  uint64_t seed = 45;
+};
+Result<GenStats> GenerateDocuments(const std::string& path,
+                                   const DocumentsOptions& options);
+
+}  // namespace manimal::workloads
+
+#endif  // MANIMAL_WORKLOADS_DATAGEN_H_

@@ -1,0 +1,242 @@
+#include "workloads/pavlo.h"
+
+#include "mril/builder.h"
+#include "workloads/schemas.h"
+
+namespace manimal::workloads {
+
+using mril::FunctionBuilder;
+using mril::ProgramBuilder;
+
+namespace {
+
+// Appends a sum-the-values reduce body: emits (key, sum(values)).
+void BuildSumReduce(FunctionBuilder& r) {
+  int i = r.NewLocal();
+  int n = r.NewLocal();
+  int sum = r.NewLocal();
+  r.LoadI64(0).StoreLocal(i);
+  r.LoadI64(0).StoreLocal(sum);
+  r.LoadParam(1).Call("list.len").StoreLocal(n);
+  r.Label("loop");
+  r.LoadLocal(i).LoadLocal(n).CmpGe().JmpIfTrue("done");
+  r.LoadLocal(sum)
+      .LoadParam(1)
+      .LoadLocal(i)
+      .Call("list.get")
+      .Add()
+      .StoreLocal(sum);
+  r.LoadLocal(i).LoadI64(1).Add().StoreLocal(i);
+  r.Jmp("loop");
+  r.Label("done");
+  r.LoadParam(0).LoadLocal(sum).Emit().Ret();
+}
+
+}  // namespace
+
+mril::Program Benchmark1Selection(int64_t rank_threshold) {
+  ProgramBuilder b("pavlo-b1-selection");
+  b.SetKeyType(FieldType::kI64).SetOpaqueValue();
+  FunctionBuilder& m = b.Map();
+  int rank = m.NewLocal();
+  // int r = tuple.getInt(1);  (AbstractTuple accessor)
+  m.LoadParam(1).LoadI64(kRankPageRank).Call("opaque.get_i64").StoreLocal(
+      rank);
+  m.LoadLocal(rank).LoadI64(rank_threshold).CmpGt().JmpIfFalse("end");
+  // emit(tuple.getString(0), r)
+  m.LoadParam(1).LoadI64(kRankPageUrl).Call("opaque.get_str");
+  m.LoadLocal(rank);
+  m.Emit();
+  m.Label("end").Ret();
+  return b.Build();
+}
+
+mril::Program Benchmark2Aggregation() {
+  ProgramBuilder b("pavlo-b2-aggregation");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(UserVisitsSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("sourceIP");
+  m.LoadParam(1).GetField("adRevenue");
+  m.Emit().Ret();
+  BuildSumReduce(b.Reduce());
+  return b.Build();
+}
+
+mril::Program Benchmark3Join(int64_t date_lo, int64_t date_hi) {
+  ProgramBuilder b("pavlo-b3-join");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(UserVisitsSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("visitDate").LoadI64(date_lo).CmpGe().JmpIfFalse(
+      "end");
+  m.LoadParam(1).GetField("visitDate").LoadI64(date_hi).CmpLe().JmpIfFalse(
+      "end");
+  // emit(destURL, whole tuple): the join's build side needs every
+  // field downstream, so nothing can be projected away.
+  m.LoadParam(1).GetField("destURL");
+  m.LoadParam(1);
+  m.Emit();
+  m.Label("end").Ret();
+
+  // reduce: sum adRevenue over the joined tuples for this destURL.
+  FunctionBuilder& r = b.Reduce();
+  int i = r.NewLocal();
+  int n = r.NewLocal();
+  int sum = r.NewLocal();
+  r.LoadI64(0).StoreLocal(i);
+  r.LoadI64(0).StoreLocal(sum);
+  r.LoadParam(1).Call("list.len").StoreLocal(n);
+  r.Label("loop");
+  r.LoadLocal(i).LoadLocal(n).CmpGe().JmpIfTrue("done");
+  r.LoadLocal(sum)
+      .LoadParam(1)
+      .LoadLocal(i)
+      .Call("list.get")  // the UserVisits tuple
+      .LoadI64(kUvAdRevenue)
+      .Call("list.get")  // its adRevenue field
+      .Add()
+      .StoreLocal(sum);
+  r.LoadLocal(i).LoadI64(1).Add().StoreLocal(i);
+  r.Jmp("loop");
+  r.Label("done");
+  r.LoadParam(0).LoadLocal(sum).Emit().Ret();
+  return b.Build();
+}
+
+mril::Program Benchmark4UdfAggregation() {
+  ProgramBuilder b("pavlo-b4-udf-aggregation");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(DocumentsSchema());
+  FunctionBuilder& m = b.Map();
+  int ht = m.NewLocal();
+  int i = m.NewLocal();
+  int n = m.NewLocal();
+  int w = m.NewLocal();
+  m.Call("ht.new").StoreLocal(ht);
+  m.LoadI64(0).StoreLocal(i);
+  m.LoadParam(1).GetField("contents").Call("str.word_count").StoreLocal(n);
+  m.Label("loop");
+  m.LoadLocal(i).LoadLocal(n).CmpGe().JmpIfTrue("done");
+  m.LoadParam(1)
+      .GetField("contents")
+      .LoadLocal(i)
+      .Call("str.word_at")
+      .StoreLocal(w);
+  // Candidate URLs only.
+  m.LoadLocal(w).LoadStr("http://").Call("str.starts_with").JmpIfFalse(
+      "next");
+  // Skip self-links (this is the use of the url field that leaves no
+  // projection opportunity).
+  m.LoadLocal(w).LoadParam(1).GetField("url").Call("str.equals").JmpIfTrue(
+      "next");
+  // Deduplicate per document through a Hashtable — the filtering step
+  // the analyzer cannot see through (§4.1).
+  m.LoadLocal(ht).LoadLocal(w).Call("ht.contains").JmpIfTrue("next");
+  m.LoadLocal(ht).LoadLocal(w).LoadConst(Value::Bool(true)).Call("ht.put")
+      .Pop();
+  m.LoadLocal(w).LoadI64(1).Emit();
+  m.Label("next");
+  m.LoadLocal(i).LoadI64(1).Add().StoreLocal(i);
+  m.Jmp("loop");
+  m.Label("done").Ret();
+  BuildSumReduce(b.Reduce());
+  return b.Build();
+}
+
+mril::Program ExampleRankFilter(int64_t threshold) {
+  ProgramBuilder b("example-rank-filter");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(WebPagesSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(threshold).CmpGt().JmpIfFalse(
+      "end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  return b.Build();
+}
+
+mril::Program Figure2Unsafe(int64_t threshold) {
+  ProgramBuilder b("figure2-unsafe");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(WebPagesSchema());
+  b.AddMember("numMapsRun", Value::I64(0));
+  FunctionBuilder& m = b.Map();
+  // numMapsRun++
+  m.LoadMember("numMapsRun").LoadI64(1).Add().StoreMember("numMapsRun");
+  // if (v.rank > T || numMapsRun > 200) emit(k, 1)
+  m.LoadParam(1).GetField("rank").LoadI64(threshold).CmpGt().JmpIfTrue(
+      "emit");
+  m.LoadMember("numMapsRun").LoadI64(200).CmpGt().JmpIfFalse("end");
+  m.Label("emit");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  return b.Build();
+}
+
+mril::Program SelectionCountQuery(int64_t threshold) {
+  ProgramBuilder b("selection-count-query");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(WebPagesSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(threshold).CmpGt().JmpIfFalse(
+      "end");
+  m.LoadParam(1).GetField("rank");
+  m.LoadI64(1);
+  m.Emit();
+  m.Label("end").Ret();
+  BuildSumReduce(b.Reduce());
+  return b.Build();
+}
+
+mril::Program ProjectionQuery(int64_t threshold) {
+  ProgramBuilder b("projection-query");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(WebPagesSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(threshold).CmpGt().JmpIfFalse(
+      "end");
+  m.LoadParam(1).GetField("url");
+  m.LoadParam(1).GetField("rank");
+  m.Emit();
+  m.Label("end").Ret();
+  return b.Build();
+}
+
+mril::Program DurationSumQuery() {
+  ProgramBuilder b("duration-sum-query");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(UserVisitsSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("destURL");
+  m.LoadParam(1).GetField("duration");
+  m.Emit().Ret();
+  BuildSumReduce(b.Reduce());
+  return b.Build();
+}
+
+mril::Program DirectOpQuery() {
+  ProgramBuilder b("directop-query");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(UserVisitsSchema());
+  FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("destURL");
+  m.LoadParam(1).GetField("duration");
+  m.Emit().Ret();
+  // The reduce sums durations but never touches its key parameter —
+  // the group-by URL stays compressed end to end (paper Table 6: the
+  // program "does not in the end emit the URL").
+  FunctionBuilder& r = b.Reduce();
+  int i = r.NewLocal();
+  int n = r.NewLocal();
+  int sum = r.NewLocal();
+  r.LoadI64(0).StoreLocal(i);
+  r.LoadI64(0).StoreLocal(sum);
+  r.LoadParam(1).Call("list.len").StoreLocal(n);
+  r.Label("loop");
+  r.LoadLocal(i).LoadLocal(n).CmpGe().JmpIfTrue("done");
+  r.LoadLocal(sum)
+      .LoadParam(1)
+      .LoadLocal(i)
+      .Call("list.get")
+      .Add()
+      .StoreLocal(sum);
+  r.LoadLocal(i).LoadI64(1).Add().StoreLocal(i);
+  r.Jmp("loop");
+  r.Label("done");
+  r.LoadLocal(sum).LoadI64(1).Emit().Ret();
+  return b.Build();
+}
+
+}  // namespace manimal::workloads

@@ -1,0 +1,69 @@
+// The benchmark MapReduce programs from the paper's evaluation:
+// the four Pavlo et al. tasks (§4.1, Table 1/2) re-expressed in MRIL —
+// including the quirks that shape Table 1's recall matrix — plus the
+// single-optimization microbenchmark programs of §4.3/Appendix D and
+// the §2.1/Figure 2 illustration programs.
+
+#ifndef MANIMAL_WORKLOADS_PAVLO_H_
+#define MANIMAL_WORKLOADS_PAVLO_H_
+
+#include <cstdint>
+
+#include "mril/program.h"
+
+namespace manimal::workloads {
+
+// Benchmark 1 — Selection: SELECT pageURL, pageRank FROM Rankings
+// WHERE pageRank > threshold. The input uses the custom AbstractTuple
+// serialization (opaque blobs), so field structure is invisible to the
+// analyzer: selection is still detected (through the functional
+// opaque.get_* accessors), but projection and delta-compression are
+// not — reproducing Table 1's two Undetected cells.
+mril::Program Benchmark1Selection(int64_t rank_threshold);
+
+// Benchmark 2 — Aggregation: SELECT sourceIP, SUM(adRevenue) FROM
+// UserVisits GROUP BY sourceIP. No selection; projection (2 of 9
+// fields used) and delta-compression both detectable.
+mril::Program Benchmark2Aggregation();
+
+// Benchmark 3 — Join, phase 1 over UserVisits: the map imposes the
+// visitDate range predicate that (per §4.2) "removes all but 0.095% of
+// the UserVisits data", emits the full tuple keyed by destURL, and the
+// reduce aggregates adRevenue. Full-tuple emission means no projection
+// opportunity (Table 1: Not Present).
+mril::Program Benchmark3Join(int64_t date_lo, int64_t date_hi);
+
+// Benchmark 4 — UDF aggregation: tokenizes document contents, filters
+// candidate URLs through a Hashtable (the class the analyzer has no
+// builtin knowledge of, §4.1) plus loop-carried control flow, and
+// counts inlinks. Selection goes Undetected.
+mril::Program Benchmark4UdfAggregation();
+
+// §2.1 example: map(k, WebPage v) { if (v.rank > 1) emit(k, 1); } —
+// the program behind Figures 4 and 5.
+mril::Program ExampleRankFilter(int64_t threshold);
+
+// Figure 2: output depends on member variable numMapsRun; the analyzer
+// must refuse to optimize.
+mril::Program Figure2Unsafe(int64_t threshold);
+
+// §4.3 / Table 3: SELECT pageRank, COUNT(url) FROM WebPages WHERE
+// pageRank > threshold GROUP BY pageRank.
+mril::Program SelectionCountQuery(int64_t threshold);
+
+// Appendix D / Table 4: SELECT url, pageRank FROM WebPages WHERE
+// pageRank > threshold (projection microbenchmark; content unused).
+mril::Program ProjectionQuery(int64_t threshold);
+
+// Appendix D / Table 5: SELECT destURL, SUM(duration) FROM UserVisits
+// GROUP BY destURL (delta-compression microbenchmark).
+mril::Program DurationSumQuery();
+
+// Appendix D / Table 6: duration sums grouped by destURL where the
+// URL itself never reaches the output — destURL is used only as the
+// reduce key, making it direct-operation eligible.
+mril::Program DirectOpQuery();
+
+}  // namespace manimal::workloads
+
+#endif  // MANIMAL_WORKLOADS_PAVLO_H_

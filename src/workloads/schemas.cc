@@ -1,0 +1,28 @@
+#include "workloads/schemas.h"
+
+namespace manimal::workloads {
+
+Schema WebPagesSchema() {
+  return Schema({{"url", FieldType::kStr},
+                 {"rank", FieldType::kI64},
+                 {"content", FieldType::kStr}});
+}
+
+Schema UserVisitsSchema() {
+  return Schema({{"sourceIP", FieldType::kStr},
+                 {"destURL", FieldType::kStr},
+                 {"visitDate", FieldType::kI64},
+                 {"adRevenue", FieldType::kI64},
+                 {"userAgent", FieldType::kStr},
+                 {"countryCode", FieldType::kStr},
+                 {"languageCode", FieldType::kStr},
+                 {"searchWord", FieldType::kStr},
+                 {"duration", FieldType::kI64}});
+}
+
+Schema DocumentsSchema() {
+  return Schema({{"url", FieldType::kStr},
+                 {"contents", FieldType::kStr}});
+}
+
+}  // namespace manimal::workloads

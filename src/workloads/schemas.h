@@ -1,0 +1,48 @@
+// Test-data schemas from Pavlo et al. (paper Figure 7 and §4.1),
+// with the minor typing simplifications the paper itself made.
+
+#ifndef MANIMAL_WORKLOADS_SCHEMAS_H_
+#define MANIMAL_WORKLOADS_SCHEMAS_H_
+
+#include "serde/schema.h"
+
+namespace manimal::workloads {
+
+// WebPages(url STR, rank I64, content STR) — Figure 7.
+Schema WebPagesSchema();
+
+// UserVisits(sourceIP, destURL, visitDate, adRevenue, userAgent,
+// countryCode, languageCode, searchWord, duration) — Figure 7.
+Schema UserVisitsSchema();
+
+// Field indexes of UserVisits, for readability.
+inline constexpr int kUvSourceIp = 0;
+inline constexpr int kUvDestUrl = 1;
+inline constexpr int kUvVisitDate = 2;
+inline constexpr int kUvAdRevenue = 3;
+inline constexpr int kUvUserAgent = 4;
+inline constexpr int kUvCountryCode = 5;
+inline constexpr int kUvLanguageCode = 6;
+inline constexpr int kUvSearchWord = 7;
+inline constexpr int kUvDuration = 8;
+
+// Rankings(pageURL STR, pageRank I64, avgDuration I64) — the Pavlo
+// selection benchmark's input. Benchmark 1 serializes these with the
+// custom AbstractTuple format, so its *file* schema is opaque; this is
+// the logical layout inside the blob.
+inline constexpr int kRankPageUrl = 0;
+inline constexpr int kRankPageRank = 1;
+inline constexpr int kRankAvgDuration = 2;
+
+// Documents(url STR, contents STR) — the UDF-aggregation benchmark's
+// input.
+Schema DocumentsSchema();
+
+// Field indexes of WebPages.
+inline constexpr int kWpUrl = 0;
+inline constexpr int kWpRank = 1;
+inline constexpr int kWpContent = 2;
+
+}  // namespace manimal::workloads
+
+#endif  // MANIMAL_WORKLOADS_SCHEMAS_H_

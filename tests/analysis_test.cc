@@ -1,0 +1,410 @@
+// Unit tests for the static-analysis toolkit: control-flow graphs,
+// reaching definitions, symbolic expression recovery (use-def DAGs),
+// path enumeration, purity, and side-effect scanning.
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/expr_recovery.h"
+#include "analysis/paths.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/side_effects.h"
+#include "mril/builder.h"
+#include "tests/test_util.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal::analysis {
+namespace {
+
+using mril::Opcode;
+using mril::Program;
+using mril::ProgramBuilder;
+
+Schema SimpleSchema() {
+  return Schema({{"a", FieldType::kStr}, {"b", FieldType::kI64}});
+}
+
+// ---------------- CFG ----------------
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  ProgramBuilder b("straight");
+  b.SetValueSchema(SimpleSchema());
+  b.Map().LoadParam(0).LoadI64(1).Emit().Ret();
+  Program p = b.Build();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  EXPECT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_TRUE(cfg.edges().empty());
+  EXPECT_FALSE(cfg.HasCycle());
+}
+
+TEST(CfgTest, BranchMakesDiamond) {
+  Program p = workloads::ExampleRankFilter(1);
+  Cfg cfg = Cfg::Build(p.map_fn);
+  // Condition block, emit block, return block — matching Figure 4.
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  ASSERT_EQ(cfg.edges().size(), 3u);
+  int true_edges = 0, false_edges = 0, fall = 0;
+  for (const CfgEdge& e : cfg.edges()) {
+    if (e.kind == EdgeKind::kTrue) ++true_edges;
+    if (e.kind == EdgeKind::kFalse) ++false_edges;
+    if (e.kind == EdgeKind::kFallthrough) ++fall;
+  }
+  EXPECT_EQ(true_edges, 1);
+  EXPECT_EQ(false_edges, 1);
+  EXPECT_EQ(fall, 1);
+  EXPECT_FALSE(cfg.HasCycle());
+}
+
+TEST(CfgTest, BlockOfMapsEveryPc) {
+  Program p = workloads::Benchmark3Join(1, 2);
+  Cfg cfg = Cfg::Build(p.map_fn);
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    int b = cfg.BlockOf(pc);
+    ASSERT_GE(b, 0);
+    const BasicBlock& bb = cfg.block(b);
+    EXPECT_GE(pc, bb.first_pc);
+    EXPECT_LE(pc, bb.last_pc);
+  }
+}
+
+TEST(CfgTest, LoopIsDetected) {
+  Program p = workloads::Benchmark4UdfAggregation();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  EXPECT_TRUE(cfg.HasCycle());
+}
+
+TEST(CfgTest, ReachabilitySets) {
+  Program p = workloads::ExampleRankFilter(1);
+  Cfg cfg = Cfg::Build(p.map_fn);
+  // Find the emit block.
+  int emit_block = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kEmit) {
+      emit_block = cfg.BlockOf(pc);
+    }
+  }
+  ASSERT_GE(emit_block, 0);
+  std::vector<bool> reaches = cfg.BlocksReaching(emit_block);
+  EXPECT_TRUE(reaches[cfg.entry_block()]);
+  EXPECT_TRUE(reaches[emit_block]);
+  std::vector<bool> reachable = cfg.ReachableBlocks();
+  for (bool r : reachable) EXPECT_TRUE(r);  // no dead code here
+}
+
+TEST(CfgTest, DotOutputIsWellFormed) {
+  Program p = workloads::ExampleRankFilter(1);
+  Cfg cfg = Cfg::Build(p.map_fn);
+  std::string dot = cfg.ToDot(p, p.map_fn);
+  EXPECT_NE(dot.find("digraph cfg"), std::string::npos);
+  EXPECT_NE(dot.find("entry -> b0"), std::string::npos);
+  EXPECT_NE(dot.find("-> exit"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"true\""), std::string::npos);
+}
+
+// ---------------- reaching definitions ----------------
+
+TEST(ReachingDefsTest, SingleDefReachesUse) {
+  ProgramBuilder b("rd1");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadI64(5).StoreLocal(x);       // pc 0,1: def
+  m.LoadLocal(x).LoadI64(0).Emit(); // pc 2: use
+  m.Ret();
+  Program p = b.Build();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  ReachingDefs rd(p.map_fn, cfg);
+  ASSERT_EQ(rd.def_sites().size(), 1u);
+  auto defs = rd.DefsReaching(2, VarRef{VarRef::Kind::kLocal, x});
+  EXPECT_EQ(defs, (std::vector<int>{1}));
+}
+
+TEST(ReachingDefsTest, RedefinitionKills) {
+  ProgramBuilder b("rd2");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadI64(1).StoreLocal(x);  // def@1
+  m.LoadI64(2).StoreLocal(x);  // def@3 kills def@1
+  m.LoadLocal(x).LoadI64(0).Emit().Ret();
+  Program p = b.Build();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  ReachingDefs rd(p.map_fn, cfg);
+  auto defs = rd.DefsReaching(4, VarRef{VarRef::Kind::kLocal, x});
+  EXPECT_EQ(defs, (std::vector<int>{3}));
+}
+
+TEST(ReachingDefsTest, BothBranchDefsReachJoin) {
+  ProgramBuilder b("rd3");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadParam(1).GetField("b").LoadI64(0).CmpGt().JmpIfFalse("else");
+  m.LoadI64(1).StoreLocal(x);
+  m.Jmp("join");
+  m.Label("else");
+  m.LoadI64(2).StoreLocal(x);
+  m.Label("join");
+  m.LoadLocal(x).LoadI64(0).Emit().Ret();
+  Program p = b.Build();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  ReachingDefs rd(p.map_fn, cfg);
+  // Find the load_local pc.
+  int load_pc = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kLoadLocal) load_pc = pc;
+  }
+  ASSERT_GE(load_pc, 0);
+  auto defs = rd.DefsReaching(load_pc, VarRef{VarRef::Kind::kLocal, x});
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+// ---------------- expression recovery ----------------
+
+struct Recovered {
+  Program program;
+  Cfg cfg;
+  ReachingDefs reaching;
+  ExprRecovery recovery;
+
+  explicit Recovered(Program p)
+      : program(std::move(p)),
+        cfg(Cfg::Build(program.map_fn)),
+        reaching(program.map_fn, cfg),
+        recovery(program, program.map_fn, cfg, reaching) {}
+
+  int FindPc(Opcode op, int nth = 0) {
+    int seen = 0;
+    for (int pc = 0; pc < static_cast<int>(program.map_fn.code.size());
+         ++pc) {
+      if (program.map_fn.code[pc].op == op && seen++ == nth) return pc;
+    }
+    return -1;
+  }
+};
+
+TEST(ExprRecoveryTest, BranchConditionOfExample) {
+  Recovered r(workloads::ExampleRankFilter(1));
+  int branch = r.FindPc(Opcode::kJmpIfFalse);
+  ASSERT_GE(branch, 0);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  EXPECT_EQ(cond->ToString(), "(param1.field[1] cmp_gt i64:1)");
+  std::string why;
+  EXPECT_TRUE(IsFunctional(cond, &why)) << why;
+}
+
+TEST(ExprRecoveryTest, EmitOperandsOfExample) {
+  Recovered r(workloads::ExampleRankFilter(1));
+  int emit = r.FindPc(Opcode::kEmit);
+  ASSERT_GE(emit, 0);
+  auto [key, value] = r.recovery.EmitOperands(emit);
+  EXPECT_EQ(key->ToString(), "param0");
+  EXPECT_EQ(value->ToString(), "i64:1");
+}
+
+TEST(ExprRecoveryTest, MemberTaintsCondition) {
+  Recovered r(workloads::Figure2Unsafe(1));
+  // Second conditional branch tests numMapsRun > 200.
+  int branch = r.FindPc(Opcode::kJmpIfFalse);
+  ASSERT_GE(branch, 0);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  std::string why;
+  EXPECT_FALSE(IsFunctional(cond, &why));
+  EXPECT_NE(why.find("member"), std::string::npos);
+}
+
+TEST(ExprRecoveryTest, LocalsExpandThroughSingleDef) {
+  ProgramBuilder b("expand");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadParam(1).GetField("b").LoadI64(3).Mul().StoreLocal(x);
+  m.LoadLocal(x).LoadI64(10).CmpGt().JmpIfFalse("end");
+  m.LoadParam(0).LoadLocal(x).Emit();
+  m.Label("end").Ret();
+  Recovered r(b.Build());
+  int branch = r.FindPc(Opcode::kJmpIfFalse);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  EXPECT_EQ(cond->ToString(),
+            "((param1.field[1] mul i64:3) cmp_gt i64:10)");
+}
+
+TEST(ExprRecoveryTest, ConflictingDefsBecomeUnknown) {
+  ProgramBuilder b("conflict");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadParam(1).GetField("b").LoadI64(0).CmpGt().JmpIfFalse("else");
+  m.LoadI64(1).StoreLocal(x);
+  m.Jmp("join");
+  m.Label("else");
+  m.LoadI64(2).StoreLocal(x);
+  m.Label("join");
+  m.LoadLocal(x).LoadI64(0).CmpGt().JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  Recovered r(b.Build());
+  int branch = r.FindPc(Opcode::kJmpIfFalse, 1);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  std::string why;
+  EXPECT_FALSE(IsFunctional(cond, &why));
+}
+
+TEST(ExprRecoveryTest, EqualDefsOnBothPathsResolve) {
+  // Different paths store the *same* expression: the analyzer may
+  // still resolve it (Expr::Equals fold).
+  ProgramBuilder b("same-defs");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  int x = m.NewLocal();
+  m.LoadParam(1).GetField("b").LoadI64(0).CmpGt().JmpIfFalse("else");
+  m.LoadParam(1).GetField("b").StoreLocal(x);
+  m.Jmp("join");
+  m.Label("else");
+  m.LoadParam(1).GetField("b").StoreLocal(x);
+  m.Label("join");
+  m.LoadLocal(x).LoadI64(5).CmpGt().JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  Recovered r(b.Build());
+  int branch = r.FindPc(Opcode::kJmpIfFalse, 1);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  std::string why;
+  EXPECT_TRUE(IsFunctional(cond, &why)) << why;
+  EXPECT_EQ(cond->ToString(), "(param1.field[1] cmp_gt i64:5)");
+}
+
+TEST(ExprRecoveryTest, LoopCarriedValueIsUnknown) {
+  Recovered r(workloads::Benchmark4UdfAggregation());
+  // The loop-counter comparison i >= n involves loop-carried defs.
+  int branch = r.FindPc(Opcode::kJmpIfTrue);
+  ASSERT_GE(branch, 0);
+  ExprRef cond = r.recovery.BranchCondition(branch);
+  std::string why;
+  EXPECT_FALSE(IsFunctional(cond, &why));
+}
+
+TEST(ExprTest, EqualsIsStructural) {
+  ExprRef a = Expr::MakeOp(
+      Opcode::kCmpGt,
+      {Expr::MakeField(Expr::MakeParam(1, 0), 1, 1),
+       Expr::MakeConst(Value::I64(5), 2)},
+      3);
+  ExprRef b = Expr::MakeOp(
+      Opcode::kCmpGt,
+      {Expr::MakeField(Expr::MakeParam(1, 9), 1, 8),
+       Expr::MakeConst(Value::I64(5), 7)},
+      6);
+  EXPECT_TRUE(a->Equals(*b));  // origin pcs differ, structure equal
+  ExprRef c = Expr::MakeOp(
+      Opcode::kCmpGt,
+      {Expr::MakeField(Expr::MakeParam(1, 0), 2, 1),
+       Expr::MakeConst(Value::I64(5), 2)},
+      3);
+  EXPECT_FALSE(a->Equals(*c));  // different field
+  ExprRef u = Expr::MakeUnknown(0);
+  EXPECT_FALSE(u->Equals(*u));  // unknowns never equal
+}
+
+TEST(ExprTest, CollectUsedFields) {
+  ExprRef field1 = Expr::MakeField(Expr::MakeParam(1, 0), 1, 1);
+  ExprRef expr = Expr::MakeOp(
+      Opcode::kAdd,
+      {field1, Expr::MakeField(Expr::MakeParam(1, 0), 0, 2)},
+      3);
+  std::vector<bool> used(3, false);
+  EXPECT_TRUE(CollectUsedFields(expr, &used));
+  EXPECT_TRUE(used[0]);
+  EXPECT_TRUE(used[1]);
+  EXPECT_FALSE(used[2]);
+
+  // Whole-record escape defeats field-level tracking.
+  std::vector<bool> used2(3, false);
+  EXPECT_FALSE(CollectUsedFields(Expr::MakeParam(1, 0), &used2));
+}
+
+// ---------------- path enumeration ----------------
+
+TEST(PathsTest, ExampleHasOnePathToEmit) {
+  Program p = workloads::ExampleRankFilter(1);
+  Cfg cfg = Cfg::Build(p.map_fn);
+  int emit_block = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kEmit) emit_block = cfg.BlockOf(pc);
+  }
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumeratePathsTo(cfg, emit_block));
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].conditions.size(), 1u);
+  EXPECT_TRUE(paths[0].conditions[0].polarity);
+}
+
+TEST(PathsTest, DisjunctionYieldsTwoPaths) {
+  Program p = workloads::Figure2Unsafe(1);  // a || b guard
+  Cfg cfg = Cfg::Build(p.map_fn);
+  int emit_block = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kEmit) emit_block = cfg.BlockOf(pc);
+  }
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumeratePathsTo(cfg, emit_block));
+  ASSERT_EQ(paths.size(), 2u);
+  // One path: first condition true. Other: first false, second true.
+  EXPECT_EQ(paths[0].conditions.size() + paths[1].conditions.size(), 3u);
+}
+
+TEST(PathsTest, CyclesAreRejected) {
+  Program p = workloads::Benchmark4UdfAggregation();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  int emit_block = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kEmit) emit_block = cfg.BlockOf(pc);
+  }
+  auto result = EnumeratePathsTo(cfg, emit_block);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotSupported());
+}
+
+TEST(PathsTest, PathExplosionIsBounded) {
+  // 20 sequential diamonds -> 2^20 paths; must refuse, not hang.
+  ProgramBuilder b("explode");
+  b.SetValueSchema(SimpleSchema());
+  auto& m = b.Map();
+  for (int i = 0; i < 20; ++i) {
+    std::string label = "skip" + std::to_string(i);
+    m.LoadParam(1).GetField("b").LoadI64(i).CmpGt().JmpIfFalse(label);
+    m.LoadParam(1).GetField("b").Log();
+    m.Label(label);
+  }
+  m.LoadParam(0).LoadI64(1).Emit().Ret();
+  Program p = b.Build();
+  Cfg cfg = Cfg::Build(p.map_fn);
+  int emit_block = -1;
+  for (int pc = 0; pc < static_cast<int>(p.map_fn.code.size()); ++pc) {
+    if (p.map_fn.code[pc].op == Opcode::kEmit) emit_block = cfg.BlockOf(pc);
+  }
+  auto result = EnumeratePathsTo(cfg, emit_block, /*max_paths=*/1000);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------- side effects ----------------
+
+TEST(SideEffectsTest, FindsLogsMemberWritesAndImpureCalls) {
+  auto b1 = FindSideEffects(workloads::Benchmark1Selection(1).map_fn);
+  EXPECT_TRUE(b1.empty());
+
+  auto fig2 = FindSideEffects(workloads::Figure2Unsafe(1).map_fn);
+  ASSERT_EQ(fig2.size(), 1u);
+  EXPECT_EQ(fig2[0].kind, SideEffectKind::kMemberWrite);
+  EXPECT_TRUE(HasMemberWrites(workloads::Figure2Unsafe(1).map_fn));
+  EXPECT_FALSE(HasMemberWrites(workloads::Benchmark1Selection(1).map_fn));
+
+  auto b4 = FindSideEffects(workloads::Benchmark4UdfAggregation().map_fn);
+  bool saw_impure = false;
+  for (const auto& se : b4) {
+    if (se.kind == SideEffectKind::kImpureCall) saw_impure = true;
+  }
+  EXPECT_TRUE(saw_impure);
+}
+
+}  // namespace
+}  // namespace manimal::analysis

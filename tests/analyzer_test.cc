@@ -1,0 +1,475 @@
+// Unit tests for the Manimal analyzer: findSelect (Figure 3),
+// findProject (Figure 6), compression detection (Appendix C),
+// descriptor plumbing, interval derivation, expression evaluation, and
+// index-generation synthesis.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/compression.h"
+#include "analyzer/expr_eval.h"
+#include "analyzer/project.h"
+#include "analyzer/select.h"
+#include "serde/record_codec.h"
+#include "mril/builder.h"
+#include "tests/test_util.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal::analyzer {
+namespace {
+
+using mril::FunctionBuilder;
+using mril::Program;
+using mril::ProgramBuilder;
+
+Schema WebSchema() { return workloads::WebPagesSchema(); }
+
+Value WebRow(int64_t rank) {
+  return Value::List(
+      {Value::Str("http://u"), Value::I64(rank), Value::Str("c")});
+}
+
+// ---------------- findSelect ----------------
+
+TEST(SelectTest, SimpleThresholdIsDetectedAndIndexable) {
+  SelectResult r = FindSelect(workloads::ExampleRankFilter(10));
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  const SelectionDescriptor& d = *r.descriptor;
+  EXPECT_TRUE(d.indexable());
+  EXPECT_EQ(d.indexed_expr->ToString(), "param1.field[1]");
+  ASSERT_EQ(d.intervals.size(), 1u);
+  EXPECT_FALSE(d.intervals[0].hi.has_value());
+  ASSERT_TRUE(d.intervals[0].lo.has_value());
+  EXPECT_EQ(d.intervals[0].lo->i64(), 10);
+  EXPECT_FALSE(d.intervals[0].lo_inclusive);
+}
+
+TEST(SelectTest, FormulaMatchesActualEmissionBehaviour) {
+  Program p = workloads::ExampleRankFilter(10);
+  SelectResult r = FindSelect(p);
+  ASSERT_TRUE(r.descriptor.has_value());
+  for (int64_t rank : {-5, 0, 9, 10, 11, 1000}) {
+    ASSERT_OK_AND_ASSIGN(
+        bool formula_says,
+        EvalFormula(r.descriptor->formula, Value::I64(0), WebRow(rank)));
+    EXPECT_EQ(formula_says, rank > 10) << rank;
+  }
+}
+
+TEST(SelectTest, MemberWriteVetoes) {
+  SelectResult r = FindSelect(workloads::Figure2Unsafe(1));
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_NE(r.miss_reason.find("member"), std::string::npos);
+}
+
+TEST(SelectTest, AlwaysEmittingMapHasNoSelection) {
+  SelectResult r = FindSelect(workloads::Benchmark2Aggregation());
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_TRUE(r.always_emits);
+  EXPECT_TRUE(r.miss_reason.empty());
+}
+
+TEST(SelectTest, HashtableConditionVetoesWithSpecificReason) {
+  SelectResult r = FindSelect(workloads::Benchmark4UdfAggregation());
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_NE(r.miss_reason.find("purity knowledge"), std::string::npos);
+}
+
+TEST(SelectTest, ConjunctionBecomesOneInterval) {
+  SelectResult r = FindSelect(workloads::Benchmark3Join(100, 200));
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  ASSERT_EQ(r.descriptor->intervals.size(), 1u);
+  const KeyInterval& iv = r.descriptor->intervals[0];
+  EXPECT_EQ(iv.lo->i64(), 100);
+  EXPECT_TRUE(iv.lo_inclusive);
+  EXPECT_EQ(iv.hi->i64(), 200);
+  EXPECT_TRUE(iv.hi_inclusive);
+}
+
+TEST(SelectTest, DisjunctionBecomesIntervalUnion) {
+  // if (rank < 10 || rank > 90) emit — two intervals.
+  ProgramBuilder b("two-tails");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(10).CmpLt().JmpIfTrue("emit");
+  m.LoadParam(1).GetField("rank").LoadI64(90).CmpGt().JmpIfFalse("end");
+  m.Label("emit");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  ASSERT_EQ(r.descriptor->intervals.size(), 2u);
+  // (-inf, 10) and (90, +inf)
+  EXPECT_FALSE(r.descriptor->intervals[0].lo.has_value());
+  EXPECT_EQ(r.descriptor->intervals[0].hi->i64(), 10);
+  EXPECT_EQ(r.descriptor->intervals[1].lo->i64(), 90);
+  EXPECT_FALSE(r.descriptor->intervals[1].hi.has_value());
+
+  // The interval union must cover everything the formula accepts.
+  for (int64_t rank = 0; rank <= 100; ++rank) {
+    ASSERT_OK_AND_ASSIGN(bool accepted,
+                         EvalFormula(r.descriptor->formula, Value::I64(0),
+                                     WebRow(rank)));
+    bool covered = false;
+    for (const KeyInterval& iv : r.descriptor->intervals) {
+      covered = covered || iv.Contains(Value::I64(rank));
+    }
+    if (accepted) {
+      EXPECT_TRUE(covered) << rank;
+    }
+  }
+}
+
+TEST(SelectTest, EqualityBecomesPointInterval) {
+  ProgramBuilder b("point");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(42).CmpEq().JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  ASSERT_EQ(r.descriptor->intervals.size(), 1u);
+  EXPECT_EQ(r.descriptor->intervals[0].lo->i64(), 42);
+  EXPECT_EQ(r.descriptor->intervals[0].hi->i64(), 42);
+}
+
+TEST(SelectTest, TwoDifferentExpressionsAreNotRangeIndexable) {
+  // rank > 5 && len(url) > 3: functional, detected, but no single
+  // indexed expression.
+  ProgramBuilder b("two-exprs");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(5).CmpGt().JmpIfFalse("end");
+  m.LoadParam(1).GetField("url").Call("str.len").LoadI64(3).CmpGt()
+      .JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  EXPECT_FALSE(r.descriptor->indexable());
+}
+
+TEST(SelectTest, NegatedPolarityFlipsComparison) {
+  // if (rank <= 10) return; emit  — i.e. emit when !(rank <= 10).
+  ProgramBuilder b("negated");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(10).CmpLe().JmpIfTrue("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  ASSERT_EQ(r.descriptor->intervals.size(), 1u);
+  EXPECT_EQ(r.descriptor->intervals[0].lo->i64(), 10);
+  EXPECT_FALSE(r.descriptor->intervals[0].lo_inclusive);
+}
+
+TEST(SelectTest, MirroredConstantOnLeft) {
+  // if (10 < rank) emit
+  ProgramBuilder b("mirrored");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadI64(10).LoadParam(1).GetField("rank").CmpLt().JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  ASSERT_TRUE(r.descriptor->indexable());
+  EXPECT_EQ(r.descriptor->intervals[0].lo->i64(), 10);
+  EXPECT_FALSE(r.descriptor->intervals[0].lo_inclusive);
+}
+
+TEST(SelectTest, EmittedMemberDataVetoes) {
+  // Condition is functional, but emit(k, member) — skipping rows is
+  // still detectable... the value itself is not input-determined.
+  ProgramBuilder b("member-value");
+  b.SetValueSchema(WebSchema());
+  b.AddMember("state", Value::I64(0));
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(5).CmpGt().JmpIfFalse("end");
+  m.LoadParam(0).LoadMember("state").Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_FALSE(r.miss_reason.empty());
+}
+
+TEST(SelectTest, ContradictoryConjunctYieldsEmptyInterval) {
+  // rank > 10 && rank < 5: unsatisfiable; still safe (empty scan).
+  ProgramBuilder b("contradiction");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(10).CmpGt().JmpIfFalse("end");
+  m.LoadParam(1).GetField("rank").LoadI64(5).CmpLt().JmpIfFalse("end");
+  m.LoadParam(0).LoadI64(1).Emit();
+  m.Label("end").Ret();
+  SelectResult r = FindSelect(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  EXPECT_TRUE(r.descriptor->indexable());
+  EXPECT_TRUE(r.descriptor->intervals.empty());
+}
+
+// ---------------- findProject ----------------
+
+TEST(ProjectTest, DetectsUnusedFields) {
+  ProjectResult r = FindProject(workloads::ProjectionQuery(5));
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  EXPECT_EQ(r.descriptor->used_fields, (std::vector<int>{0, 1}));
+  EXPECT_EQ(r.descriptor->unneeded_fields, (std::vector<int>{2}));
+}
+
+TEST(ProjectTest, OpaqueInputDefeatsProjection) {
+  ProjectResult r = FindProject(workloads::Benchmark1Selection(5));
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_NE(r.miss_reason.find("custom serialization"),
+            std::string::npos);
+}
+
+TEST(ProjectTest, WholeRecordEmissionUsesEverything) {
+  ProjectResult r = FindProject(workloads::Benchmark3Join(1, 2));
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_TRUE(r.all_fields_used);
+}
+
+TEST(ProjectTest, LogOnlyFieldsAreProjectedAway) {
+  // content only feeds a debug log: Appendix C says logs don't count.
+  ProgramBuilder b("log-only");
+  b.SetValueSchema(WebSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("content").Log();
+  m.LoadParam(1).GetField("url");
+  m.LoadI64(1);
+  m.Emit().Ret();
+  ProjectResult r = FindProject(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  EXPECT_EQ(r.descriptor->used_fields, (std::vector<int>{0}));
+  EXPECT_EQ(r.descriptor->unneeded_fields, (std::vector<int>{1, 2}));
+}
+
+TEST(ProjectTest, MemberStoresKeepFieldsAlive) {
+  // rank flows into a member; members can reach later emits, so the
+  // field must be considered used.
+  ProgramBuilder b("member-flow");
+  b.SetValueSchema(WebSchema());
+  b.AddMember("acc", Value::I64(0));
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").StoreMember("acc");
+  m.LoadParam(1).GetField("url");
+  m.LoadI64(1);
+  m.Emit().Ret();
+  ProjectResult r = FindProject(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value());
+  EXPECT_EQ(r.descriptor->used_fields, (std::vector<int>{0, 1}));
+}
+
+TEST(ProjectTest, ImpureCallsVetoProjection) {
+  ProjectResult r = FindProject(workloads::Benchmark4UdfAggregation());
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_NE(r.miss_reason.find("purity"), std::string::npos);
+}
+
+TEST(ProjectTest, ConditionFieldsAreLive) {
+  ProjectResult r = FindProject(workloads::SelectionCountQuery(5));
+  ASSERT_TRUE(r.descriptor.has_value());
+  // url unused, rank used (condition + emit key).
+  EXPECT_EQ(r.descriptor->used_fields, (std::vector<int>{1}));
+}
+
+// ---------------- compression ----------------
+
+TEST(DeltaTest, DetectsIntegerFields) {
+  DeltaResult r = FindDeltaCompression(workloads::Benchmark2Aggregation());
+  ASSERT_TRUE(r.descriptor.has_value());
+  EXPECT_EQ(r.descriptor->numeric_fields,
+            (std::vector<int>{workloads::kUvVisitDate,
+                              workloads::kUvAdRevenue,
+                              workloads::kUvDuration}));
+}
+
+TEST(DeltaTest, OpaqueInputDefeatsDelta) {
+  DeltaResult r = FindDeltaCompression(workloads::Benchmark1Selection(5));
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_FALSE(r.miss_reason.empty());
+}
+
+TEST(DeltaTest, TextOnlySchemaHasNothingToCompress) {
+  DeltaResult r =
+      FindDeltaCompression(workloads::Benchmark4UdfAggregation());
+  EXPECT_FALSE(r.descriptor.has_value());
+  EXPECT_TRUE(r.no_numeric_fields);
+}
+
+TEST(DirectOpTest, EmitKeyOnlyUseIsEligible) {
+  DirectOpResult r = FindDirectOperation(workloads::DirectOpQuery());
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  EXPECT_EQ(r.descriptor->fields,
+            (std::vector<int>{workloads::kUvDestUrl}));
+}
+
+TEST(DirectOpTest, ReduceReadingKeyVetoesEmitKeyUse) {
+  // DurationSumQuery's reduce emits its key -> compressed codes would
+  // leak into output.
+  DirectOpResult r = FindDirectOperation(workloads::DurationSumQuery());
+  EXPECT_FALSE(r.descriptor.has_value());
+}
+
+TEST(DirectOpTest, SortedOutputRequirementVetoes) {
+  ProgramBuilder b("sorted-out");
+  b.SetKeyType(FieldType::kI64)
+      .SetValueSchema(workloads::UserVisitsSchema())
+      .RequireSortedOutput();
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("destURL");
+  m.LoadParam(1).GetField("duration");
+  m.Emit().Ret();
+  DirectOpResult r = FindDirectOperation(b.Build());
+  EXPECT_FALSE(r.descriptor.has_value());
+}
+
+TEST(DirectOpTest, EqualityAgainstConstantYieldsPatch) {
+  ProgramBuilder b("const-eq");
+  b.SetValueSchema(workloads::UserVisitsSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("countryCode").LoadStr("USA").CmpEq()
+      .JmpIfFalse("end");
+  m.LoadParam(1).GetField("duration");
+  m.LoadI64(1);
+  m.Emit();
+  m.Label("end").Ret();
+  DirectOpResult r = FindDirectOperation(b.Build());
+  ASSERT_TRUE(r.descriptor.has_value()) << r.miss_reason;
+  EXPECT_EQ(r.descriptor->fields,
+            (std::vector<int>{workloads::kUvCountryCode}));
+  ASSERT_EQ(r.descriptor->const_patches.size(), 1u);
+  EXPECT_EQ(r.descriptor->const_patches[0].field,
+            workloads::kUvCountryCode);
+}
+
+TEST(DirectOpTest, SubstringUseIsIneligible) {
+  ProgramBuilder b("substr-use");
+  b.SetValueSchema(workloads::UserVisitsSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("destURL").Call("url.host");
+  m.LoadParam(1).GetField("duration");
+  m.Emit().Ret();
+  DirectOpResult r = FindDirectOperation(b.Build());
+  EXPECT_FALSE(r.descriptor.has_value());
+}
+
+// ---------------- expression evaluation ----------------
+
+TEST(ExprEvalTest, EvaluatesRecoveredSelectionKey) {
+  SelectResult r = FindSelect(workloads::Benchmark1Selection(100));
+  ASSERT_TRUE(r.descriptor.has_value());
+  // Evaluate the indexed expression against an opaque blob.
+  Record tuple = {Value::Str("http://u"), Value::I64(777),
+                  Value::I64(3)};
+  ASSERT_OK_AND_ASSIGN(std::string blob, manimal::OpaqueTupleCodec::Pack(tuple));
+  ASSERT_OK_AND_ASSIGN(
+      Value key, EvalExpr(r.descriptor->indexed_expr, Value::I64(0),
+                          Value::Str(blob)));
+  EXPECT_EQ(key.i64(), 777);
+}
+
+TEST(ExprEvalTest, MemberExpressionsRefuseEvaluation) {
+  analysis::ExprRef member = analysis::Expr::MakeMember(0, 0);
+  EXPECT_FALSE(EvalExpr(member, Value::I64(0), Value::Null()).ok());
+}
+
+// ---------------- full Analyze + synthesis ----------------
+
+TEST(AnalyzerTest, ReportForBenchmark2) {
+  ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                       Analyze(workloads::Benchmark2Aggregation()));
+  EXPECT_FALSE(report.selection.has_value());
+  EXPECT_TRUE(report.projection.has_value());
+  EXPECT_TRUE(report.delta.has_value());
+  EXPECT_FALSE(report.direct_op.has_value());
+  EXPECT_TRUE(report.misses.empty()) << report.ToString();
+}
+
+TEST(AnalyzerTest, MalformedProgramIsAnError) {
+  Program p;
+  p.name = "broken";
+  p.map_fn.name = "map";
+  p.map_fn.num_params = 2;
+  p.map_fn.code = {{mril::Opcode::kPop, 0}, {mril::Opcode::kReturn, 0}};
+  EXPECT_FALSE(Analyze(p).ok());
+}
+
+TEST(IndexGenTest, MaximalCombinationComesFirst) {
+  ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                       Analyze(workloads::Benchmark2Aggregation()));
+  auto specs = SynthesizeIndexPrograms(workloads::Benchmark2Aggregation(),
+                                       report);
+  ASSERT_FALSE(specs.empty());
+  EXPECT_TRUE(specs[0].projection);
+  EXPECT_TRUE(specs[0].delta);
+  EXPECT_FALSE(specs[0].btree);
+  // Delta fields restricted to kept fields.
+  for (int f : specs[0].delta_fields) {
+    EXPECT_NE(std::find(specs[0].kept_fields.begin(),
+                        specs[0].kept_fields.end(), f),
+              specs[0].kept_fields.end());
+  }
+}
+
+TEST(IndexGenTest, SelectionConflictsWithDelta) {
+  ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                       Analyze(workloads::Benchmark3Join(1, 2)));
+  auto specs =
+      SynthesizeIndexPrograms(workloads::Benchmark3Join(1, 2), report);
+  ASSERT_FALSE(specs.empty());
+  // Paper footnote 3: selection is favored; the maximal program must
+  // not combine btree and delta.
+  EXPECT_TRUE(specs[0].btree);
+  EXPECT_FALSE(specs[0].delta);
+}
+
+TEST(IndexGenTest, SignaturesAreStableAndDistinct) {
+  ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                       Analyze(workloads::Benchmark2Aggregation()));
+  auto a = SynthesizeIndexPrograms(workloads::Benchmark2Aggregation(),
+                                   report);
+  auto b = SynthesizeIndexPrograms(workloads::Benchmark2Aggregation(),
+                                   report);
+  ASSERT_EQ(a.size(), b.size());
+  std::set<std::string> signatures;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Signature(), b[i].Signature());
+    signatures.insert(a[i].Signature());
+  }
+  EXPECT_EQ(signatures.size(), a.size());  // all distinct
+}
+
+TEST(IndexGenTest, NoOptimizationsNoSpecs) {
+  ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                       Analyze(workloads::Benchmark4UdfAggregation()));
+  auto specs = SynthesizeIndexPrograms(
+      workloads::Benchmark4UdfAggregation(), report);
+  EXPECT_TRUE(specs.empty());
+}
+
+TEST(IndexGenTest, ThresholdConstantDoesNotChangeSignature) {
+  // Different thresholds over the same keyed expression share the
+  // artifact (the B+Tree covers all keys; intervals narrow at plan
+  // time).
+  ASSERT_OK_AND_ASSIGN(AnalysisReport r1,
+                       Analyze(workloads::SelectionCountQuery(10)));
+  ASSERT_OK_AND_ASSIGN(AnalysisReport r2,
+                       Analyze(workloads::SelectionCountQuery(99)));
+  auto s1 =
+      SynthesizeIndexPrograms(workloads::SelectionCountQuery(10), r1);
+  auto s2 =
+      SynthesizeIndexPrograms(workloads::SelectionCountQuery(99), r2);
+  ASSERT_FALSE(s1.empty());
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].Signature(), s2[i].Signature());
+  }
+}
+
+}  // namespace
+}  // namespace manimal::analyzer

@@ -1,0 +1,237 @@
+// Tests for column-group storage (§2.1 extension): row-aligned sibling
+// files, zip reassembly, group selection, and the headline property —
+// one artifact serving many different projections through the full
+// system.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "columnar/column_groups.h"
+#include "common/random.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "mril/builder.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal::columnar {
+namespace {
+
+using testing::TempDir;
+
+Schema ThreeCols() {
+  return Schema({{"a", FieldType::kStr},
+                 {"b", FieldType::kI64},
+                 {"c", FieldType::kI64}});
+}
+
+Record Row(int i) {
+  return {Value::Str("s" + std::to_string(i)), Value::I64(i),
+          Value::I64(i * 2)};
+}
+
+TEST(ColumnGroupsTest, WriteReadRoundtrip) {
+  TempDir dir("cg1");
+  std::string manifest = dir.file("data.cgs");
+  const int n = 5000;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto writer,
+        ColumnGroupWriter::Create(manifest, ThreeCols(),
+                                  {{0}, {1, 2}}, /*records_per_block=*/64));
+    for (int i = 0; i < n; ++i) ASSERT_OK(writer->Append(i, Row(i)));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, ColumnGroupReader::Open(manifest));
+  EXPECT_EQ(reader->num_records(), static_cast<uint64_t>(n));
+  EXPECT_EQ(reader->groups().size(), 2u);
+
+  // Full zip reproduces every record.
+  auto all = reader->SelectGroups({});
+  EXPECT_EQ(all.stored_fields, (std::vector<int>{0, 1, 2}));
+  ASSERT_OK_AND_ASSIGN(auto stream,
+                       reader->Scan(all, 0, reader->num_blocks()));
+  int64_t key = 0;
+  Record record;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+    ASSERT_TRUE(more);
+    EXPECT_EQ(key, i);
+    EXPECT_EQ(record[0].str(), "s" + std::to_string(i));
+    EXPECT_EQ(record[1].i64(), i);
+    EXPECT_EQ(record[2].i64(), i * 2);
+  }
+  ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+  EXPECT_FALSE(more);
+}
+
+TEST(ColumnGroupsTest, SelectionPicksMinimalGroups) {
+  TempDir dir("cg2");
+  std::string manifest = dir.file("data.cgs");
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto writer, ColumnGroupWriter::Create(manifest, ThreeCols(),
+                                               {{0}, {1}, {2}}, 64));
+    for (int i = 0; i < 1000; ++i) ASSERT_OK(writer->Append(i, Row(i)));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, ColumnGroupReader::Open(manifest));
+
+  auto only_c = reader->SelectGroups({2});
+  EXPECT_EQ(only_c.group_indexes, (std::vector<int>{2}));
+  EXPECT_EQ(only_c.stored_fields, (std::vector<int>{2}));
+  EXPECT_LT(only_c.bytes, reader->total_bytes() / 2);
+
+  auto b_and_c = reader->SelectGroups({2, 1});
+  EXPECT_EQ(b_and_c.group_indexes, (std::vector<int>{1, 2}));
+  EXPECT_EQ(b_and_c.stored_fields, (std::vector<int>{1, 2}));
+
+  // Reading the selected subset yields the right columns.
+  ASSERT_OK_AND_ASSIGN(auto stream,
+                       reader->Scan(only_c, 0, reader->num_blocks()));
+  int64_t key = 0;
+  Record record;
+  ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+  ASSERT_TRUE(more);
+  ASSERT_EQ(record.size(), 1u);
+  EXPECT_EQ(record[0].i64(), 0);
+}
+
+TEST(ColumnGroupsTest, EmptyNeedReadsSmallestGroup) {
+  TempDir dir("cg3");
+  std::string manifest = dir.file("data.cgs");
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto writer, ColumnGroupWriter::Create(manifest, ThreeCols(),
+                                               {{0}, {1}, {2}}, 64));
+    for (int i = 0; i < 500; ++i) ASSERT_OK(writer->Append(i, Row(i)));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, ColumnGroupReader::Open(manifest));
+  auto none = reader->SelectGroups({2});
+  auto sel = reader->SelectGroups(std::vector<int>{});
+  // Empty need means "all fields" per SelectGroups contract.
+  EXPECT_EQ(sel.group_indexes.size(), 3u);
+  (void)none;
+}
+
+TEST(ColumnGroupsTest, GroupingValidation) {
+  TempDir dir("cg4");
+  // Overlapping groups.
+  EXPECT_FALSE(ColumnGroupWriter::Create(dir.file("a.cgs"), ThreeCols(),
+                                         {{0, 1}, {1, 2}}, 64)
+                   .ok());
+  // Missing field.
+  EXPECT_FALSE(ColumnGroupWriter::Create(dir.file("b.cgs"), ThreeCols(),
+                                         {{0}, {1}}, 64)
+                   .ok());
+  // Opaque schema.
+  EXPECT_FALSE(ColumnGroupWriter::Create(dir.file("c.cgs"),
+                                         Schema::Opaque(), {{0}}, 64)
+                   .ok());
+}
+
+TEST(ColumnGroupsTest, CorruptManifestRejected) {
+  TempDir dir("cg5");
+  ASSERT_OK(WriteStringToFile(dir.file("bad.cgs"), "not a manifest"));
+  EXPECT_FALSE(ColumnGroupReader::Open(dir.file("bad.cgs")).ok());
+}
+
+TEST(ColumnGroupsTest, SplitRangesPartitionRows) {
+  TempDir dir("cg6");
+  std::string manifest = dir.file("data.cgs");
+  const int n = 3000;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto writer, ColumnGroupWriter::Create(manifest, ThreeCols(),
+                                               PerFieldGrouping(ThreeCols()),
+                                               /*records_per_block=*/50));
+    for (int i = 0; i < n; ++i) ASSERT_OK(writer->Append(i, Row(i)));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, ColumnGroupReader::Open(manifest));
+  auto sel = reader->SelectGroups({0, 2});
+  uint64_t mid = reader->num_blocks() / 2;
+  int seen = 0;
+  for (auto [b, e] :
+       {std::pair<uint64_t, uint64_t>{0, mid},
+        std::pair<uint64_t, uint64_t>{mid, reader->num_blocks()}}) {
+    ASSERT_OK_AND_ASSIGN(auto stream, reader->Scan(sel, b, e));
+    int64_t key = 0;
+    Record record;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+      if (!more) break;
+      EXPECT_EQ(key, seen);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, n);
+}
+
+// The headline: one artifact, many projections, all through the full
+// system with baseline-identical outputs.
+TEST(ColumnGroupsTest, OneArtifactServesManyProjections) {
+  TempDir dir("cg7");
+  workloads::UserVisitsOptions gen;
+  gen.num_visits = 10000;
+  gen.num_pages = 500;
+  ASSERT_OK(
+      workloads::GenerateUserVisits(dir.file("visits.msq"), gen).status());
+
+  core::ManimalSystem::Options options;
+  options.workspace_dir = dir.file("ws");
+  options.simulated_startup_seconds = 0;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+
+  // Query A reads {sourceIP, adRevenue}; query B reads {destURL,
+  // duration}. Build ONLY query A's column-group artifact.
+  mril::Program query_a = workloads::Benchmark2Aggregation();
+  mril::Program query_b = workloads::DurationSumQuery();
+  {
+    ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(query_a));
+    auto specs = analyzer::SynthesizeIndexPrograms(query_a, report);
+    const analyzer::IndexGenProgram* cgroups = nullptr;
+    for (const auto& s : specs) {
+      if (s.column_groups) cgroups = &s;
+    }
+    ASSERT_NE(cgroups, nullptr);
+    ASSERT_OK(
+        system->BuildIndex(*cgroups, dir.file("visits.msq")).status());
+  }
+
+  for (auto [program, name] :
+       {std::pair<mril::Program, const char*>{query_a, "a"},
+        std::pair<mril::Program, const char*>{query_b, "b"}}) {
+    core::ManimalSystem::Submission job;
+    job.program = program;
+    job.input_path = dir.file("visits.msq");
+    job.output_path = dir.file(std::string("base-") + name + ".prs");
+    ASSERT_OK_AND_ASSIGN(auto baseline, system->RunBaseline(job));
+
+    job.output_path = dir.file(std::string("opt-") + name + ".prs");
+    ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+    // Both queries — including B, which the artifact was never built
+    // for — pick up the column groups.
+    ASSERT_TRUE(outcome.plan.optimized) << outcome.plan.explanation;
+    EXPECT_NE(outcome.plan.explanation.find("cgroups"),
+              std::string::npos);
+    EXPECT_LT(outcome.job.counters.input_bytes,
+              baseline.counters.input_bytes / 2);
+
+    ASSERT_OK_AND_ASSIGN(
+        auto base_pairs,
+        exec::ReadCanonicalPairs(
+            dir.file(std::string("base-") + name + ".prs")));
+    ASSERT_OK_AND_ASSIGN(
+        auto opt_pairs,
+        exec::ReadCanonicalPairs(
+            dir.file(std::string("opt-") + name + ".prs")));
+    EXPECT_EQ(base_pairs, opt_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace manimal::columnar

@@ -1,0 +1,218 @@
+// Tests for cost-based planning: selectivity estimation from B+Tree
+// fan-out, per-candidate pricing, and the planner declining indexes
+// that would read more than the scan — including end-to-end
+// equivalence whichever mode picks the plan.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "index/btree.h"
+#include "optimizer/cost.h"
+#include "optimizer/optimizer.h"
+#include "serde/key_codec.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+
+namespace manimal::optimizer {
+namespace {
+
+using testing::TempDir;
+
+std::string Key(int64_t v) {
+  std::string out;
+  EXPECT_OK(EncodeOrderedKey(Value::I64(v), &out));
+  return out;
+}
+
+TEST(CostTest, RangeFractionFromFanout) {
+  TempDir dir("cost-frac");
+  std::string path = dir.file("t.idx");
+  {
+    index::BTreeBuilder::Options opts;
+    opts.target_node_bytes = 512;  // many root children
+    ASSERT_OK_AND_ASSIGN(auto builder,
+                         index::BTreeBuilder::Create(path, opts));
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_OK(builder->Add(Key(i), "p"));
+    }
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, index::BTreeReader::Open(path));
+
+  // Uniform keys 0..9999: the estimate should track the true fraction
+  // within the fan-out granularity.
+  struct Case {
+    int64_t lo, hi;
+    double expected;
+  };
+  for (const Case& c : {Case{0, 9999, 1.0}, Case{0, 4999, 0.5},
+                        Case{9000, 9999, 0.1}, Case{5000, 5999, 0.1}}) {
+    ASSERT_OK_AND_ASSIGN(double fraction,
+                         reader->EstimateRangeFraction(Key(c.lo),
+                                                       Key(c.hi)));
+    EXPECT_NEAR(fraction, c.expected, 0.12)
+        << "[" << c.lo << "," << c.hi << "]";
+  }
+  // Unbounded ranges.
+  ASSERT_OK_AND_ASSIGN(double all,
+                       reader->EstimateRangeFraction(std::nullopt,
+                                                     std::nullopt));
+  EXPECT_DOUBLE_EQ(all, 1.0);
+  // Out-of-range lower bound: only the last root child can be counted
+  // (its upper extent is unknown to the estimator), so the estimate is
+  // small but conservatively nonzero.
+  ASSERT_OK_AND_ASSIGN(double none, reader->EstimateRangeFraction(
+                                        Key(20000), std::nullopt));
+  EXPECT_LT(none, 0.2);
+}
+
+TEST(CostTest, SingleLeafIsExact) {
+  TempDir dir("cost-leaf");
+  std::string path = dir.file("t.idx");
+  {
+    ASSERT_OK_AND_ASSIGN(auto builder, index::BTreeBuilder::Create(path));
+    for (int i = 0; i < 20; ++i) ASSERT_OK(builder->Add(Key(i), "p"));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, index::BTreeReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(double fraction,
+                       reader->EstimateRangeFraction(Key(5), Key(9)));
+  EXPECT_DOUBLE_EQ(fraction, 0.25);  // 5 of 20
+}
+
+class CostPlanningTest : public ::testing::Test {
+ protected:
+  CostPlanningTest() : dir_("cost-plan") {
+    workloads::WebPagesOptions gen;
+    gen.num_pages = 8000;
+    gen.content_len = 96;
+    gen.rank_range = 1000;
+    EXPECT_TRUE(
+        workloads::GenerateWebPages(dir_.file("pages.msq"), gen).ok());
+  }
+
+  std::unique_ptr<core::ManimalSystem> OpenSystem(bool cost_based) {
+    core::ManimalSystem::Options options;
+    options.workspace_dir =
+        dir_.file(cost_based ? "ws-cost" : "ws-rule");
+    options.simulated_startup_seconds = 0;
+    options.cost_based_optimizer = cost_based;
+    auto system_or = core::ManimalSystem::Open(options);
+    EXPECT_TRUE(system_or.ok());
+    return std::move(system_or).value();
+  }
+
+  // Builds only the locator-btree artifact for `program`.
+  void BuildLocatorOnly(core::ManimalSystem* system,
+                        const mril::Program& program) {
+    auto report_or = analyzer::Analyze(program);
+    ASSERT_TRUE(report_or.ok());
+    auto specs = analyzer::SynthesizeIndexPrograms(program, *report_or);
+    const analyzer::IndexGenProgram* locator = nullptr;
+    for (const auto& s : specs) {
+      if (s.btree && !s.clustered && !s.projection) locator = &s;
+    }
+    ASSERT_NE(locator, nullptr);
+    ASSERT_OK(
+        system->BuildIndex(*locator, dir_.file("pages.msq")).status());
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(CostPlanningTest, DeclinesIndexWorseThanScan) {
+  // 80% selectivity: a locator index reads the index PLUS nearly every
+  // base block — strictly worse than scanning. Rule-based uses it
+  // anyway; cost-based declines.
+  mril::Program program = workloads::SelectionCountQuery(200);
+
+  auto rule_system = OpenSystem(false);
+  BuildLocatorOnly(rule_system.get(), program);
+  core::ManimalSystem::Submission job;
+  job.program = program;
+  job.input_path = dir_.file("pages.msq");
+  job.output_path = dir_.file("rule.prs");
+  ASSERT_OK_AND_ASSIGN(auto rule, rule_system->Submit(job));
+  EXPECT_TRUE(rule.plan.optimized);
+  EXPECT_NE(rule.plan.explanation.find("btree"), std::string::npos);
+
+  auto cost_system = OpenSystem(true);
+  BuildLocatorOnly(cost_system.get(), program);
+  job.output_path = dir_.file("cost.prs");
+  ASSERT_OK_AND_ASSIGN(auto cost, cost_system->Submit(job));
+  EXPECT_NE(cost.plan.explanation.find("no cataloged artifact beats"),
+            std::string::npos)
+      << cost.plan.explanation;
+  // Cost-based read fewer or equal bytes than the misused index.
+  EXPECT_LE(cost.job.counters.input_bytes,
+            rule.job.counters.input_bytes);
+
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       exec::ReadCanonicalPairs(dir_.file("rule.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       exec::ReadCanonicalPairs(dir_.file("cost.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CostPlanningTest, PicksIndexAtNeedleSelectivity) {
+  // ~0.1% selectivity: even the byte-conservative cost model (every
+  // match may decode a whole base block) prices the index far below
+  // the scan.
+  mril::Program program = workloads::SelectionCountQuery(999);
+  auto cost_system = OpenSystem(true);
+  BuildLocatorOnly(cost_system.get(), program);
+  core::ManimalSystem::Submission job;
+  job.program = program;
+  job.input_path = dir_.file("pages.msq");
+  job.output_path = dir_.file("needle.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, cost_system->Submit(job));
+  EXPECT_TRUE(outcome.plan.optimized) << outcome.plan.explanation;
+  EXPECT_NE(outcome.plan.explanation.find("cost-based choice"),
+            std::string::npos);
+  EXPECT_LT(outcome.job.counters.map_invocations, 400u);
+}
+
+TEST_F(CostPlanningTest, ChoosesCheapestAmongSeveral) {
+  // Build locator btree AND clustered btree AND projection; at 50%
+  // selectivity the projection artifact (tiny rows, full scan) should
+  // win on bytes.
+  mril::Program program = workloads::SelectionCountQuery(500);
+  auto system = OpenSystem(true);
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  for (const auto& s : specs) {
+    ASSERT_OK(system->BuildIndex(s, dir_.file("pages.msq")).status());
+  }
+  core::ManimalSystem::Submission job;
+  job.program = program;
+  job.input_path = dir_.file("pages.msq");
+  job.output_path = dir_.file("multi.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+  ASSERT_TRUE(outcome.plan.optimized);
+  // Whatever won, its realized bytes must be below the raw input size.
+  ASSERT_OK_AND_ASSIGN(uint64_t input_bytes,
+                       GetFileSize(dir_.file("pages.msq")));
+  EXPECT_LT(outcome.job.counters.input_bytes, input_bytes / 2);
+
+  // And the output still matches the baseline.
+  job.output_path = dir_.file("base.prs");
+  ASSERT_OK_AND_ASSIGN(auto baseline, system->RunBaseline(job));
+  (void)baseline;
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       exec::ReadCanonicalPairs(dir_.file("multi.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       exec::ReadCanonicalPairs(dir_.file("base.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST(CostTest, BaselineCostIsInputSize) {
+  CandidateCost cost = BaselineCost(12345);
+  EXPECT_DOUBLE_EQ(cost.bytes, 12345.0);
+  EXPECT_DOUBLE_EQ(cost.selectivity, 1.0);
+}
+
+}  // namespace
+}  // namespace manimal::optimizer

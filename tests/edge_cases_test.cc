@@ -1,0 +1,206 @@
+// Targeted edge-case tests that the broad suites skim over: empty and
+// single-record jobs, descriptor descriptions, optimizer preference
+// between a program-exact projection artifact and column groups, and
+// catalog/workspace interactions.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "columnar/seqfile.h"
+#include "core/manimal.h"
+#include "exec/engine.h"
+#include "exec/pairfile.h"
+#include "mril/builder.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal {
+namespace {
+
+using testing::TempDir;
+
+exec::JobConfig SmallConfig(const TempDir& dir, const std::string& name) {
+  exec::JobConfig config;
+  config.map_parallelism = 2;
+  config.num_partitions = 2;
+  config.temp_dir = dir.file("tmp-" + name);
+  config.output_path = dir.file(name);
+  config.simulated_startup_seconds = 0;
+  config.simulated_disk_bytes_per_sec = 0;
+  return config;
+}
+
+TEST(EdgeCasesTest, ReduceJobOnEmptyInput) {
+  TempDir dir("edge-empty");
+  {
+    auto writer =
+        std::move(columnar::SeqFileWriter::Create(
+                      dir.file("empty.msq"),
+                      columnar::PlainMeta(workloads::WebPagesSchema())))
+            .value();
+    ASSERT_OK(writer->Finish().status());
+  }
+  mril::Program program = workloads::SelectionCountQuery(0);
+  auto d = optimizer::BaselineDescriptor(program, dir.file("empty.msq"));
+  ASSERT_OK_AND_ASSIGN(exec::JobResult result,
+                       exec::RunJob(d, SmallConfig(dir, "out.prs")));
+  EXPECT_EQ(result.counters.input_records, 0u);
+  EXPECT_EQ(result.counters.output_records, 0u);
+  ASSERT_OK_AND_ASSIGN(auto pairs,
+                       exec::ReadAllPairs(dir.file("out.prs")));
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(EdgeCasesTest, SingleRecordJob) {
+  TempDir dir("edge-one");
+  {
+    auto writer =
+        std::move(columnar::SeqFileWriter::Create(
+                      dir.file("one.msq"),
+                      columnar::PlainMeta(workloads::WebPagesSchema())))
+            .value();
+    ASSERT_OK(writer->Append({Value::Str("http://only"), Value::I64(7),
+                              Value::Str("c")}));
+    ASSERT_OK(writer->Finish().status());
+  }
+  mril::Program program = workloads::SelectionCountQuery(0);
+  auto d = optimizer::BaselineDescriptor(program, dir.file("one.msq"));
+  ASSERT_OK_AND_ASSIGN(exec::JobResult result,
+                       exec::RunJob(d, SmallConfig(dir, "out.prs")));
+  ASSERT_OK_AND_ASSIGN(auto pairs,
+                       exec::ReadAllPairs(dir.file("out.prs")));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first.i64(), 7);
+  EXPECT_EQ(pairs[0].second.i64(), 1);
+  EXPECT_EQ(result.counters.reduce_groups, 1u);
+}
+
+TEST(EdgeCasesTest, NeverMatchingSelectionScansNothing) {
+  TempDir dir("edge-none");
+  workloads::WebPagesOptions gen;
+  gen.num_pages = 2000;
+  gen.content_len = 64;
+  gen.rank_range = 100;
+  ASSERT_OK(
+      workloads::GenerateWebPages(dir.file("pages.msq"), gen).status());
+
+  core::ManimalSystem::Options options;
+  options.workspace_dir = dir.file("ws");
+  options.simulated_startup_seconds = 0;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+
+  // rank > 10^9 never matches.
+  mril::Program program = workloads::SelectionCountQuery(1000000000);
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  ASSERT_FALSE(specs.empty());
+  ASSERT_OK(system->BuildIndex(specs[0], dir.file("pages.msq")).status());
+
+  core::ManimalSystem::Submission job;
+  job.program = program;
+  job.input_path = dir.file("pages.msq");
+  job.output_path = dir.file("out.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+  EXPECT_TRUE(outcome.plan.optimized);
+  EXPECT_EQ(outcome.job.counters.map_invocations, 0u);
+  EXPECT_EQ(outcome.job.counters.output_records, 0u);
+}
+
+TEST(EdgeCasesTest, DescriptorDescriptions) {
+  exec::ExecutionDescriptor d;
+  d.data_path = "/x/data.msq";
+  EXPECT_NE(d.Describe().find("seqscan"), std::string::npos);
+  d.access_path = exec::AccessPath::kBTree;
+  analyzer::KeyInterval iv;
+  iv.lo = Value::I64(5);
+  d.intervals.push_back(iv);
+  d.applied.push_back("selection(test)");
+  std::string text = d.Describe();
+  EXPECT_NE(text.find("btree"), std::string::npos);
+  EXPECT_NE(text.find("[i64:5, +inf]"), std::string::npos);
+  EXPECT_NE(text.find("selection(test)"), std::string::npos);
+  d.access_path = exec::AccessPath::kColumnGroups;
+  EXPECT_NE(d.Describe().find("column-groups"), std::string::npos);
+}
+
+TEST(EdgeCasesTest, ExactProjectionBeatsColumnGroups) {
+  TempDir dir("edge-rank");
+  workloads::UserVisitsOptions gen;
+  gen.num_visits = 3000;
+  gen.num_pages = 100;
+  ASSERT_OK(
+      workloads::GenerateUserVisits(dir.file("visits.msq"), gen).status());
+  core::ManimalSystem::Options options;
+  options.workspace_dir = dir.file("ws");
+  options.simulated_startup_seconds = 0;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+
+  mril::Program program = workloads::Benchmark2Aggregation();
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  const analyzer::IndexGenProgram* exact = nullptr;
+  const analyzer::IndexGenProgram* cgroups = nullptr;
+  for (const auto& s : specs) {
+    if (s.projection && !s.btree && !s.delta && !s.column_groups) {
+      exact = &s;
+    }
+    if (s.column_groups) cgroups = &s;
+  }
+  ASSERT_NE(exact, nullptr);
+  ASSERT_NE(cgroups, nullptr);
+  ASSERT_OK(system->BuildIndex(*cgroups, dir.file("visits.msq")).status());
+  ASSERT_OK(system->BuildIndex(*exact, dir.file("visits.msq")).status());
+
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, optimizer::BuildPlan(program, dir.file("visits.msq"),
+                                      report, system->catalog()));
+  ASSERT_TRUE(plan.optimized);
+  // The program-exact projection ranks above the generic column
+  // groups.
+  bool used_cgroups = false;
+  for (const auto& applied : plan.descriptor.applied) {
+    if (applied.find("column-groups") != std::string::npos) {
+      used_cgroups = true;
+    }
+  }
+  EXPECT_FALSE(used_cgroups) << plan.explanation;
+}
+
+TEST(EdgeCasesTest, SimulatedDiskZeroDisablesAccounting) {
+  TempDir dir("edge-disk");
+  workloads::WebPagesOptions gen;
+  gen.num_pages = 200;
+  gen.content_len = 32;
+  ASSERT_OK(
+      workloads::GenerateWebPages(dir.file("pages.msq"), gen).status());
+  mril::Program program = workloads::ProjectionQuery(50);
+  auto d = optimizer::BaselineDescriptor(program, dir.file("pages.msq"));
+  exec::JobConfig config = SmallConfig(dir, "out.prs");
+  config.simulated_disk_bytes_per_sec = 0;
+  ASSERT_OK_AND_ASSIGN(exec::JobResult result, exec::RunJob(d, config));
+  EXPECT_EQ(result.simulated_io_seconds, 0.0);
+  EXPECT_EQ(result.reported_seconds, result.wall_seconds);
+}
+
+TEST(EdgeCasesTest, IntervalContainsSemantics) {
+  analyzer::KeyInterval iv;
+  iv.lo = Value::I64(10);
+  iv.lo_inclusive = false;
+  iv.hi = Value::I64(20);
+  iv.hi_inclusive = true;
+  EXPECT_FALSE(iv.Contains(Value::I64(10)));
+  EXPECT_TRUE(iv.Contains(Value::I64(11)));
+  EXPECT_TRUE(iv.Contains(Value::I64(20)));
+  EXPECT_FALSE(iv.Contains(Value::I64(21)));
+  EXPECT_EQ(iv.ToString(), "(i64:10, i64:20]");
+
+  analyzer::KeyInterval unbounded;
+  EXPECT_TRUE(unbounded.Contains(Value::I64(INT64_MIN)));
+  EXPECT_TRUE(unbounded.Contains(Value::Str("anything")));
+}
+
+}  // namespace
+}  // namespace manimal

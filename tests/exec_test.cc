@@ -1,0 +1,357 @@
+// Tests for the execution fabric: pair files, input planning (seqscan
+// and both B+Tree layouts), the MapReduce engine, and index builds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analyzer/analyzer.h"
+#include "exec/engine.h"
+#include "exec/index_build.h"
+#include "exec/pairfile.h"
+#include "mril/builder.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal::exec {
+namespace {
+
+using testing::TempDir;
+
+// ---------------- pair files ----------------
+
+TEST(PairFileTest, Roundtrip) {
+  TempDir dir("pairs");
+  std::string path = dir.file("out.prs");
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, PairFileWriter::Create(path));
+    ASSERT_OK(writer->Append(Value::Str("k1"), Value::I64(1)));
+    ASSERT_OK(writer->Append(Value::I64(2), Value::List({Value::I64(3)})));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto pairs, ReadAllPairs(path));
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first.str(), "k1");
+  EXPECT_EQ(pairs[1].second.list()[0].i64(), 3);
+}
+
+TEST(PairFileTest, CanonicalFormIsOrderInsensitive) {
+  TempDir dir("pairs2");
+  auto write = [&dir](const std::string& name, bool reversed) {
+    auto writer =
+        std::move(PairFileWriter::Create(dir.file(name))).value();
+    std::vector<std::pair<Value, Value>> pairs = {
+        {Value::Str("a"), Value::I64(1)}, {Value::Str("b"), Value::I64(2)}};
+    if (reversed) std::reverse(pairs.begin(), pairs.end());
+    for (auto& [k, v] : pairs) EXPECT_OK(writer->Append(k, v));
+    EXPECT_OK(writer->Finish().status());
+  };
+  write("fwd.prs", false);
+  write("rev.prs", true);
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir.file("fwd.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir.file("rev.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST(PairFileTest, RejectsGarbage) {
+  TempDir dir("pairs3");
+  ASSERT_OK(WriteStringToFile(dir.file("bad"), "garbage here"));
+  EXPECT_FALSE(ReadAllPairs(dir.file("bad")).ok());
+}
+
+// ---------------- engine fixtures ----------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : dir_("engine") {
+    workloads::WebPagesOptions gen;
+    gen.num_pages = 3000;
+    gen.content_len = 64;
+    gen.rank_range = 100;
+    auto stats =
+        workloads::GenerateWebPages(dir_.file("pages.msq"), gen);
+    EXPECT_TRUE(stats.ok());
+  }
+
+  JobConfig Config(const std::string& out_name) {
+    JobConfig config;
+    config.map_parallelism = 3;
+    config.num_partitions = 3;
+    config.temp_dir = dir_.file("tmp-" + out_name);
+    config.output_path = dir_.file(out_name);
+    config.simulated_startup_seconds = 0;
+    config.simulated_disk_bytes_per_sec = 0;
+    return config;
+  }
+
+  ExecutionDescriptor Baseline(const mril::Program& program) {
+    return optimizer::BaselineDescriptor(program, dir_.file("pages.msq"));
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(EngineTest, MapOnlyJobEmitsFilteredPairs) {
+  // rank > 49 keeps about half the rows.
+  mril::Program program = workloads::ProjectionQuery(49);
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), Config("out.prs")));
+  EXPECT_EQ(result.counters.input_records, 3000u);
+  EXPECT_EQ(result.counters.map_invocations, 3000u);
+  EXPECT_GT(result.counters.output_records, 1000u);
+  EXPECT_LT(result.counters.output_records, 2000u);
+  ASSERT_OK_AND_ASSIGN(auto pairs, ReadAllPairs(dir_.file("out.prs")));
+  EXPECT_EQ(pairs.size(), result.counters.output_records);
+  for (const auto& [url, rank] : pairs) {
+    EXPECT_GT(rank.i64(), 49);
+  }
+}
+
+TEST_F(EngineTest, ReduceJobGroupsAndSums) {
+  // count per rank: ranks in [0,100) over 3000 rows.
+  mril::Program program = workloads::SelectionCountQuery(-1);
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), Config("out.prs")));
+  ASSERT_OK_AND_ASSIGN(auto pairs, ReadAllPairs(dir_.file("out.prs")));
+  EXPECT_EQ(pairs.size(), result.counters.reduce_groups);
+  int64_t total = 0;
+  std::set<int64_t> seen_ranks;
+  for (const auto& [rank, count] : pairs) {
+    total += count.i64();
+    EXPECT_TRUE(seen_ranks.insert(rank.i64()).second)
+        << "duplicate group key";
+  }
+  EXPECT_EQ(total, 3000);  // every record counted exactly once
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns) {
+  mril::Program program = workloads::SelectionCountQuery(20);
+  ASSERT_OK(RunJob(Baseline(program), Config("a.prs")).status());
+  ASSERT_OK(RunJob(Baseline(program), Config("b.prs")).status());
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir_.file("a.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir_.file("b.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EngineTest, PartitionCountDoesNotChangeOutput) {
+  mril::Program program = workloads::SelectionCountQuery(20);
+  JobConfig one = Config("one.prs");
+  one.num_partitions = 1;
+  JobConfig many = Config("many.prs");
+  many.num_partitions = 7;
+  ASSERT_OK(RunJob(Baseline(program), one).status());
+  ASSERT_OK(RunJob(Baseline(program), many).status());
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir_.file("one.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir_.file("many.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EngineTest, UserErrorFailsTheJob) {
+  // map divides by a field that is zero for some rows.
+  mril::ProgramBuilder b("boom");
+  b.SetValueSchema(workloads::WebPagesSchema());
+  auto& m = b.Map();
+  m.LoadI64(100).LoadParam(1).GetField("rank").Div();
+  m.LoadI64(0).Emit().Ret();
+  mril::Program program = b.Build();
+  auto result = RunJob(Baseline(program), Config("out.prs"));
+  EXPECT_FALSE(result.ok());  // some row has rank == 0
+}
+
+TEST_F(EngineTest, LogMessagesAreCounted) {
+  mril::ProgramBuilder b("logger");
+  b.SetValueSchema(workloads::WebPagesSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank").Log();
+  m.LoadParam(0).LoadI64(1).Emit().Ret();
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(b.Build()), Config("out.prs")));
+  EXPECT_EQ(result.counters.log_messages, 3000u);
+}
+
+TEST_F(EngineTest, SimulatedCostsAppearInReportedTime) {
+  mril::Program program = workloads::ProjectionQuery(1000);  // emits none
+  JobConfig config = Config("out.prs");
+  config.simulated_startup_seconds = 2.5;
+  config.simulated_disk_bytes_per_sec = 1u << 20;
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), config));
+  EXPECT_GT(result.simulated_io_seconds, 0.0);
+  EXPECT_GE(result.reported_seconds,
+            2.5 + result.simulated_io_seconds);
+}
+
+TEST_F(EngineTest, MissingInputIsAnError) {
+  mril::Program program = workloads::ProjectionQuery(1);
+  ExecutionDescriptor d =
+      optimizer::BaselineDescriptor(program, dir_.file("nope.msq"));
+  EXPECT_FALSE(RunJob(d, Config("out.prs")).ok());
+}
+
+// ---------------- index build + btree input plans ----------------
+
+class IndexedExecTest : public ::testing::Test {
+ protected:
+  IndexedExecTest() : dir_("idxexec") {
+    workloads::WebPagesOptions gen;
+    gen.num_pages = 4000;
+    gen.content_len = 64;
+    gen.rank_range = 1000;
+    EXPECT_TRUE(
+        workloads::GenerateWebPages(dir_.file("pages.msq"), gen).ok());
+  }
+
+  // Builds the given spec and returns the catalog entry.
+  IndexBuildResult Build(const analyzer::IndexGenProgram& spec) {
+    auto result =
+        BuildIndexArtifact(spec, dir_.file("pages.msq"),
+                           dir_.file("artifacts"), dir_.file("idxtmp"));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  JobConfig Config(const std::string& out_name) {
+    JobConfig config;
+    config.map_parallelism = 3;
+    config.num_partitions = 2;
+    config.temp_dir = dir_.file("tmp-" + out_name);
+    config.output_path = dir_.file(out_name);
+    config.simulated_startup_seconds = 0;
+    config.simulated_disk_bytes_per_sec = 0;
+    return config;
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(IndexedExecTest, LocatorBTreeMatchesBaseline) {
+  mril::Program program = workloads::SelectionCountQuery(900);
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  // Find the locator-only btree spec.
+  const analyzer::IndexGenProgram* spec = nullptr;
+  for (const auto& s : specs) {
+    if (s.btree && !s.clustered && !s.projection) spec = &s;
+  }
+  ASSERT_NE(spec, nullptr);
+  IndexBuildResult build = Build(*spec);
+  EXPECT_EQ(build.entry.base_path, dir_.file("pages.msq"));
+  // A locator index is much smaller than the data.
+  EXPECT_LT(build.entry.artifact_bytes, build.entry.input_bytes / 3);
+
+  ASSERT_OK(RunJob(optimizer::BaselineDescriptor(program,
+                                                 dir_.file("pages.msq")),
+                   Config("base.prs"))
+                .status());
+
+  ExecutionDescriptor d;
+  d.access_path = AccessPath::kBTree;
+  d.data_path = build.entry.artifact_path;
+  d.base_path = build.entry.base_path;
+  d.intervals = report.selection->intervals;
+  d.program = program;
+  ASSERT_OK_AND_ASSIGN(JobResult optimized,
+                       RunJob(d, Config("opt.prs")));
+
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir_.file("base.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir_.file("opt.prs")));
+  EXPECT_EQ(a, b);
+  // ~10% selectivity: far fewer map invocations than records.
+  EXPECT_LT(optimized.counters.map_invocations, 1000u);
+}
+
+TEST_F(IndexedExecTest, ClusteredBTreeMatchesBaseline) {
+  mril::Program program = workloads::SelectionCountQuery(250);
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  const analyzer::IndexGenProgram* spec = nullptr;
+  for (const auto& s : specs) {
+    if (s.btree && s.clustered && !s.projection) spec = &s;
+  }
+  ASSERT_NE(spec, nullptr);
+  IndexBuildResult build = Build(*spec);
+  EXPECT_TRUE(build.entry.base_path.empty());  // self-contained
+
+  ASSERT_OK(RunJob(optimizer::BaselineDescriptor(program,
+                                                 dir_.file("pages.msq")),
+                   Config("base.prs"))
+                .status());
+
+  ExecutionDescriptor d;
+  d.access_path = AccessPath::kBTree;
+  d.clustered = true;
+  d.data_path = build.entry.artifact_path;
+  d.intervals = report.selection->intervals;
+  d.program = program;
+  d.artifact_meta = columnar::PlainMeta(program.value_schema);
+  ASSERT_OK_AND_ASSIGN(JobResult optimized,
+                       RunJob(d, Config("opt.prs")));
+
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir_.file("base.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir_.file("opt.prs")));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(IndexedExecTest, ProjectedArtifactPreservesKeysAndFields) {
+  mril::Program program = workloads::ProjectionQuery(500);
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  const analyzer::IndexGenProgram* spec = nullptr;
+  for (const auto& s : specs) {
+    if (s.projection && !s.btree && !s.delta) spec = &s;
+  }
+  ASSERT_NE(spec, nullptr);
+  IndexBuildResult build = Build(*spec);
+  EXPECT_LT(build.entry.artifact_bytes, build.entry.input_bytes);
+
+  ASSERT_OK(RunJob(optimizer::BaselineDescriptor(program,
+                                                 dir_.file("pages.msq")),
+                   Config("base.prs"))
+                .status());
+
+  ExecutionDescriptor d;
+  d.access_path = AccessPath::kSeqScan;
+  d.data_path = build.entry.artifact_path;
+  d.program = program;
+  d.field_remap = {0, 1, -1};  // url, rank kept; content dropped
+  ASSERT_OK_AND_ASSIGN(JobResult optimized,
+                       RunJob(d, Config("opt.prs")));
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir_.file("base.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b, ReadCanonicalPairs(dir_.file("opt.prs")));
+  EXPECT_EQ(a, b);
+  EXPECT_LT(optimized.counters.input_bytes,
+            build.entry.input_bytes / 2);
+}
+
+TEST_F(IndexedExecTest, BuildRejectsMismatchedSchema) {
+  analyzer::IndexGenProgram spec;
+  spec.projection = true;
+  spec.kept_fields = {0};
+  spec.input_schema = "other:i64";
+  EXPECT_FALSE(BuildIndexArtifact(spec, dir_.file("pages.msq"),
+                                  dir_.file("artifacts"),
+                                  dir_.file("idxtmp"))
+                   .ok());
+}
+
+TEST_F(IndexedExecTest, BuildRejectsForbiddenCombos) {
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(
+                                        workloads::SelectionCountQuery(1)));
+  analyzer::IndexGenProgram spec;
+  spec.btree = true;
+  spec.delta = true;
+  spec.key_expr = report.selection->indexed_expr;
+  spec.delta_fields = {1};
+  spec.input_schema = workloads::WebPagesSchema().ToString();
+  EXPECT_TRUE(BuildIndexArtifact(spec, dir_.file("pages.msq"),
+                                 dir_.file("artifacts"),
+                                 dir_.file("idxtmp"))
+                  .status()
+                  .IsNotSupported());
+}
+
+}  // namespace
+}  // namespace manimal::exec

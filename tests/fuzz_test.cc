@@ -1,0 +1,214 @@
+// Robustness fuzz tests: random byte/instruction soup must never
+// crash the verifier, the analyzer, or the storage readers — they must
+// reject cleanly with a Status (or, if the program verifies, execute
+// without undefined behaviour).
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "columnar/seqfile.h"
+#include "common/random.h"
+#include "index/btree.h"
+#include "mril/assembler.h"
+#include "mril/verifier.h"
+#include "mril/vm.h"
+#include "serde/key_codec.h"
+#include "serde/record_codec.h"
+#include "tests/test_util.h"
+
+namespace manimal {
+namespace {
+
+using testing::TempDir;
+
+// ---------------- verifier / analyzer on random instruction soup ----
+
+mril::Program RandomInstructionProgram(uint64_t seed) {
+  Rng rng(seed);
+  mril::Program p;
+  p.name = "fuzz";
+  p.value_schema = Schema({{"a", FieldType::kStr},
+                           {"b", FieldType::kI64}});
+  p.constants = {Value::I64(1), Value::Str("x"), Value::Bool(true)};
+  if (rng.OneIn(2)) {
+    p.members.push_back(mril::MemberVar{"m", Value::I64(0)});
+  }
+  p.map_fn.name = "map";
+  p.map_fn.num_params = 2;
+  p.map_fn.num_locals = static_cast<int>(rng.Uniform(3));
+  int len = 1 + static_cast<int>(rng.Uniform(30));
+  for (int i = 0; i < len; ++i) {
+    mril::Instruction inst;
+    inst.op = static_cast<mril::Opcode>(rng.Uniform(mril::kNumOpcodes));
+    // Mostly plausible operands, sometimes garbage.
+    inst.operand = rng.OneIn(5)
+                       ? static_cast<int32_t>(rng.UniformRange(-5, 50))
+                       : static_cast<int32_t>(rng.Uniform(4));
+    p.map_fn.code.push_back(inst);
+  }
+  p.map_fn.code.push_back({mril::Opcode::kReturn, 0});
+  return p;
+}
+
+class VerifierFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierFuzz, NeverCrashesAndVerifiedProgramsRun) {
+  for (int i = 0; i < 200; ++i) {
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 1000 + i;
+    mril::Program p = RandomInstructionProgram(seed);
+    Status verdict = mril::VerifyProgram(p);
+    if (!verdict.ok()) continue;  // cleanly rejected: fine
+
+    // Verified programs must be analyzable and executable without
+    // aborting; runtime type errors are allowed (they are Status
+    // failures, not UB).
+    auto report = analyzer::Analyze(p);
+    EXPECT_TRUE(report.ok() || !report.status().message().empty());
+
+    mril::VmOptions options;
+    options.max_steps_per_invocation = 10000;
+    mril::VmInstance vm(&p, options);
+    vm.set_emit_sink(
+        [](const Value&, const Value&) { return Status::OK(); });
+    Value row = Value::List({Value::Str("s"), Value::I64(7)});
+    (void)vm.InvokeMap(Value::I64(0), row);  // any Status is acceptable
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzz, ::testing::Range(0, 5));
+
+// ---------------- assembler on text soup ----------------
+
+class AssemblerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssemblerFuzz, GarbageTextRejectsCleanly) {
+  Rng rng(GetParam() + 99);
+  const char* fragments[] = {
+      ".program x\n",  ".func map\n",  ".endfunc\n",
+      "load_param 1\n", "emit\n",      "return\n",
+      "label:\n",       "jmp label\n", ".value_schema a:i64\n",
+      "load_const i64:3\n", "get_field 0\n", "garbage line\n",
+      ".member m i64:0\n", "cmp_gt\n", "\x01\x02binary\n"};
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    int n = 1 + static_cast<int>(rng.Uniform(12));
+    for (int j = 0; j < n; ++j) {
+      text += fragments[rng.Uniform(std::size(fragments))];
+    }
+    auto result = mril::AssembleProgram(text);  // must not crash
+    if (result.ok()) {
+      EXPECT_OK(mril::VerifyProgram(*result));  // only verified output
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz, ::testing::Range(0, 3));
+
+// ---------------- storage readers on corrupted bytes ----------------
+
+class CorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionFuzz, TruncatedAndFlippedSeqFilesRejectCleanly) {
+  TempDir dir("fuzz-seq");
+  Schema schema({{"a", FieldType::kStr}, {"b", FieldType::kI64}});
+  std::string path = dir.file("t.msq");
+  {
+    auto writer = std::move(columnar::SeqFileWriter::Create(
+                                path, columnar::PlainMeta(schema)))
+                      .value();
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_OK(writer->Append(
+          {Value::Str("row" + std::to_string(i)), Value::I64(i)}));
+    }
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string bytes, ReadFileToString(path));
+  Rng rng(GetParam() + 7);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = bytes;
+    if (rng.OneIn(2)) {
+      // Truncate somewhere.
+      mutated.resize(rng.Uniform(mutated.size()));
+    } else {
+      // Flip a few bytes.
+      for (int k = 0; k < 4; ++k) {
+        size_t pos = rng.Uniform(mutated.size());
+        mutated[pos] = static_cast<char>(rng.Uniform(256));
+      }
+    }
+    std::string mpath = dir.file("m.msq");
+    ASSERT_OK(WriteStringToFile(mpath, mutated));
+    auto reader = columnar::SeqFileReader::Open(mpath);
+    if (!reader.ok()) continue;  // rejected at open: fine
+    auto stream = (*reader)->ScanAll();
+    if (!stream.ok()) continue;
+    Record record;
+    for (;;) {
+      auto more = stream->Next(&record);
+      if (!more.ok() || !*more) break;  // error or end: both fine
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, TruncatedAndFlippedBTreesRejectCleanly) {
+  TempDir dir("fuzz-btree");
+  std::string path = dir.file("t.idx");
+  {
+    auto builder =
+        std::move(index::BTreeBuilder::Create(path)).value();
+    std::string key;
+    for (int i = 0; i < 500; ++i) {
+      key = "key" + std::to_string(1000 + i);
+      ASSERT_OK(builder->Add(key, "payload"));
+    }
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string bytes, ReadFileToString(path));
+  Rng rng(GetParam() + 31);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = bytes;
+    if (rng.OneIn(2)) {
+      mutated.resize(rng.Uniform(mutated.size()));
+    } else {
+      for (int k = 0; k < 4; ++k) {
+        size_t pos = rng.Uniform(mutated.size());
+        mutated[pos] = static_cast<char>(rng.Uniform(256));
+      }
+    }
+    std::string mpath = dir.file("m.idx");
+    ASSERT_OK(WriteStringToFile(mpath, mutated));
+    auto reader = index::BTreeReader::Open(mpath);
+    if (!reader.ok()) continue;
+    auto it = (*reader)->SeekToFirst();
+    if (!it.ok()) continue;
+    int steps = 0;
+    while (it->Valid() && steps++ < 2000) {
+      if (!it->Next().ok()) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Range(0, 3));
+
+// ---------------- value decoder on byte soup ----------------
+
+TEST(DecoderFuzz, RandomBytesNeverCrashDecodeValue) {
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    std::string bytes;
+    int n = static_cast<int>(rng.Uniform(40));
+    for (int j = 0; j < n; ++j) {
+      bytes.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    std::string_view in = bytes;
+    Value v;
+    (void)DecodeValue(&in, &v);  // Status either way; no crash
+    Value k;
+    (void)DecodeOrderedKey(bytes, &k);
+  }
+}
+
+}  // namespace
+}  // namespace manimal

@@ -1,0 +1,382 @@
+// Tests for the index substrates: external sorter (spill + merge),
+// disk B+Tree (bulk load, seek, range scan, duplicates, prefix
+// compression), and the persistent catalog.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/catalog.h"
+#include "index/external_sorter.h"
+#include "serde/key_codec.h"
+#include "tests/test_util.h"
+
+namespace manimal::index {
+namespace {
+
+using testing::TempDir;
+
+// ---------------- external sorter ----------------
+
+TEST(ExternalSorterTest, InMemorySort) {
+  TempDir dir("sorter");
+  ExternalSorter::Options opts;
+  opts.temp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  ASSERT_OK(sorter.Add("b", "2"));
+  ASSERT_OK(sorter.Add("a", "1"));
+  ASSERT_OK(sorter.Add("c", "3"));
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::string keys;
+  while (stream->Valid()) {
+    keys += stream->key();
+    ASSERT_OK(stream->Next());
+  }
+  EXPECT_EQ(keys, "abc");
+  EXPECT_EQ(sorter.stats().spilled_runs, 0);
+}
+
+TEST(ExternalSorterTest, SpillsAndMerges) {
+  TempDir dir("sorter2");
+  ExternalSorter::Options opts;
+  opts.temp_dir = dir.path();
+  opts.memory_budget_bytes = 1024;  // force many spills
+  ExternalSorter sorter(opts);
+  Rng rng(5);
+  std::multimap<std::string, std::string> expected;
+  for (int i = 0; i < 3000; ++i) {
+    std::string k = rng.AsciiString(8);
+    std::string v = std::to_string(i);
+    expected.emplace(k, v);
+    ASSERT_OK(sorter.Add(k, v));
+  }
+  EXPECT_GT(sorter.stats().spilled_runs, 2);
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::string prev;
+  uint64_t count = 0;
+  std::multimap<std::string, std::string> got;
+  while (stream->Valid()) {
+    std::string k(stream->key());
+    EXPECT_GE(k, prev);  // globally sorted
+    got.emplace(k, std::string(stream->payload()));
+    prev = k;
+    ++count;
+    ASSERT_OK(stream->Next());
+  }
+  EXPECT_EQ(count, 3000u);
+  EXPECT_EQ(got, expected);  // nothing lost or duplicated
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  TempDir dir("sorter3");
+  ExternalSorter::Options opts;
+  opts.temp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  EXPECT_FALSE(stream->Valid());
+}
+
+TEST(ExternalSorterTest, DuplicateKeysAllSurvive) {
+  TempDir dir("sorter4");
+  ExternalSorter::Options opts;
+  opts.temp_dir = dir.path();
+  opts.memory_budget_bytes = 512;
+  ExternalSorter sorter(opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(sorter.Add("same-key", std::to_string(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  int count = 0;
+  while (stream->Valid()) {
+    EXPECT_EQ(stream->key(), "same-key");
+    ++count;
+    ASSERT_OK(stream->Next());
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST(ExternalSorterTest, EmptyKeysAndPayloads) {
+  TempDir dir("sorter5");
+  ExternalSorter::Options opts;
+  opts.temp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  ASSERT_OK(sorter.Add("", ""));
+  ASSERT_OK(sorter.Add("x", ""));
+  ASSERT_OK(sorter.Add("", "payload"));
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  int count = 0;
+  while (stream->Valid()) {
+    ++count;
+    ASSERT_OK(stream->Next());
+  }
+  EXPECT_EQ(count, 3);
+}
+
+// ---------------- B+Tree ----------------
+
+std::string Key(int64_t v) {
+  std::string out;
+  EXPECT_OK(EncodeOrderedKey(Value::I64(v), &out));
+  return out;
+}
+
+TEST(BTreeTest, BuildAndPointSeek) {
+  TempDir dir("btree");
+  std::string path = dir.file("t.idx");
+  {
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path));
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_OK(builder->Add(Key(i * 2), "v" + std::to_string(i * 2)));
+    }
+    ASSERT_OK_AND_ASSIGN(uint64_t size, builder->Finish());
+    EXPECT_GT(size, 0u);
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+  EXPECT_EQ(reader->num_entries(), 1000u);
+
+  // Exact hit.
+  ASSERT_OK_AND_ASSIGN(auto it, reader->Seek(Key(500), true));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.payload(), "v500");
+  // Between keys: lands on next.
+  ASSERT_OK_AND_ASSIGN(it, reader->Seek(Key(501), true));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.payload(), "v502");
+  // Past the end.
+  ASSERT_OK_AND_ASSIGN(it, reader->Seek(Key(99999), true));
+  EXPECT_FALSE(it.Valid());
+  // Exclusive skips the equal key.
+  ASSERT_OK_AND_ASSIGN(it, reader->Seek(Key(500), false));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.payload(), "v502");
+}
+
+TEST(BTreeTest, FullScanInOrder) {
+  TempDir dir("btree2");
+  std::string path = dir.file("t.idx");
+  {
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path));
+    for (int i = 0; i < 5000; ++i) ASSERT_OK(builder->Add(Key(i), "p"));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(auto it, reader->SeekToFirst());
+  int64_t expected = 0;
+  while (it.Valid()) {
+    Value key;
+    ASSERT_OK(DecodeOrderedKey(it.key(), &key));
+    EXPECT_EQ(key.i64(), expected++);
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expected, 5000);
+  EXPECT_GT(reader->height(), 1);
+}
+
+TEST(BTreeTest, DuplicateKeysSpanningLeavesAllFound) {
+  TempDir dir("btree3");
+  std::string path = dir.file("t.idx");
+  const int kDups = 3000;  // guaranteed to span many small leaves
+  {
+    BTreeBuilder::Options opts;
+    opts.target_node_bytes = 256;
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path, opts));
+    ASSERT_OK(builder->Add(Key(1), "before"));
+    for (int i = 0; i < kDups; ++i) {
+      ASSERT_OK(builder->Add(Key(5), "dup" + std::to_string(i)));
+    }
+    ASSERT_OK(builder->Add(Key(9), "after"));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(auto it, reader->Seek(Key(5), true));
+  int count = 0;
+  while (it.Valid() && std::string_view(it.key()) == Key(5)) {
+    ++count;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, kDups);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.payload(), "after");
+}
+
+TEST(BTreeTest, UnsortedInsertRejected) {
+  TempDir dir("btree4");
+  ASSERT_OK_AND_ASSIGN(auto builder,
+                       BTreeBuilder::Create(dir.file("t.idx")));
+  ASSERT_OK(builder->Add(Key(10), "a"));
+  EXPECT_TRUE(builder->Add(Key(5), "b").IsInvalidArgument());
+}
+
+TEST(BTreeTest, EmptyTree) {
+  TempDir dir("btree5");
+  std::string path = dir.file("t.idx");
+  {
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+  EXPECT_EQ(reader->num_entries(), 0u);
+  ASSERT_OK_AND_ASSIGN(auto it, reader->SeekToFirst());
+  EXPECT_FALSE(it.Valid());
+  ASSERT_OK_AND_ASSIGN(it, reader->Seek(Key(1), true));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, CorruptFileRejected) {
+  TempDir dir("btree6");
+  std::string path = dir.file("junk.idx");
+  ASSERT_OK(WriteStringToFile(path, "this is not a btree at all"));
+  EXPECT_FALSE(BTreeReader::Open(path).ok());
+  ASSERT_OK(WriteStringToFile(dir.file("tiny"), "x"));
+  EXPECT_FALSE(BTreeReader::Open(dir.file("tiny")).ok());
+}
+
+// Property test: random data, compare range scans against std::multimap.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, RangeScansMatchReferenceModel) {
+  TempDir dir("btree-prop");
+  std::string path = dir.file("t.idx");
+  Rng rng(GetParam());
+  std::multimap<std::string, std::string> model;
+  std::vector<std::pair<std::string, std::string>> entries;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    std::string k = Key(rng.UniformRange(0, 300));
+    std::string v = "v" + std::to_string(i);
+    model.emplace(k, v);
+    entries.emplace_back(k, v);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    BTreeBuilder::Options opts;
+    opts.target_node_bytes = 512;
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path, opts));
+    for (const auto& [k, v] : entries) ASSERT_OK(builder->Add(k, v));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    int64_t lo = rng.UniformRange(-10, 310);
+    int64_t hi = lo + rng.UniformRange(0, 100);
+    // Model: count entries with lo <= key <= hi.
+    auto begin = model.lower_bound(Key(lo));
+    auto end = model.upper_bound(Key(hi));
+    size_t expected = std::distance(begin, end);
+
+    ASSERT_OK_AND_ASSIGN(auto it, reader->Seek(Key(lo), true));
+    size_t got = 0;
+    while (it.Valid() && std::string_view(it.key()) <= Key(hi)) {
+      ++got;
+      ASSERT_OK(it.Next());
+    }
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(BTreeTest, RootChildKeysCoverTree) {
+  TempDir dir("btree7");
+  std::string path = dir.file("t.idx");
+  {
+    BTreeBuilder::Options opts;
+    opts.target_node_bytes = 512;
+    ASSERT_OK_AND_ASSIGN(auto builder, BTreeBuilder::Create(path, opts));
+    for (int i = 0; i < 2000; ++i) ASSERT_OK(builder->Add(Key(i), "p"));
+    ASSERT_OK(builder->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, BTreeReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(auto keys, reader->RootChildKeys());
+  ASSERT_GT(keys.size(), 1u);
+  // Sorted and within key range.
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+// ---------------- catalog ----------------
+
+TEST(CatalogTest, RegisterPersistsAcrossReopen) {
+  TempDir dir("catalog");
+  std::string path = dir.file("catalog.txt");
+  CatalogEntry entry;
+  entry.input_file = "/data/visits.msq";
+  entry.signature = "v1|schema=a:i64|btree=-|proj=0,3|delta=-|dict=-";
+  entry.artifact_path = "/ws/artifacts/seq-abc.msq";
+  entry.base_path = "";
+  entry.artifact_bytes = 123;
+  entry.input_bytes = 1000;
+  {
+    ASSERT_OK_AND_ASSIGN(Catalog catalog, Catalog::Open(path));
+    ASSERT_OK(catalog.Register(entry));
+  }
+  ASSERT_OK_AND_ASSIGN(Catalog catalog, Catalog::Open(path));
+  auto found = catalog.Find(entry.input_file, entry.signature);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->artifact_path, entry.artifact_path);
+  EXPECT_EQ(found->artifact_bytes, 123u);
+  EXPECT_DOUBLE_EQ(found->SpaceOverhead(), 0.123);
+  EXPECT_FALSE(catalog.Find("/other", entry.signature).has_value());
+}
+
+TEST(CatalogTest, RegisterReplacesMatchingEntry) {
+  TempDir dir("catalog2");
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       Catalog::Open(dir.file("c.txt")));
+  CatalogEntry e;
+  e.input_file = "in";
+  e.signature = "sig";
+  e.artifact_path = "old";
+  ASSERT_OK(catalog.Register(e));
+  e.artifact_path = "new";
+  ASSERT_OK(catalog.Register(e));
+  EXPECT_EQ(catalog.entries().size(), 1u);
+  EXPECT_EQ(catalog.Find("in", "sig")->artifact_path, "new");
+}
+
+TEST(CatalogTest, FindForInputListsAll) {
+  TempDir dir("catalog3");
+  ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                       Catalog::Open(dir.file("c.txt")));
+  for (int i = 0; i < 3; ++i) {
+    CatalogEntry e;
+    e.input_file = "in";
+    e.signature = "sig" + std::to_string(i);
+    ASSERT_OK(catalog.Register(e));
+  }
+  CatalogEntry other;
+  other.input_file = "other";
+  other.signature = "sig0";
+  ASSERT_OK(catalog.Register(other));
+  EXPECT_EQ(catalog.FindForInput("in").size(), 3u);
+  EXPECT_EQ(catalog.FindForInput("other").size(), 1u);
+}
+
+TEST(CatalogTest, FieldsWithTabsSurviveEscaping) {
+  TempDir dir("catalog4");
+  CatalogEntry e;
+  e.input_file = "weird\tname\nwith newline";
+  e.signature = "sig\\with\\backslashes";
+  {
+    ASSERT_OK_AND_ASSIGN(Catalog catalog,
+                         Catalog::Open(dir.file("c.txt")));
+    ASSERT_OK(catalog.Register(e));
+  }
+  ASSERT_OK_AND_ASSIGN(Catalog catalog, Catalog::Open(dir.file("c.txt")));
+  EXPECT_TRUE(catalog.Find(e.input_file, e.signature).has_value());
+}
+
+TEST(CatalogTest, CorruptManifestRejected) {
+  TempDir dir("catalog5");
+  ASSERT_OK(WriteStringToFile(dir.file("c.txt"), "only\ttwo\n"));
+  EXPECT_FALSE(Catalog::Open(dir.file("c.txt")).ok());
+}
+
+}  // namespace
+}  // namespace manimal::index

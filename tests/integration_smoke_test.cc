@@ -1,0 +1,160 @@
+// End-to-end smoke tests of the full Manimal walkthrough (paper §2.2):
+// generate data, run baseline, analyze, build indexes, run optimized,
+// and require output equivalence plus actual work reduction.
+
+#include <gtest/gtest.h>
+
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+
+namespace manimal {
+namespace {
+
+using core::ManimalSystem;
+using testing::TempDir;
+
+class IntegrationSmokeTest : public ::testing::Test {
+ protected:
+  IntegrationSmokeTest() : dir_("smoke") {}
+
+  std::unique_ptr<ManimalSystem> OpenSystem() {
+    ManimalSystem::Options options;
+    options.workspace_dir = dir_.file("ws");
+    options.map_parallelism = 2;
+    options.num_partitions = 2;
+    options.simulated_startup_seconds = 0;
+    auto system_or = ManimalSystem::Open(options);
+    EXPECT_TRUE(system_or.ok()) << system_or.status().ToString();
+    return std::move(system_or).value();
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(IntegrationSmokeTest, SelectionOnOpaqueRankings) {
+  workloads::RankingsOptions gen;
+  gen.num_pages = 5000;
+  ASSERT_OK_AND_ASSIGN(auto stats, workloads::GenerateRankings(
+                                       dir_.file("rankings.msq"), gen));
+  ASSERT_EQ(stats.records, 5000u);
+
+  auto system = OpenSystem();
+  ManimalSystem::Submission submission;
+  submission.program = workloads::Benchmark1Selection(99000);
+  submission.input_path = dir_.file("rankings.msq");
+  submission.output_path = dir_.file("baseline.out");
+  ASSERT_OK_AND_ASSIGN(exec::JobResult baseline,
+                       system->RunBaseline(submission));
+
+  // First submit: no index yet -> conventional plan + emitted
+  // index-generation programs.
+  submission.output_path = dir_.file("first.out");
+  ASSERT_OK_AND_ASSIGN(ManimalSystem::SubmitOutcome first,
+                       system->Submit(submission));
+  EXPECT_FALSE(first.plan.optimized);
+  ASSERT_TRUE(first.report.selection.has_value())
+      << first.report.ToString();
+  EXPECT_TRUE(first.report.selection->indexable());
+  ASSERT_FALSE(first.index_programs.empty());
+
+  // Administrator builds the (maximal) index.
+  ASSERT_OK_AND_ASSIGN(exec::IndexBuildResult build,
+                       system->BuildIndex(first.index_programs[0],
+                                          submission.input_path));
+  EXPECT_GT(build.entry.artifact_bytes, 0u);
+
+  // Second submit: optimized via B+Tree range scan.
+  submission.output_path = dir_.file("optimized.out");
+  ASSERT_OK_AND_ASSIGN(ManimalSystem::SubmitOutcome second,
+                       system->Submit(submission));
+  EXPECT_TRUE(second.plan.optimized) << second.plan.explanation;
+
+  ASSERT_OK_AND_ASSIGN(auto base_pairs, exec::ReadCanonicalPairs(
+                                            dir_.file("baseline.out")));
+  ASSERT_OK_AND_ASSIGN(auto opt_pairs, exec::ReadCanonicalPairs(
+                                           dir_.file("optimized.out")));
+  EXPECT_EQ(base_pairs, opt_pairs);
+  EXPECT_GT(base_pairs.size(), 0u);
+
+  // The index skipped almost all map invocations (selectivity ~1%).
+  EXPECT_LT(second.job.counters.map_invocations,
+            baseline.counters.map_invocations / 10);
+}
+
+TEST_F(IntegrationSmokeTest, AggregationWithProjectionAndDelta) {
+  workloads::UserVisitsOptions gen;
+  gen.num_visits = 20000;
+  gen.num_pages = 2000;
+  ASSERT_OK_AND_ASSIGN(auto stats, workloads::GenerateUserVisits(
+                                       dir_.file("visits.msq"), gen));
+  ASSERT_EQ(stats.records, 20000u);
+
+  auto system = OpenSystem();
+  ManimalSystem::Submission submission;
+  submission.program = workloads::Benchmark2Aggregation();
+  submission.input_path = dir_.file("visits.msq");
+  submission.output_path = dir_.file("baseline.out");
+  ASSERT_OK_AND_ASSIGN(exec::JobResult baseline,
+                       system->RunBaseline(submission));
+
+  ASSERT_OK_AND_ASSIGN(analyzer::AnalysisReport report,
+                       analyzer::Analyze(submission.program));
+  EXPECT_FALSE(report.selection.has_value());
+  ASSERT_TRUE(report.projection.has_value()) << report.ToString();
+  EXPECT_EQ(report.projection->used_fields,
+            (std::vector<int>{0, 3}));  // sourceIP, adRevenue
+  ASSERT_TRUE(report.delta.has_value());
+
+  auto specs =
+      analyzer::SynthesizeIndexPrograms(submission.program, report);
+  ASSERT_FALSE(specs.empty());
+  EXPECT_TRUE(specs[0].projection);
+  EXPECT_TRUE(specs[0].delta);
+  ASSERT_OK_AND_ASSIGN(
+      exec::IndexBuildResult build,
+      system->BuildIndex(specs[0], submission.input_path));
+  // Projection dropped 7 of 9 fields; the artifact must be much
+  // smaller than the input.
+  EXPECT_LT(build.entry.artifact_bytes, build.entry.input_bytes / 2);
+
+  submission.output_path = dir_.file("optimized.out");
+  ASSERT_OK_AND_ASSIGN(ManimalSystem::SubmitOutcome outcome,
+                       system->Submit(submission));
+  EXPECT_TRUE(outcome.plan.optimized) << outcome.plan.explanation;
+
+  ASSERT_OK_AND_ASSIGN(auto base_pairs, exec::ReadCanonicalPairs(
+                                            dir_.file("baseline.out")));
+  ASSERT_OK_AND_ASSIGN(auto opt_pairs, exec::ReadCanonicalPairs(
+                                           dir_.file("optimized.out")));
+  EXPECT_EQ(base_pairs, opt_pairs);
+  EXPECT_GT(base_pairs.size(), 0u);
+  // Optimized run reads far fewer bytes.
+  EXPECT_LT(outcome.job.counters.input_bytes,
+            baseline.counters.input_bytes / 2);
+}
+
+TEST_F(IntegrationSmokeTest, UdfAggregationIsLeftAlone) {
+  workloads::DocumentsOptions gen;
+  gen.num_docs = 300;
+  gen.num_pages = 500;
+  ASSERT_OK_AND_ASSIGN(auto stats, workloads::GenerateDocuments(
+                                       dir_.file("docs.msq"), gen));
+  ASSERT_GT(stats.bytes, 0u);
+
+  auto system = OpenSystem();
+  ManimalSystem::Submission submission;
+  submission.program = workloads::Benchmark4UdfAggregation();
+  submission.input_path = dir_.file("docs.msq");
+  submission.output_path = dir_.file("b4.out");
+  ASSERT_OK_AND_ASSIGN(ManimalSystem::SubmitOutcome outcome,
+                       system->Submit(submission));
+  EXPECT_FALSE(outcome.plan.optimized);
+  EXPECT_FALSE(outcome.report.selection.has_value());
+  EXPECT_GT(outcome.job.counters.output_records, 0u);
+}
+
+}  // namespace
+}  // namespace manimal

@@ -1,0 +1,548 @@
+// Unit tests for the MRIL bytecode layer: opcode metadata, builder,
+// verifier, VM semantics, builtins, and the textual assembler.
+
+#include <gtest/gtest.h>
+
+#include "mril/assembler.h"
+#include "mril/builder.h"
+#include "mril/builtins.h"
+#include "mril/opcode.h"
+#include "mril/program.h"
+#include "mril/verifier.h"
+#include "mril/vm.h"
+#include "tests/test_util.h"
+#include "workloads/pavlo.h"
+#include "workloads/schemas.h"
+
+namespace manimal::mril {
+namespace {
+
+Schema TwoFieldSchema() {
+  return Schema({{"name", FieldType::kStr}, {"n", FieldType::kI64}});
+}
+
+// Runs map() over the given (key, value) pairs and returns emissions.
+std::vector<std::pair<Value, Value>> RunMap(
+    const Program& program,
+    const std::vector<std::pair<Value, Value>>& inputs,
+    VmOptions options = {}) {
+  VmInstance vm(&program, std::move(options));
+  std::vector<std::pair<Value, Value>> out;
+  vm.set_emit_sink([&out](const Value& k, const Value& v) {
+    out.emplace_back(k, v);
+    return Status::OK();
+  });
+  for (const auto& [k, v] : inputs) {
+    Status st = vm.InvokeMap(k, v);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return out;
+}
+
+// ---------------- opcode metadata ----------------
+
+TEST(OpcodeTest, MnemonicLookupIsTotal) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    Opcode op = static_cast<Opcode>(i);
+    const OpcodeInfo& info = GetOpcodeInfo(op);
+    auto back = OpcodeFromMnemonic(info.mnemonic);
+    ASSERT_TRUE(back.has_value()) << info.mnemonic;
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(OpcodeFromMnemonic("bogus").has_value());
+}
+
+TEST(OpcodeTest, Classifiers) {
+  EXPECT_TRUE(IsBranch(Opcode::kJmp));
+  EXPECT_TRUE(IsConditionalBranch(Opcode::kJmpIfFalse));
+  EXPECT_FALSE(IsConditionalBranch(Opcode::kJmp));
+  EXPECT_TRUE(IsComparison(Opcode::kCmpEq));
+  EXPECT_FALSE(IsComparison(Opcode::kAdd));
+}
+
+// ---------------- builtins ----------------
+
+TEST(BuiltinTest, RegistryLookups) {
+  const BuiltinRegistry& reg = BuiltinRegistry::Get();
+  const Builtin* contains = reg.FindByName("str.contains");
+  ASSERT_NE(contains, nullptr);
+  EXPECT_EQ(contains->arity, 2);
+  EXPECT_TRUE(contains->functional);
+  const Builtin* ht = reg.FindByName("ht.contains");
+  ASSERT_NE(ht, nullptr);
+  EXPECT_FALSE(ht->functional);  // the paper's Benchmark-4 blind spot
+  EXPECT_EQ(reg.FindByName("nope"), nullptr);
+  EXPECT_EQ(reg.FindById(-1), nullptr);
+  EXPECT_EQ(reg.FindById(contains->id), contains);
+}
+
+TEST(BuiltinTest, StringOps) {
+  auto call = [](const char* name, std::vector<Value> args) {
+    const Builtin* b = BuiltinRegistry::Get().FindByName(name);
+    Value out;
+    Status st = b->fn(args, &out);
+    EXPECT_TRUE(st.ok()) << name << ": " << st.ToString();
+    return out;
+  };
+  EXPECT_EQ(call("str.len", {Value::Str("abc")}).i64(), 3);
+  EXPECT_EQ(call("str.concat", {Value::Str("a"), Value::Str("b")}).str(),
+            "ab");
+  EXPECT_EQ(call("str.substr",
+                 {Value::Str("hello"), Value::I64(1), Value::I64(3)})
+                .str(),
+            "ell");
+  EXPECT_TRUE(call("str.contains",
+                   {Value::Str("hello"), Value::Str("ell")})
+                  .bool_value());
+  EXPECT_TRUE(call("str.starts_with",
+                   {Value::Str("http://x"), Value::Str("http://")})
+                  .bool_value());
+  EXPECT_EQ(call("str.index_of", {Value::Str("abc"), Value::Str("z")})
+                .i64(),
+            -1);
+  EXPECT_EQ(call("str.to_lower", {Value::Str("AbC")}).str(), "abc");
+  EXPECT_EQ(call("str.word_count", {Value::Str(" a bb  c ")}).i64(), 3);
+  EXPECT_EQ(
+      call("str.word_at", {Value::Str("a bb c"), Value::I64(1)}).str(),
+      "bb");
+  EXPECT_EQ(
+      call("str.word_at", {Value::Str("a b"), Value::I64(9)}).str(), "");
+  EXPECT_EQ(call("url.host", {Value::Str("http://h.com/p?q")}).str(),
+            "h.com");
+}
+
+TEST(BuiltinTest, PatternMatches) {
+  auto matches = [](const char* s, const char* pat) {
+    const Builtin* b = BuiltinRegistry::Get().FindByName("pattern.matches");
+    Value out;
+    EXPECT_OK(b->fn({Value::Str(s), Value::Str(pat)}, &out));
+    return out.bool_value();
+  };
+  EXPECT_TRUE(matches("hello", "hello"));
+  EXPECT_TRUE(matches("hello", "he*o"));
+  EXPECT_TRUE(matches("hello", "*"));
+  EXPECT_TRUE(matches("abcabc", "a*c"));
+  EXPECT_FALSE(matches("hello", "he*x"));
+  EXPECT_FALSE(matches("", "a"));
+  EXPECT_TRUE(matches("", "*"));
+}
+
+TEST(BuiltinTest, Hashtable) {
+  const BuiltinRegistry& reg = BuiltinRegistry::Get();
+  Value ht;
+  ASSERT_OK(reg.FindByName("ht.new")->fn({}, &ht));
+  Value out;
+  ASSERT_OK(reg.FindByName("ht.contains")->fn({ht, Value::Str("k")},
+                                              &out));
+  EXPECT_FALSE(out.bool_value());
+  ASSERT_OK(reg.FindByName("ht.put")->fn(
+      {ht, Value::Str("k"), Value::I64(7)}, &out));
+  ASSERT_OK(reg.FindByName("ht.contains")->fn({ht, Value::Str("k")},
+                                              &out));
+  EXPECT_TRUE(out.bool_value());
+  ASSERT_OK(reg.FindByName("ht.get")->fn({ht, Value::Str("k")}, &out));
+  EXPECT_EQ(out.i64(), 7);
+  ASSERT_OK(reg.FindByName("ht.size")->fn({ht}, &out));
+  EXPECT_EQ(out.i64(), 1);
+  // Type confusion is rejected.
+  EXPECT_FALSE(
+      reg.FindByName("ht.get")->fn({Value::I64(1), Value::I64(2)}, &out)
+          .ok());
+}
+
+// ---------------- verifier ----------------
+
+TEST(VerifierTest, AcceptsWellFormedPrograms) {
+  EXPECT_OK(VerifyProgram(workloads::Benchmark1Selection(10)));
+  EXPECT_OK(VerifyProgram(workloads::Benchmark2Aggregation()));
+  EXPECT_OK(VerifyProgram(workloads::Benchmark3Join(1, 2)));
+  EXPECT_OK(VerifyProgram(workloads::Benchmark4UdfAggregation()));
+  EXPECT_OK(VerifyProgram(workloads::ExampleRankFilter(1)));
+  EXPECT_OK(VerifyProgram(workloads::Figure2Unsafe(1)));
+}
+
+Program RawProgram(std::vector<Instruction> code, int locals = 0) {
+  Program p;
+  p.name = "raw";
+  p.value_schema = TwoFieldSchema();
+  p.map_fn.name = "map";
+  p.map_fn.num_params = 2;
+  p.map_fn.num_locals = locals;
+  p.map_fn.code = std::move(code);
+  return p;
+}
+
+TEST(VerifierTest, RejectsStackUnderflow) {
+  Program p = RawProgram({{Opcode::kPop, 0}, {Opcode::kReturn, 0}});
+  EXPECT_FALSE(VerifyProgram(p).ok());
+}
+
+TEST(VerifierTest, RejectsNonEmptyStackAtReturn) {
+  Program p = RawProgram(
+      {{Opcode::kLoadParam, 0}, {Opcode::kReturn, 0}});
+  EXPECT_FALSE(VerifyProgram(p).ok());
+}
+
+TEST(VerifierTest, RejectsBadOperands) {
+  // constant index out of range
+  EXPECT_FALSE(VerifyProgram(RawProgram({{Opcode::kLoadConst, 0},
+                                         {Opcode::kPop, 0},
+                                         {Opcode::kReturn, 0}}))
+                   .ok());
+  // jump target out of range
+  EXPECT_FALSE(
+      VerifyProgram(RawProgram({{Opcode::kJmp, 99}})).ok());
+  // local out of range
+  EXPECT_FALSE(VerifyProgram(RawProgram({{Opcode::kLoadLocal, 0},
+                                         {Opcode::kPop, 0},
+                                         {Opcode::kReturn, 0}}))
+                   .ok());
+  // field index beyond schema
+  EXPECT_FALSE(VerifyProgram(RawProgram({{Opcode::kLoadParam, 1},
+                                         {Opcode::kGetField, 9},
+                                         {Opcode::kPop, 0},
+                                         {Opcode::kReturn, 0}}))
+                   .ok());
+}
+
+TEST(VerifierTest, RejectsGetFieldOnOpaqueValue) {
+  Program p = RawProgram({{Opcode::kLoadParam, 1},
+                          {Opcode::kGetField, 0},
+                          {Opcode::kPop, 0},
+                          {Opcode::kReturn, 0}});
+  p.value_param_kind = ValueParamKind::kOpaque;
+  p.value_schema = Schema::Opaque();
+  EXPECT_FALSE(VerifyProgram(p).ok());
+}
+
+TEST(VerifierTest, RejectsInconsistentStackDepthAtJoin) {
+  // One path pushes a value before the join, the other does not.
+  //   0: load_param 0
+  //   1: load_param 0      (depth 2)
+  //   2: cmp_eq            (depth 1)
+  //   3: jmp_if_false 5    (depth 0 -> target 5)
+  //   4: load_param 0      (depth 1 flowing into 5: mismatch)
+  //   5: return
+  Program p = RawProgram({{Opcode::kLoadParam, 0},
+                          {Opcode::kLoadParam, 0},
+                          {Opcode::kCmpEq, 0},
+                          {Opcode::kJmpIfFalse, 5},
+                          {Opcode::kLoadParam, 0},
+                          {Opcode::kReturn, 0}});
+  EXPECT_FALSE(VerifyProgram(p).ok());
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  EXPECT_FALSE(
+      VerifyProgram(RawProgram({{Opcode::kNop, 0}})).ok());
+}
+
+// ---------------- VM semantics ----------------
+
+TEST(VmTest, ArithmeticAndComparisons) {
+  ProgramBuilder b("arith");
+  b.SetValueSchema(TwoFieldSchema());
+  auto& m = b.Map();
+  // emit(n * 2 + 1, n % 3 == 0)
+  m.LoadParam(1).GetField("n").LoadI64(2).Mul().LoadI64(1).Add();
+  m.LoadParam(1).GetField("n").LoadI64(3).Mod().LoadI64(0).CmpEq();
+  m.Emit().Ret();
+  Program p = b.Build();
+  ASSERT_OK(VerifyProgram(p));
+  auto out = RunMap(p, {{Value::I64(0),
+                         Value::List({Value::Str("x"), Value::I64(6)})}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first.i64(), 13);
+  EXPECT_TRUE(out[0].second.bool_value());
+}
+
+TEST(VmTest, DivisionByZeroFailsTheTask) {
+  ProgramBuilder b("div0");
+  b.SetValueSchema(TwoFieldSchema());
+  auto& m = b.Map();
+  m.LoadI64(1).LoadParam(1).GetField("n").Div();
+  m.LoadI64(0).Emit().Ret();
+  Program p = b.Build();
+  VmInstance vm(&p);
+  Status st = vm.InvokeMap(
+      Value::I64(0), Value::List({Value::Str("x"), Value::I64(0)}));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(VmTest, MembersPersistAcrossInvocations) {
+  // The Figure 2 scenario: a counter member observable across calls.
+  Program p = workloads::Figure2Unsafe(1000000);  // rank never passes
+  VmInstance vm(&p);
+  int emitted = 0;
+  vm.set_emit_sink([&emitted](const Value&, const Value&) {
+    ++emitted;
+    return Status::OK();
+  });
+  Value row = Value::List(
+      {Value::Str("u"), Value::I64(0), Value::Str("c")});
+  for (int i = 0; i < 205; ++i) {
+    ASSERT_OK(vm.InvokeMap(Value::I64(i), row));
+  }
+  // numMapsRun > 200 fires for invocations 201..205.
+  EXPECT_EQ(emitted, 5);
+  EXPECT_EQ(vm.member(0).i64(), 205);
+  vm.ResetMembers();
+  EXPECT_EQ(vm.member(0).i64(), 0);
+}
+
+Program b_program() {
+  ProgramBuilder b("remap");
+  b.SetValueSchema(
+      Schema({{"a", FieldType::kStr},
+              {"b", FieldType::kI64},
+              {"c", FieldType::kI64}}));
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("c");  // original field 2
+  m.LoadI64(1);
+  m.Emit().Ret();
+  return b.Build();
+}
+
+TEST(VmTest, FieldRemapReadsProjectedSlot) {
+  Program p = b_program();
+  // Projected record keeps only field c at slot 0.
+  VmOptions options;
+  options.field_remap = {-1, -1, 0};
+  auto out = RunMap(p, {{Value::I64(0), Value::List({Value::I64(77)})}},
+                    options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first.i64(), 77);
+}
+
+TEST(VmTest, ProjectedAwayFieldObservesNull) {
+  // A read of a projected-away field can only feed debug output (the
+  // analyzer guarantees it), so the VM serves null rather than failing
+  // the job (paper: log side effects are fair game to perturb).
+  Program p = b_program();
+  VmOptions options;
+  options.field_remap = {0, -1, -1};  // field c projected away
+  auto out = RunMap(p, {{Value::I64(0), Value::List({Value::Str("a")})}},
+                    options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].first.is_null());
+}
+
+TEST(VmTest, FieldOutsideRemapIsInternalError) {
+  Program p = b_program();
+  VmOptions options;
+  options.field_remap = {0};  // remap table shorter than field index
+  VmInstance vm(&p, options);
+  Status st =
+      vm.InvokeMap(Value::I64(0), Value::List({Value::Str("a")}));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(VmTest, StepLimitCatchesInfiniteLoops) {
+  Program p = RawProgram({{Opcode::kJmp, 0}});
+  VmOptions options;
+  options.max_steps_per_invocation = 1000;
+  VmInstance vm(&p, options);
+  Status st = vm.InvokeMap(Value::I64(0),
+                           Value::List({Value::Str("x"), Value::I64(1)}));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(VmTest, LogSinkReceivesValues) {
+  ProgramBuilder b("logger");
+  b.SetValueSchema(TwoFieldSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("n").Log();
+  m.LoadParam(0).LoadI64(1).Emit().Ret();
+  Program p = b.Build();
+  VmInstance vm(&p);
+  std::vector<Value> logged;
+  vm.set_log_sink([&logged](const Value& v) { logged.push_back(v); });
+  vm.set_emit_sink(
+      [](const Value&, const Value&) { return Status::OK(); });
+  ASSERT_OK(vm.InvokeMap(Value::I64(0),
+                         Value::List({Value::Str("x"), Value::I64(9)})));
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_EQ(logged[0].i64(), 9);
+}
+
+TEST(VmTest, ReduceIteratesGroupedValues) {
+  Program p = workloads::Benchmark2Aggregation();
+  VmInstance vm(&p);
+  std::vector<std::pair<Value, Value>> out;
+  vm.set_emit_sink([&out](const Value& k, const Value& v) {
+    out.emplace_back(k, v);
+    return Status::OK();
+  });
+  ASSERT_OK(vm.InvokeReduce(
+      Value::Str("1.2.3.4"),
+      Value::List({Value::I64(5), Value::I64(10), Value::I64(1)})));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first.str(), "1.2.3.4");
+  EXPECT_EQ(out[0].second.i64(), 16);
+}
+
+TEST(VmTest, ReduceWithoutReduceFnFails) {
+  Program p = workloads::ExampleRankFilter(1);
+  VmInstance vm(&p);
+  EXPECT_FALSE(vm.InvokeReduce(Value::I64(0), Value::List({})).ok());
+}
+
+TEST(VmTest, StringConcatViaAdd) {
+  ProgramBuilder b("concat");
+  b.SetValueSchema(TwoFieldSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("name").LoadStr("!").Add();
+  m.LoadI64(0).Emit().Ret();
+  Program p = b.Build();
+  auto out = RunMap(
+      p, {{Value::I64(0), Value::List({Value::Str("hi"), Value::I64(1)})}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first.str(), "hi!");
+}
+
+// ---------------- assembler ----------------
+
+constexpr char kAsmProgram[] = R"(
+.program rank-filter
+.key_type i64
+.value_schema url:str,rank:i64,content:str
+.func map
+  load_param 1
+  get_field rank
+  load_const i64:10
+  cmp_gt
+  jmp_if_false end
+  load_param 0
+  load_const i64:1
+  emit
+end:
+  return
+.endfunc
+)";
+
+TEST(AssemblerTest, AssemblesAndRuns) {
+  ASSERT_OK_AND_ASSIGN(Program p, AssembleProgram(kAsmProgram));
+  EXPECT_EQ(p.name, "rank-filter");
+  auto out = RunMap(
+      p, {{Value::I64(1), Value::List({Value::Str("u"), Value::I64(50),
+                                       Value::Str("c")})},
+          {Value::I64(2), Value::List({Value::Str("v"), Value::I64(5),
+                                       Value::Str("c")})}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first.i64(), 1);
+}
+
+TEST(AssemblerTest, EquivalentToBuilderProgram) {
+  ASSERT_OK_AND_ASSIGN(Program assembled, AssembleProgram(kAsmProgram));
+  Program built = workloads::ExampleRankFilter(10);
+  EXPECT_EQ(assembled.map_fn.code.size(), built.map_fn.code.size());
+  for (size_t i = 0; i < built.map_fn.code.size(); ++i) {
+    EXPECT_EQ(assembled.map_fn.code[i].op, built.map_fn.code[i].op) << i;
+  }
+}
+
+TEST(AssemblerTest, MembersAndReduce) {
+  constexpr char kText[] = R"(
+.program with-reduce
+.value_schema a:str,b:i64
+.member counter i64:0
+.func map
+  load_param 1
+  get_field b
+  load_const i64:1
+  emit
+  return
+.endfunc
+.func reduce locals=3
+  load_const i64:0
+  store_local 2
+  load_param 1
+  call list.len
+  store_local 1
+  load_const i64:0
+  store_local 0
+loop:
+  load_local 0
+  load_local 1
+  cmp_ge
+  jmp_if_true done
+  load_local 2
+  load_param 1
+  load_local 0
+  call list.get
+  add
+  store_local 2
+  load_local 0
+  load_const i64:1
+  add
+  store_local 0
+  jmp loop
+done:
+  load_param 0
+  load_local 2
+  emit
+  return
+.endfunc
+)";
+  ASSERT_OK_AND_ASSIGN(Program p, AssembleProgram(kText));
+  EXPECT_TRUE(p.has_reduce());
+  EXPECT_EQ(p.members.size(), 1u);
+  VmInstance vm(&p);
+  std::vector<std::pair<Value, Value>> out;
+  vm.set_emit_sink([&out](const Value& k, const Value& v) {
+    out.emplace_back(k, v);
+    return Status::OK();
+  });
+  ASSERT_OK(vm.InvokeReduce(
+      Value::I64(3), Value::List({Value::I64(2), Value::I64(40)})));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second.i64(), 42);
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(AssembleProgram("junk").ok());
+  EXPECT_FALSE(AssembleProgram(".program x\n").ok());  // no map
+  EXPECT_FALSE(
+      AssembleProgram(".program x\n.func map\n  bogus_op\n.endfunc\n")
+          .ok());
+  EXPECT_FALSE(AssembleProgram(
+                   ".program x\n.func map\n  jmp nowhere\n.endfunc\n")
+                   .ok());
+  EXPECT_FALSE(
+      AssembleProgram(
+          ".program x\n.value_schema a:i64\n.func map\n  get_field zz\n"
+          "  pop\n  return\n.endfunc\n")
+          .ok());
+}
+
+TEST(AssemblerTest, ValueLiterals) {
+  ASSERT_OK_AND_ASSIGN(Value i, ParseValueLiteral("i64:-5"));
+  EXPECT_EQ(i.i64(), -5);
+  ASSERT_OK_AND_ASSIGN(Value f, ParseValueLiteral("f64:1.5"));
+  EXPECT_DOUBLE_EQ(f.f64(), 1.5);
+  ASSERT_OK_AND_ASSIGN(Value s, ParseValueLiteral("str:\"hi\""));
+  EXPECT_EQ(s.str(), "hi");
+  ASSERT_OK_AND_ASSIGN(Value t, ParseValueLiteral("true"));
+  EXPECT_TRUE(t.bool_value());
+  ASSERT_OK_AND_ASSIGN(Value n, ParseValueLiteral("null"));
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(ParseValueLiteral("i32:4").ok());
+}
+
+// ---------------- disassembler ----------------
+
+TEST(DisassemblerTest, ShowsResolvedOperands) {
+  Program p = workloads::ExampleRankFilter(1);
+  std::string text = p.Disassemble();
+  EXPECT_NE(text.find(".rank"), std::string::npos);
+  EXPECT_NE(text.find("i64:1"), std::string::npos);
+  EXPECT_NE(text.find(".func map"), std::string::npos);
+
+  Program b4 = workloads::Benchmark4UdfAggregation();
+  std::string b4_text = b4.Disassemble();
+  EXPECT_NE(b4_text.find("ht.contains"), std::string::npos);
+  EXPECT_NE(b4_text.find(".func reduce"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manimal::mril

@@ -1,0 +1,200 @@
+// Tests for the Appendix E pipeline extension: chained MapReduce jobs
+// with typed intermediates, and the cross-stage projection that drops
+// intermediate columns the next stage provably ignores.
+
+#include <gtest/gtest.h>
+
+#include "columnar/seqfile.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "mril/builder.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+#include "workloads/schemas.h"
+
+namespace manimal::core {
+namespace {
+
+using mril::ProgramBuilder;
+using testing::TempDir;
+
+// Stage 1: per-destURL revenue from UserVisits —
+//   reduce emits (destURL, sum(adRevenue));
+// declared intermediate layout: url:str, revenue:i64.
+mril::Program StageOneUrlStats() {
+  ProgramBuilder b("stage1-url-stats");
+  b.SetKeyType(FieldType::kI64)
+      .SetValueSchema(workloads::UserVisitsSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("destURL");
+  m.LoadParam(1).GetField("adRevenue");
+  m.Emit().Ret();
+  auto& r = b.Reduce();
+  int i = r.NewLocal(), n = r.NewLocal(), sum = r.NewLocal();
+  r.LoadI64(0).StoreLocal(i).LoadI64(0).StoreLocal(sum);
+  r.LoadParam(1).Call("list.len").StoreLocal(n);
+  r.Label("loop");
+  r.LoadLocal(i).LoadLocal(n).CmpGe().JmpIfTrue("done");
+  r.LoadLocal(sum).LoadParam(1).LoadLocal(i).Call("list.get").Add()
+      .StoreLocal(sum);
+  r.LoadLocal(i).LoadI64(1).Add().StoreLocal(i);
+  r.Jmp("loop");
+  r.Label("done");
+  r.LoadParam(0).LoadLocal(sum).Emit().Ret();
+  return b.Build();
+}
+
+Schema StageOneOutputSchema() {
+  return Schema({{"url", FieldType::kStr}, {"revenue", FieldType::kI64}});
+}
+
+// Stage 2: histogram of revenue magnitude —
+//   map: emit(revenue / 1000, 1); reduce: count.
+// Never touches the url column of the intermediate.
+mril::Program StageTwoRevenueHistogram() {
+  ProgramBuilder b("stage2-revenue-histogram");
+  b.SetKeyType(FieldType::kI64).SetValueSchema(StageOneOutputSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("revenue").LoadI64(1000).Div();
+  m.LoadI64(1);
+  m.Emit().Ret();
+  auto& r = b.Reduce();
+  r.LoadParam(0);
+  r.LoadParam(1).Call("list.len");
+  r.Emit().Ret();
+  return b.Build();
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : dir_("pipeline") {
+    workloads::UserVisitsOptions gen;
+    gen.num_visits = 20000;
+    gen.num_pages = 1000;
+    EXPECT_TRUE(
+        workloads::GenerateUserVisits(dir_.file("visits.msq"), gen).ok());
+    ManimalSystem::Options options;
+    options.workspace_dir = dir_.file("ws");
+    options.simulated_startup_seconds = 0;
+    options.map_parallelism = 2;
+    options.num_partitions = 2;
+    auto system_or = ManimalSystem::Open(options);
+    EXPECT_TRUE(system_or.ok());
+    system_ = std::move(system_or).value();
+  }
+
+  std::vector<ManimalSystem::PipelineStage> Stages() {
+    std::vector<ManimalSystem::PipelineStage> stages(2);
+    stages[0].program = StageOneUrlStats();
+    stages[0].output_schema = StageOneOutputSchema();
+    stages[1].program = StageTwoRevenueHistogram();
+    return stages;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<ManimalSystem> system_;
+};
+
+TEST_F(PipelineTest, TwoStagePipelineRuns) {
+  ASSERT_OK_AND_ASSIGN(
+      auto result,
+      system_->RunPipeline(Stages(), dir_.file("visits.msq"),
+                           dir_.file("hist.prs")));
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_GT(result.stages[0].job.counters.output_records, 0u);
+  EXPECT_GT(result.stages[1].job.counters.output_records, 0u);
+
+  // The histogram's total count equals the number of distinct URLs.
+  ASSERT_OK_AND_ASSIGN(auto pairs, exec::ReadAllPairs(dir_.file("hist.prs")));
+  int64_t total = 0;
+  for (const auto& [bucket, count] : pairs) total += count.i64();
+  EXPECT_EQ(static_cast<uint64_t>(total),
+            result.stages[0].job.counters.output_records);
+}
+
+TEST_F(PipelineTest, CrossStageProjectionDropsUnreadColumns) {
+  // Stage 2 reads only `revenue`; the url column must not be written.
+  ASSERT_OK_AND_ASSIGN(
+      auto with, system_->RunPipeline(Stages(), dir_.file("visits.msq"),
+                                      dir_.file("with.prs")));
+  ASSERT_EQ(with.stages[0].written_fields, (std::vector<int>{1}));
+
+  ManimalSystem::PipelineOptions no_cross;
+  no_cross.cross_stage_projection = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto without,
+      system_->RunPipeline(Stages(), dir_.file("visits.msq"),
+                           dir_.file("without.prs"), no_cross));
+  EXPECT_TRUE(without.stages[0].written_fields.empty());
+
+  // Same final output either way; smaller intermediate with the
+  // projection.
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       exec::ReadCanonicalPairs(dir_.file("with.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       exec::ReadCanonicalPairs(dir_.file("without.prs")));
+  EXPECT_EQ(a, b);
+  EXPECT_LT(with.stages[1].job.counters.input_file_bytes,
+            without.stages[1].job.counters.input_file_bytes);
+}
+
+TEST_F(PipelineTest, IntermediateIsAReadableTypedSeqFile) {
+  ManimalSystem::PipelineOptions no_cross;
+  no_cross.cross_stage_projection = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto result,
+      system_->RunPipeline(Stages(), dir_.file("visits.msq"),
+                           dir_.file("out.prs"), no_cross));
+  const std::string& inter = result.stages[0].intermediate_path;
+  ASSERT_FALSE(inter.empty());
+  ASSERT_OK_AND_ASSIGN(auto reader, columnar::SeqFileReader::Open(inter));
+  EXPECT_EQ(reader->meta().original_schema, StageOneOutputSchema());
+  ASSERT_OK_AND_ASSIGN(auto stream, reader->ScanAll());
+  Record record;
+  ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&record));
+  ASSERT_TRUE(more);
+  EXPECT_TRUE(record[0].is_str());
+  EXPECT_TRUE(record[1].is_i64());
+}
+
+TEST_F(PipelineTest, SchemaMismatchIsRejectedUpFront) {
+  auto stages = Stages();
+  stages[0].output_schema =
+      Schema({{"wrong", FieldType::kI64}, {"layout", FieldType::kStr}});
+  EXPECT_TRUE(system_
+                  ->RunPipeline(stages, dir_.file("visits.msq"),
+                                dir_.file("x.prs"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PipelineTest, MissingIntermediateSchemaIsRejected) {
+  auto stages = Stages();
+  stages[0].output_schema.reset();
+  EXPECT_TRUE(system_
+                  ->RunPipeline(stages, dir_.file("visits.msq"),
+                                dir_.file("x.prs"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PipelineTest, SingleStagePipelineEqualsPlainSubmit) {
+  std::vector<ManimalSystem::PipelineStage> one(1);
+  one[0].program = StageOneUrlStats();
+  ASSERT_OK_AND_ASSIGN(
+      auto result, system_->RunPipeline(one, dir_.file("visits.msq"),
+                                        dir_.file("single.prs")));
+  ManimalSystem::Submission job;
+  job.program = StageOneUrlStats();
+  job.input_path = dir_.file("visits.msq");
+  job.output_path = dir_.file("plain.prs");
+  ASSERT_OK(system_->RunBaseline(job).status());
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       exec::ReadCanonicalPairs(dir_.file("single.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       exec::ReadCanonicalPairs(dir_.file("plain.prs")));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace manimal::core

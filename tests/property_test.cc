@@ -1,0 +1,261 @@
+// Randomized differential safety tests — the executable form of the
+// paper's core safety claim: "Manimal should only indicate an
+// optimization when it is entirely safe to do so."
+//
+// For randomly generated map/reduce programs over randomly generated
+// data:
+//   1. the recovered selection formula must agree with the VM's actual
+//      emission behaviour on every record (no false positives in the
+//      DNF);
+//   2. executing through whatever artifact the analyzer+optimizer
+//      choose must produce byte-identical output multisets to the
+//      conventional run.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/expr_eval.h"
+#include "columnar/seqfile.h"
+#include "common/random.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "mril/builder.h"
+#include "mril/vm.h"
+#include "tests/test_util.h"
+
+namespace manimal {
+namespace {
+
+using mril::FunctionBuilder;
+using mril::Program;
+using mril::ProgramBuilder;
+using testing::TempDir;
+
+Schema PropSchema() {
+  return Schema({{"tag", FieldType::kStr},
+                 {"x", FieldType::kI64},
+                 {"y", FieldType::kI64},
+                 {"label", FieldType::kStr},
+                 {"z", FieldType::kI64}});
+}
+
+// Generates a random record for PropSchema with small value domains so
+// selections have interesting selectivities.
+Record RandomRecord(Rng* rng) {
+  return {Value::Str("t" + std::to_string(rng->Uniform(5))),
+          Value::I64(rng->UniformRange(-50, 50)),
+          Value::I64(rng->UniformRange(0, 100)),
+          Value::Str(rng->AsciiString(4)),
+          Value::I64(rng->UniformRange(-1000, 1000))};
+}
+
+// Emits a random comparison condition (field cmp const) and a branch
+// to `fail_label` when it does not hold.
+void EmitRandomCondition(FunctionBuilder& m, Rng* rng,
+                         const std::string& fail_label) {
+  static const int kNumericFields[] = {1, 2, 4};
+  int field = kNumericFields[rng->Uniform(3)];
+  m.LoadParam(1).GetFieldIndex(field);
+  // Sometimes shift the field by a constant before comparing — the
+  // simplifier's normalization path must stay differentially safe.
+  if (rng->OneIn(3)) {
+    m.LoadI64(rng->UniformRange(-30, 30));
+    if (rng->OneIn(2)) {
+      m.Add();
+    } else {
+      m.Sub();
+    }
+  }
+  m.LoadI64(rng->UniformRange(-60, 110));
+  switch (rng->Uniform(6)) {
+    case 0:
+      m.CmpLt();
+      break;
+    case 1:
+      m.CmpLe();
+      break;
+    case 2:
+      m.CmpGt();
+      break;
+    case 3:
+      m.CmpGe();
+      break;
+    case 4:
+      m.CmpEq();
+      break;
+    default:
+      m.CmpNe();
+      break;
+  }
+  if (rng->OneIn(4)) m.Not();
+  m.JmpIfFalse(fail_label);
+}
+
+// Pushes a random emit key or value expression (always functional).
+void EmitRandomOperand(FunctionBuilder& m, Rng* rng) {
+  switch (rng->Uniform(4)) {
+    case 0:
+      m.LoadParam(0);
+      break;
+    case 1:
+      m.LoadParam(1).GetFieldIndex(
+          static_cast<int>(rng->Uniform(5)));
+      break;
+    case 2:
+      m.LoadI64(rng->UniformRange(0, 9));
+      break;
+    default:
+      m.LoadParam(1).GetFieldIndex(1).LoadI64(
+           rng->UniformRange(1, 5));
+      m.Add();
+      break;
+  }
+}
+
+// A random program: 1-2 guarded emit segments, optional logging,
+// optionally (unsafe variant) a member counter in the guard.
+Program RandomProgram(uint64_t seed, bool allow_unsafe) {
+  Rng rng(seed);
+  ProgramBuilder b("prop-" + std::to_string(seed));
+  b.SetValueSchema(PropSchema());
+  bool unsafe = allow_unsafe && rng.OneIn(3);
+  if (unsafe) b.AddMember("count", Value::I64(0));
+  FunctionBuilder& m = b.Map();
+  if (unsafe) {
+    m.LoadMember("count").LoadI64(1).Add().StoreMember("count");
+  }
+  int segments = 1 + static_cast<int>(rng.Uniform(2));
+  for (int s = 0; s < segments; ++s) {
+    std::string end_label = "seg_end" + std::to_string(s);
+    int conds = static_cast<int>(rng.Uniform(3));
+    for (int c = 0; c < conds; ++c) {
+      EmitRandomCondition(m, &rng, end_label);
+    }
+    if (rng.OneIn(4)) {
+      m.LoadParam(1).GetFieldIndex(3).Log();
+    }
+    EmitRandomOperand(m, &rng);
+    EmitRandomOperand(m, &rng);
+    m.Emit();
+    m.Label(end_label);
+  }
+  m.Ret();
+  if (rng.OneIn(2)) {
+    // Count-the-values reduce: order-insensitive and agnostic to the
+    // (randomly typed) emitted values.
+    FunctionBuilder& r = b.Reduce();
+    r.LoadParam(0);
+    r.LoadParam(1).Call("list.len");
+    r.Emit().Ret();
+  }
+  return b.Build();
+}
+
+class SelectionFormulaProperty : public ::testing::TestWithParam<int> {};
+
+// Property 1: the recovered DNF is exactly the emission predicate.
+TEST_P(SelectionFormulaProperty, FormulaAgreesWithVm) {
+  Rng rng(1000 + GetParam());
+  Program program = RandomProgram(2000 + GetParam(),
+                                  /*allow_unsafe=*/false);
+  ASSERT_OK_AND_ASSIGN(analyzer::AnalysisReport report,
+                       analyzer::Analyze(program));
+  if (!report.selection.has_value()) return;  // nothing to check
+
+  mril::VmInstance vm(&program);
+  int emitted = 0;
+  vm.set_emit_sink([&emitted](const Value&, const Value&) {
+    ++emitted;
+    return Status::OK();
+  });
+  for (int i = 0; i < 500; ++i) {
+    Record record = RandomRecord(&rng);
+    Value value = Value::List(record);
+    emitted = 0;
+    ASSERT_OK(vm.InvokeMap(Value::I64(i), value));
+    ASSERT_OK_AND_ASSIGN(
+        bool formula_says,
+        analyzer::EvalFormula(report.selection->formula, Value::I64(i),
+                              value));
+    EXPECT_EQ(formula_says, emitted > 0)
+        << "record " << i << " formula "
+        << report.selection->formula.ToString();
+    // And the indexable intervals must cover every emitting record.
+    if (report.selection->indexable() && emitted > 0) {
+      ASSERT_OK_AND_ASSIGN(
+          Value key, analyzer::EvalExpr(report.selection->indexed_expr,
+                                        Value::I64(i), value));
+      bool covered = report.selection->intervals.empty() ? false : false;
+      for (const analyzer::KeyInterval& iv :
+           report.selection->intervals) {
+        covered = covered || iv.Contains(key);
+      }
+      EXPECT_TRUE(covered) << key.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionFormulaProperty,
+                         ::testing::Range(0, 25));
+
+class EndToEndEquivalenceProperty : public ::testing::TestWithParam<int> {
+};
+
+// Property 2: conventional and Manimal-optimized runs produce the same
+// output multiset for ANY program the analyzer chose to optimize.
+TEST_P(EndToEndEquivalenceProperty, OptimizedOutputsMatchBaseline) {
+  TempDir dir("prop-e2e");
+  Rng rng(3000 + GetParam());
+
+  // Data file.
+  {
+    auto writer = std::move(columnar::SeqFileWriter::Create(
+                                dir.file("data.msq"),
+                                columnar::PlainMeta(PropSchema())))
+                      .value();
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_OK(writer->Append(RandomRecord(&rng)));
+    }
+    ASSERT_OK(writer->Finish().status());
+  }
+
+  Program program = RandomProgram(4000 + GetParam(),
+                                  /*allow_unsafe=*/true);
+
+  core::ManimalSystem::Options options;
+  options.workspace_dir = dir.file("ws");
+  options.simulated_startup_seconds = 0;
+  options.map_parallelism = 2;
+  options.num_partitions = 2;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+
+  core::ManimalSystem::Submission submission;
+  submission.program = program;
+  submission.input_path = dir.file("data.msq");
+  submission.output_path = dir.file("base.prs");
+  ASSERT_OK(system->RunBaseline(submission).status());
+
+  // Build every index program the analyzer emits, then submit.
+  ASSERT_OK_AND_ASSIGN(analyzer::AnalysisReport report,
+                       analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  for (const auto& spec : specs) {
+    ASSERT_OK(system->BuildIndex(spec, submission.input_path).status());
+  }
+  submission.output_path = dir.file("opt.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(submission));
+  EXPECT_EQ(outcome.plan.optimized, !specs.empty());
+
+  ASSERT_OK_AND_ASSIGN(auto base,
+                       exec::ReadCanonicalPairs(dir.file("base.prs")));
+  ASSERT_OK_AND_ASSIGN(auto opt,
+                       exec::ReadCanonicalPairs(dir.file("opt.prs")));
+  EXPECT_EQ(base, opt) << "plan: " << outcome.plan.explanation
+                       << "\nreport: " << outcome.report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndEquivalenceProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace manimal

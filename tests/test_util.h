@@ -1,0 +1,54 @@
+// Shared test helpers: temp workspaces, status assertions.
+
+#ifndef MANIMAL_TESTS_TEST_UTIL_H_
+#define MANIMAL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace manimal::testing {
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const ::manimal::Status _st = (expr);                            \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const ::manimal::Status _st = (expr);                            \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+// Asserts a Result<T> is ok and moves its value into `lhs`.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                             \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                         \
+      MANIMAL_CONCAT(_assert_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)                   \
+  auto tmp = (rexpr);                                                \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                  \
+  lhs = std::move(tmp).value()
+
+// RAII temp directory removed at scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) : path_(MakeTempDir(tag)) {}
+  ~TempDir() { (void)RemoveDirRecursively(path_); }
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace manimal::testing
+
+#endif  // MANIMAL_TESTS_TEST_UTIL_H_
