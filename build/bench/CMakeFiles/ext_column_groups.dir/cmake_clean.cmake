@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_column_groups.dir/ext_column_groups.cc.o"
+  "CMakeFiles/ext_column_groups.dir/ext_column_groups.cc.o.d"
+  "ext_column_groups"
+  "ext_column_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_column_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cost_optimizer.dir/ext_cost_optimizer.cc.o"
+  "CMakeFiles/ext_cost_optimizer.dir/ext_cost_optimizer.cc.o.d"
+  "ext_cost_optimizer"
+  "ext_cost_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cost_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reduce_filter.dir/ext_reduce_filter.cc.o"
+  "CMakeFiles/ext_reduce_filter.dir/ext_reduce_filter.cc.o.d"
+  "ext_reduce_filter"
+  "ext_reduce_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reduce_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cfg.dir/fig4_cfg.cc.o"
+  "CMakeFiles/fig4_cfg.dir/fig4_cfg.cc.o.d"
+  "fig4_cfg"
+  "fig4_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_usedef.dir/fig5_usedef.cc.o"
+  "CMakeFiles/fig5_usedef.dir/fig5_usedef.cc.o.d"
+  "fig5_usedef"
+  "fig5_usedef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_usedef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_recall.dir/table1_recall.cc.o"
+  "CMakeFiles/table1_recall.dir/table1_recall.cc.o.d"
+  "table1_recall"
+  "table1_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_endtoend.dir/table2_endtoend.cc.o"
+  "CMakeFiles/table2_endtoend.dir/table2_endtoend.cc.o.d"
+  "table2_endtoend"
+  "table2_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_projection.dir/table4_projection.cc.o"
+  "CMakeFiles/table4_projection.dir/table4_projection.cc.o.d"
+  "table4_projection"
+  "table4_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_delta.dir/table5_delta.cc.o"
+  "CMakeFiles/table5_delta.dir/table5_delta.cc.o.d"
+  "table5_delta"
+  "table5_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_directop.dir/table6_directop.cc.o"
+  "CMakeFiles/table6_directop.dir/table6_directop.cc.o.d"
+  "table6_directop"
+  "table6_directop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_directop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

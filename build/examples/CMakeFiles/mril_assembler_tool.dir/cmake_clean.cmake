@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mril_assembler_tool.dir/mril_assembler_tool.cpp.o"
+  "CMakeFiles/mril_assembler_tool.dir/mril_assembler_tool.cpp.o.d"
+  "manimal-run"
+  "manimal-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mril_assembler_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webpage_projection.dir/webpage_projection.cpp.o"
+  "CMakeFiles/webpage_projection.dir/webpage_projection.cpp.o.d"
+  "webpage_projection"
+  "webpage_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webpage_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

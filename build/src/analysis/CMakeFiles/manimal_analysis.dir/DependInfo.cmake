@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/expr.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/expr.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/expr.cc.o.d"
+  "/root/repo/src/analysis/expr_recovery.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/expr_recovery.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/expr_recovery.cc.o.d"
+  "/root/repo/src/analysis/paths.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/paths.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/paths.cc.o.d"
+  "/root/repo/src/analysis/reaching_defs.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/reaching_defs.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/reaching_defs.cc.o.d"
+  "/root/repo/src/analysis/side_effects.cc" "src/analysis/CMakeFiles/manimal_analysis.dir/side_effects.cc.o" "gcc" "src/analysis/CMakeFiles/manimal_analysis.dir/side_effects.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mril/CMakeFiles/manimal_mril.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

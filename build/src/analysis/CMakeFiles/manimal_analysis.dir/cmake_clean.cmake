@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_analysis.dir/cfg.cc.o"
+  "CMakeFiles/manimal_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/manimal_analysis.dir/expr.cc.o"
+  "CMakeFiles/manimal_analysis.dir/expr.cc.o.d"
+  "CMakeFiles/manimal_analysis.dir/expr_recovery.cc.o"
+  "CMakeFiles/manimal_analysis.dir/expr_recovery.cc.o.d"
+  "CMakeFiles/manimal_analysis.dir/paths.cc.o"
+  "CMakeFiles/manimal_analysis.dir/paths.cc.o.d"
+  "CMakeFiles/manimal_analysis.dir/reaching_defs.cc.o"
+  "CMakeFiles/manimal_analysis.dir/reaching_defs.cc.o.d"
+  "CMakeFiles/manimal_analysis.dir/side_effects.cc.o"
+  "CMakeFiles/manimal_analysis.dir/side_effects.cc.o.d"
+  "libmanimal_analysis.a"
+  "libmanimal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

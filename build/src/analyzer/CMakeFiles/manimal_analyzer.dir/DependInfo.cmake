@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/analyzer.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/analyzer.cc.o.d"
+  "/root/repo/src/analyzer/compression.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/compression.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/compression.cc.o.d"
+  "/root/repo/src/analyzer/descriptor.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/descriptor.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/descriptor.cc.o.d"
+  "/root/repo/src/analyzer/expr_eval.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/expr_eval.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/expr_eval.cc.o.d"
+  "/root/repo/src/analyzer/index_gen.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/index_gen.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/index_gen.cc.o.d"
+  "/root/repo/src/analyzer/project.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/project.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/project.cc.o.d"
+  "/root/repo/src/analyzer/reduce_filter.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/reduce_filter.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/reduce_filter.cc.o.d"
+  "/root/repo/src/analyzer/select.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/select.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/select.cc.o.d"
+  "/root/repo/src/analyzer/simplify.cc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/simplify.cc.o" "gcc" "src/analyzer/CMakeFiles/manimal_analyzer.dir/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/manimal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mril/CMakeFiles/manimal_mril.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

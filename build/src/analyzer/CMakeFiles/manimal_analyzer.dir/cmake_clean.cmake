@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/analyzer.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/compression.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/compression.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/descriptor.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/descriptor.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/expr_eval.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/expr_eval.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/index_gen.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/index_gen.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/project.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/project.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/reduce_filter.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/reduce_filter.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/select.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/select.cc.o.d"
+  "CMakeFiles/manimal_analyzer.dir/simplify.cc.o"
+  "CMakeFiles/manimal_analyzer.dir/simplify.cc.o.d"
+  "libmanimal_analyzer.a"
+  "libmanimal_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/column_groups.cc" "src/columnar/CMakeFiles/manimal_columnar.dir/column_groups.cc.o" "gcc" "src/columnar/CMakeFiles/manimal_columnar.dir/column_groups.cc.o.d"
+  "/root/repo/src/columnar/dictionary.cc" "src/columnar/CMakeFiles/manimal_columnar.dir/dictionary.cc.o" "gcc" "src/columnar/CMakeFiles/manimal_columnar.dir/dictionary.cc.o.d"
+  "/root/repo/src/columnar/seqfile.cc" "src/columnar/CMakeFiles/manimal_columnar.dir/seqfile.cc.o" "gcc" "src/columnar/CMakeFiles/manimal_columnar.dir/seqfile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_columnar.dir/column_groups.cc.o"
+  "CMakeFiles/manimal_columnar.dir/column_groups.cc.o.d"
+  "CMakeFiles/manimal_columnar.dir/dictionary.cc.o"
+  "CMakeFiles/manimal_columnar.dir/dictionary.cc.o.d"
+  "CMakeFiles/manimal_columnar.dir/seqfile.cc.o"
+  "CMakeFiles/manimal_columnar.dir/seqfile.cc.o.d"
+  "libmanimal_columnar.a"
+  "libmanimal_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

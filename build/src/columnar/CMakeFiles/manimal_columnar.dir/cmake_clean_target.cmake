@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanimal_columnar.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_common.dir/coding.cc.o"
+  "CMakeFiles/manimal_common.dir/coding.cc.o.d"
+  "CMakeFiles/manimal_common.dir/env.cc.o"
+  "CMakeFiles/manimal_common.dir/env.cc.o.d"
+  "CMakeFiles/manimal_common.dir/random.cc.o"
+  "CMakeFiles/manimal_common.dir/random.cc.o.d"
+  "CMakeFiles/manimal_common.dir/status.cc.o"
+  "CMakeFiles/manimal_common.dir/status.cc.o.d"
+  "CMakeFiles/manimal_common.dir/strings.cc.o"
+  "CMakeFiles/manimal_common.dir/strings.cc.o.d"
+  "CMakeFiles/manimal_common.dir/threadpool.cc.o"
+  "CMakeFiles/manimal_common.dir/threadpool.cc.o.d"
+  "libmanimal_common.a"
+  "libmanimal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_core.dir/manimal.cc.o"
+  "CMakeFiles/manimal_core.dir/manimal.cc.o.d"
+  "CMakeFiles/manimal_core.dir/pipeline.cc.o"
+  "CMakeFiles/manimal_core.dir/pipeline.cc.o.d"
+  "libmanimal_core.a"
+  "libmanimal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

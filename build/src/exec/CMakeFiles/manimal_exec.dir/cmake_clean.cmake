@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_exec.dir/descriptor.cc.o"
+  "CMakeFiles/manimal_exec.dir/descriptor.cc.o.d"
+  "CMakeFiles/manimal_exec.dir/engine.cc.o"
+  "CMakeFiles/manimal_exec.dir/engine.cc.o.d"
+  "CMakeFiles/manimal_exec.dir/index_build.cc.o"
+  "CMakeFiles/manimal_exec.dir/index_build.cc.o.d"
+  "CMakeFiles/manimal_exec.dir/pairfile.cc.o"
+  "CMakeFiles/manimal_exec.dir/pairfile.cc.o.d"
+  "libmanimal_exec.a"
+  "libmanimal_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_index.dir/btree.cc.o"
+  "CMakeFiles/manimal_index.dir/btree.cc.o.d"
+  "CMakeFiles/manimal_index.dir/catalog.cc.o"
+  "CMakeFiles/manimal_index.dir/catalog.cc.o.d"
+  "CMakeFiles/manimal_index.dir/external_sorter.cc.o"
+  "CMakeFiles/manimal_index.dir/external_sorter.cc.o.d"
+  "libmanimal_index.a"
+  "libmanimal_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mril/assembler.cc" "src/mril/CMakeFiles/manimal_mril.dir/assembler.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/assembler.cc.o.d"
+  "/root/repo/src/mril/builder.cc" "src/mril/CMakeFiles/manimal_mril.dir/builder.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/builder.cc.o.d"
+  "/root/repo/src/mril/builtins.cc" "src/mril/CMakeFiles/manimal_mril.dir/builtins.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/builtins.cc.o.d"
+  "/root/repo/src/mril/opcode.cc" "src/mril/CMakeFiles/manimal_mril.dir/opcode.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/opcode.cc.o.d"
+  "/root/repo/src/mril/program.cc" "src/mril/CMakeFiles/manimal_mril.dir/program.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/program.cc.o.d"
+  "/root/repo/src/mril/verifier.cc" "src/mril/CMakeFiles/manimal_mril.dir/verifier.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/verifier.cc.o.d"
+  "/root/repo/src/mril/vm.cc" "src/mril/CMakeFiles/manimal_mril.dir/vm.cc.o" "gcc" "src/mril/CMakeFiles/manimal_mril.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

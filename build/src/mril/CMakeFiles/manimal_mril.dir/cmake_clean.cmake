@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_mril.dir/assembler.cc.o"
+  "CMakeFiles/manimal_mril.dir/assembler.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/builder.cc.o"
+  "CMakeFiles/manimal_mril.dir/builder.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/builtins.cc.o"
+  "CMakeFiles/manimal_mril.dir/builtins.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/opcode.cc.o"
+  "CMakeFiles/manimal_mril.dir/opcode.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/program.cc.o"
+  "CMakeFiles/manimal_mril.dir/program.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/verifier.cc.o"
+  "CMakeFiles/manimal_mril.dir/verifier.cc.o.d"
+  "CMakeFiles/manimal_mril.dir/vm.cc.o"
+  "CMakeFiles/manimal_mril.dir/vm.cc.o.d"
+  "libmanimal_mril.a"
+  "libmanimal_mril.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_mril.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_optimizer.dir/cost.cc.o"
+  "CMakeFiles/manimal_optimizer.dir/cost.cc.o.d"
+  "CMakeFiles/manimal_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/manimal_optimizer.dir/optimizer.cc.o.d"
+  "libmanimal_optimizer.a"
+  "libmanimal_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serde/key_codec.cc" "src/serde/CMakeFiles/manimal_serde.dir/key_codec.cc.o" "gcc" "src/serde/CMakeFiles/manimal_serde.dir/key_codec.cc.o.d"
+  "/root/repo/src/serde/record_codec.cc" "src/serde/CMakeFiles/manimal_serde.dir/record_codec.cc.o" "gcc" "src/serde/CMakeFiles/manimal_serde.dir/record_codec.cc.o.d"
+  "/root/repo/src/serde/schema.cc" "src/serde/CMakeFiles/manimal_serde.dir/schema.cc.o" "gcc" "src/serde/CMakeFiles/manimal_serde.dir/schema.cc.o.d"
+  "/root/repo/src/serde/value.cc" "src/serde/CMakeFiles/manimal_serde.dir/value.cc.o" "gcc" "src/serde/CMakeFiles/manimal_serde.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_serde.dir/key_codec.cc.o"
+  "CMakeFiles/manimal_serde.dir/key_codec.cc.o.d"
+  "CMakeFiles/manimal_serde.dir/record_codec.cc.o"
+  "CMakeFiles/manimal_serde.dir/record_codec.cc.o.d"
+  "CMakeFiles/manimal_serde.dir/schema.cc.o"
+  "CMakeFiles/manimal_serde.dir/schema.cc.o.d"
+  "CMakeFiles/manimal_serde.dir/value.cc.o"
+  "CMakeFiles/manimal_serde.dir/value.cc.o.d"
+  "libmanimal_serde.a"
+  "libmanimal_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datagen.cc" "src/workloads/CMakeFiles/manimal_workloads.dir/datagen.cc.o" "gcc" "src/workloads/CMakeFiles/manimal_workloads.dir/datagen.cc.o.d"
+  "/root/repo/src/workloads/pavlo.cc" "src/workloads/CMakeFiles/manimal_workloads.dir/pavlo.cc.o" "gcc" "src/workloads/CMakeFiles/manimal_workloads.dir/pavlo.cc.o.d"
+  "/root/repo/src/workloads/schemas.cc" "src/workloads/CMakeFiles/manimal_workloads.dir/schemas.cc.o" "gcc" "src/workloads/CMakeFiles/manimal_workloads.dir/schemas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mril/CMakeFiles/manimal_mril.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/manimal_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

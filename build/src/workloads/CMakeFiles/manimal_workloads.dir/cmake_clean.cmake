@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manimal_workloads.dir/datagen.cc.o"
+  "CMakeFiles/manimal_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/manimal_workloads.dir/pavlo.cc.o"
+  "CMakeFiles/manimal_workloads.dir/pavlo.cc.o.d"
+  "CMakeFiles/manimal_workloads.dir/schemas.cc.o"
+  "CMakeFiles/manimal_workloads.dir/schemas.cc.o.d"
+  "libmanimal_workloads.a"
+  "libmanimal_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manimal_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

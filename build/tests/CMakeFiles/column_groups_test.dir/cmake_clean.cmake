@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_groups_test.dir/column_groups_test.cc.o"
+  "CMakeFiles/column_groups_test.dir/column_groups_test.cc.o.d"
+  "column_groups_test"
+  "column_groups_test.pdb"
+  "column_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

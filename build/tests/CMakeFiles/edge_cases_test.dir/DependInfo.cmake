@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/manimal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/manimal_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/manimal_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/manimal_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/manimal_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/manimal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/manimal_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/manimal_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/mril/CMakeFiles/manimal_mril.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/manimal_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manimal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

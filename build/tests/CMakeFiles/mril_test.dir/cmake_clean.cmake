@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mril_test.dir/mril_test.cc.o"
+  "CMakeFiles/mril_test.dir/mril_test.cc.o.d"
+  "mril_test"
+  "mril_test.pdb"
+  "mril_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mril_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
