@@ -6,6 +6,14 @@
 //                  hundred-GB datasets are reached by raising this).
 //   MANIMAL_RUNS   timed repetitions averaged per configuration
 //                  (default 1; the paper averaged 3).
+//
+// Telemetry (see docs/observability.md):
+//   MANIMAL_BENCH_JSON  append one JSON object per reported row to
+//                       this file (JSON lines) — machine-readable
+//                       mirror of the printed tables.
+//   MANIMAL_TRACE       write a Chrome trace-event JSON of the whole
+//                       run to this path (open in chrome://tracing or
+//                       https://ui.perfetto.dev).
 
 #ifndef MANIMAL_BENCH_BENCH_UTIL_H_
 #define MANIMAL_BENCH_BENCH_UTIL_H_
@@ -133,6 +141,96 @@ class TablePrinter {
 inline std::string Secs(double s) { return StrPrintf("%.3f s", s); }
 inline std::string Ratio(double r) { return StrPrintf("%.2fx", r); }
 inline std::string Pct(double r) { return StrPrintf("%.1f%%", r * 100); }
+
+// ---- machine-readable results (MANIMAL_BENCH_JSON) ----
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One row of bench output as a JSON object, appended as a single line
+// to $MANIMAL_BENCH_JSON when set (no-op otherwise). Usage:
+//   JsonRow("table2_endtoend", "grep-baseline")
+//       .Num("speedup", 14.5).Job(job).Emit();
+class JsonRow {
+ public:
+  JsonRow(const std::string& bench, const std::string& row) {
+    Str("bench", bench);
+    Str("row", row);
+    Int("scale", ScaleFactor());
+  }
+
+  JsonRow& Str(const std::string& key, const std::string& value) {
+    std::string quoted;
+    quoted += '"';
+    quoted += JsonEscape(value);
+    quoted += '"';
+    return Raw(key, quoted);
+  }
+  JsonRow& Num(const std::string& key, double value) {
+    return Raw(key, StrPrintf("%.6g", value));
+  }
+  JsonRow& Int(const std::string& key, int64_t value) {
+    return Raw(key, StrPrintf("%lld", static_cast<long long>(value)));
+  }
+
+  // Expands a JobResult: timings, key counters, phase breakdown.
+  JsonRow& Job(const exec::JobResult& job) {
+    Num("wall_seconds", job.wall_seconds);
+    Num("reported_seconds", job.reported_seconds);
+    Num("simulated_io_seconds", job.simulated_io_seconds);
+    Int("input_records", job.counters.input_records);
+    Int("input_bytes", job.counters.input_bytes);
+    Int("map_output_bytes", job.counters.map_output_bytes);
+    Int("output_records", job.counters.output_records);
+    Int("shuffle_spilled_runs", job.counters.shuffle_spilled_runs);
+    std::string phases;
+    for (const auto& [name, stat] : job.phase_breakdown) {
+      if (!phases.empty()) phases += ",";
+      phases += StrPrintf("\"%s\":{\"seconds\":%.6g,\"bytes\":%llu}",
+                          JsonEscape(name).c_str(), stat.seconds,
+                          static_cast<unsigned long long>(stat.bytes));
+    }
+    return Raw("phases", "{" + phases + "}");
+  }
+
+  JsonRow& Raw(const std::string& key, const std::string& json) {
+    if (!fields_.empty()) fields_ += ',';
+    fields_ += '"';
+    fields_ += JsonEscape(key);
+    fields_ += "\":";
+    fields_ += json;
+    return *this;
+  }
+
+  void Emit() {
+    const char* path = std::getenv("MANIMAL_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) return;
+    std::fprintf(f, "{%s}\n", fields_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string fields_;
+};
 
 }  // namespace manimal::bench
 

@@ -166,6 +166,13 @@ int main() {
                   bench::Secs(exact.reported_seconds),
                   HumanBytes(cg.counters.input_bytes),
                   match ? "identical" : "MISMATCH"});
+    bench::JsonRow("ext_column_groups", name + "/scan").Job(scan).Emit();
+    bench::JsonRow("ext_column_groups", name + "/column-groups")
+        .Job(cg)
+        .Emit();
+    bench::JsonRow("ext_column_groups", name + "/exact-projection")
+        .Job(exact)
+        .Emit();
   }
   std::printf(
       "Column groups: one artifact, three workloads (scale=%lld)\n"

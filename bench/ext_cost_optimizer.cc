@@ -111,6 +111,15 @@ int main() {
                   bench::Secs(cost.reported_seconds),
                   declined ? "declined index (scan)" : "used index",
                   match ? "identical" : "MISMATCH"});
+    bench::JsonRow("ext_cost_optimizer",
+                   StrPrintf("selectivity-%d%%/rule", pct))
+        .Job(rule)
+        .Emit();
+    bench::JsonRow("ext_cost_optimizer",
+                   StrPrintf("selectivity-%d%%/cost", pct))
+        .Str("plan", declined ? "scan" : "index")
+        .Job(cost)
+        .Emit();
   }
   table.Print();
   std::printf("\nAll outputs identical: %s\n",

@@ -109,12 +109,29 @@ int main() {
   bool match = a == b;
 
   double base_total = 0, opt_total = 0;
-  for (const auto& s : baseline.stages) {
-    base_total += s.job.reported_seconds;
+  for (size_t i = 0; i < baseline.stages.size(); ++i) {
+    base_total += baseline.stages[i].job.reported_seconds;
+    bench::JsonRow("ext_pipeline",
+                   "no-cross-stage/stage" + std::to_string(i + 1))
+        .Job(baseline.stages[i].job)
+        .Emit();
   }
-  for (const auto& s : optimized.stages) {
-    opt_total += s.job.reported_seconds;
+  for (size_t i = 0; i < optimized.stages.size(); ++i) {
+    opt_total += optimized.stages[i].job.reported_seconds;
+    bench::JsonRow("ext_pipeline",
+                   "cross-stage/stage" + std::to_string(i + 1))
+        .Job(optimized.stages[i].job)
+        .Emit();
   }
+  bench::JsonRow("ext_pipeline", "summary")
+      .Num("baseline_seconds", base_total)
+      .Num("optimized_seconds", opt_total)
+      .Num("speedup", base_total / opt_total)
+      .Int("intermediate_bytes_off",
+           baseline.stages[1].job.counters.input_file_bytes)
+      .Int("intermediate_bytes_on",
+           optimized.stages[1].job.counters.input_file_bytes)
+      .Emit();
 
   std::printf(
       "Appendix E extension: cross-stage projection in chained jobs "

@@ -115,6 +115,16 @@ int main() {
                   bench::Ratio(baseline.reported_seconds /
                                filtered.reported_seconds),
                   match ? "identical" : "MISMATCH"});
+    bench::JsonRow("ext_reduce_filter",
+                   StrPrintf("keep-%d%%/baseline", keep_pct))
+        .Job(baseline)
+        .Emit();
+    bench::JsonRow("ext_reduce_filter",
+                   StrPrintf("keep-%d%%/filtered", keep_pct))
+        .Num("speedup", baseline.reported_seconds /
+                            filtered.reported_seconds)
+        .Job(filtered)
+        .Emit();
   }
   table.Print();
   std::printf("\nAll outputs identical to baseline: %s\n",

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/cfg.h"
+#include "bench/bench_util.h"
 #include "workloads/pavlo.h"
 
 int main() {
@@ -33,5 +34,10 @@ int main() {
   std::printf("  cyclic: %s\n\n", cfg.HasCycle() ? "yes" : "no");
 
   std::printf("GraphViz:\n%s", cfg.ToDot(program, program.map_fn).c_str());
+  bench::JsonRow("fig4_cfg", "summary")
+      .Int("blocks", cfg.blocks().size())
+      .Int("edges", cfg.edges().size())
+      .Int("cyclic", cfg.HasCycle() ? 1 : 0)
+      .Emit();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "analysis/cfg.h"
 #include "analysis/expr_recovery.h"
 #include "analysis/reaching_defs.h"
+#include "bench/bench_util.h"
 #include "mril/program.h"
 #include "workloads/pavlo.h"
 
@@ -63,5 +64,8 @@ int main() {
   DumpProgram(workloads::Figure2Unsafe(1),
               "Figure 2 unsafe variant (member numMapsRun in the "
               "guard):");
+  bench::JsonRow("fig5_usedef", "summary")
+      .Int("programs_dumped", 2)
+      .Emit();
   return 0;
 }

@@ -99,6 +99,12 @@ int main() {
     }
   }
 
+  bench::JsonRow("table1_recall", "summary")
+      .Int("detected", detected)
+      .Int("undetected", undetected)
+      .Int("false_positives", false_positive ? 1 : 0)
+      .Emit();
+
   std::printf(
       "Table 1: Manimal analyzer recall on the Pavlo benchmark "
       "programs\n(paper: 5 detected, 3 undetected, 4 not present, 0 "

@@ -45,6 +45,10 @@ RowResult RunCase(bench::BenchWorkspace& ws, const std::string& name,
     return bench::CheckOk(system->RunBaseline(submission), "baseline");
   });
   row.hadoop_secs = baseline.reported_seconds;
+  bench::JsonRow("table2_endtoend", name + "/hadoop")
+      .Str("description", description)
+      .Job(baseline)
+      .Emit();
 
   // Analyzer -> index-generation program -> admin builds it.
   analyzer::AnalysisReport report =
@@ -69,6 +73,12 @@ RowResult RunCase(bench::BenchWorkspace& ws, const std::string& name,
   });
   row.optimized = outcome.plan.optimized;
   row.manimal_secs = optimized.reported_seconds;
+  bench::JsonRow("table2_endtoend", name + "/manimal")
+      .Str("description", description)
+      .Num("space_overhead", row.space_overhead)
+      .Num("speedup", row.hadoop_secs / row.manimal_secs)
+      .Job(optimized)
+      .Emit();
 
   auto base_pairs = bench::CheckOk(
       exec::ReadCanonicalPairs(ws.file(name + ".hadoop.out")),

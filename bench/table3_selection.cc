@@ -110,6 +110,16 @@ int main() {
                   bench::Ratio(hadoop.reported_seconds /
                                manimal.reported_seconds),
                   match ? "identical" : "MISMATCH"});
+    bench::JsonRow("table3_selection",
+                   StrPrintf("selectivity-%d%%/hadoop", pct))
+        .Job(hadoop)
+        .Emit();
+    bench::JsonRow("table3_selection",
+                   StrPrintf("selectivity-%d%%/manimal", pct))
+        .Num("speedup",
+             hadoop.reported_seconds / manimal.reported_seconds)
+        .Job(manimal)
+        .Emit();
   }
   table.Print();
   std::printf("\nAll outputs identical to baseline: %s\n",

@@ -118,6 +118,16 @@ int main() {
                   bench::Ratio(hadoop.reported_seconds /
                                manimal.reported_seconds),
                   match ? "identical" : "MISMATCH"});
+    bench::JsonRow("table4_projection", config.name + "/hadoop")
+        .Int("input_bytes_total", input_bytes)
+        .Job(hadoop)
+        .Emit();
+    bench::JsonRow("table4_projection", config.name + "/manimal")
+        .Int("artifact_bytes", build.entry.artifact_bytes)
+        .Num("speedup",
+             hadoop.reported_seconds / manimal.reported_seconds)
+        .Job(manimal)
+        .Emit();
   }
   table.Print();
   std::printf("\nAll outputs identical to baseline: %s\n",

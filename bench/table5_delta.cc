@@ -103,6 +103,14 @@ int main() {
       1.0 - static_cast<double>(delta_build.entry.artifact_bytes) /
                 static_cast<double>(proj_build.entry.artifact_bytes);
 
+  bench::JsonRow("table5_delta", "hadoop").Job(hadoop).Emit();
+  bench::JsonRow("table5_delta", "manimal")
+      .Num("space_saving", space_saving)
+      .Num("speedup",
+           hadoop.reported_seconds / manimal.reported_seconds)
+      .Job(manimal)
+      .Emit();
+
   std::printf(
       "Table 5: Delta compression on numeric data (scale=%lld)\n"
       "(paper: ~47%% space savings over the post-projection file, "

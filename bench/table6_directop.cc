@@ -81,6 +81,14 @@ int main() {
                           "optimized output");
   bool match = h == m;
 
+  bench::JsonRow("table6_directop", "hadoop").Job(hadoop).Emit();
+  bench::JsonRow("table6_directop", "manimal")
+      .Int("artifact_bytes", build.entry.artifact_bytes)
+      .Num("speedup",
+           hadoop.reported_seconds / manimal.reported_seconds)
+      .Job(manimal)
+      .Emit();
+
   std::printf(
       "Table 6: Direct operation on compressed data (scale=%lld)\n"
       "(paper: indexed file 76.87GB vs 123.65GB original; 2.34x "

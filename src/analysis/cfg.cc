@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace manimal::analysis {
 
@@ -28,6 +30,10 @@ const char* EdgeKindName(EdgeKind kind) {
 }
 
 Cfg Cfg::Build(const Function& fn) {
+  obs::ScopedSpan span("analysis.cfg_build", "analysis");
+  span.AddArg("function", fn.name);
+  obs::MetricsRegistry::Get().GetCounter("analysis.cfgs_built")
+      ->Increment();
   const int n = static_cast<int>(fn.code.size());
   MANIMAL_CHECK(n > 0);
 

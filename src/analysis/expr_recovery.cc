@@ -2,6 +2,18 @@
 
 #include "common/check.h"
 #include "mril/builtins.h"
+#include "obs/metrics.h"
+
+namespace {
+// "analysis.expr_queries": symbolic-recovery requests (branch
+// conditions, emit operands, stored values, log operands) across all
+// analyzer passes.
+void CountExprQuery() {
+  manimal::obs::MetricsRegistry::Get()
+      .GetCounter("analysis.expr_queries")
+      ->Increment();
+}
+}  // namespace
 
 namespace manimal::analysis {
 
@@ -59,12 +71,14 @@ ExprRef ExprRecovery::StoredValue(int def_pc) {
 }
 
 ExprRef ExprRecovery::BranchCondition(int branch_pc) {
+  CountExprQuery();
   MANIMAL_CHECK(mril::IsConditionalBranch(fn_.code.at(branch_pc).op));
   std::vector<ExprRef> stack = StackBefore(branch_pc);
   return stack.empty() ? Expr::MakeUnknown(branch_pc) : stack.back();
 }
 
 std::pair<ExprRef, ExprRef> ExprRecovery::EmitOperands(int emit_pc) {
+  CountExprQuery();
   MANIMAL_CHECK(fn_.code.at(emit_pc).op == Opcode::kEmit);
   std::vector<ExprRef> stack = StackBefore(emit_pc);
   if (stack.size() < 2) {
@@ -75,6 +89,7 @@ std::pair<ExprRef, ExprRef> ExprRecovery::EmitOperands(int emit_pc) {
 }
 
 ExprRef ExprRecovery::LogOperand(int log_pc) {
+  CountExprQuery();
   MANIMAL_CHECK(fn_.code.at(log_pc).op == Opcode::kLog);
   std::vector<ExprRef> stack = StackBefore(log_pc);
   return stack.empty() ? Expr::MakeUnknown(log_pc) : stack.back();

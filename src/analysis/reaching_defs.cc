@@ -1,6 +1,8 @@
 #include "analysis/reaching_defs.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace manimal::analysis {
 
@@ -25,6 +27,11 @@ bool IsDef(const Instruction& inst, VarRef* var) {
 
 ReachingDefs::ReachingDefs(const Function& fn, const Cfg& cfg)
     : fn_(fn), cfg_(cfg) {
+  obs::ScopedSpan span("analysis.reaching_defs", "analysis");
+  span.AddArg("function", fn.name);
+  obs::MetricsRegistry::Get()
+      .GetCounter("analysis.reaching_defs_runs")
+      ->Increment();
   const int n = static_cast<int>(fn.code.size());
   def_index_of_pc_.assign(n, -1);
   for (int pc = 0; pc < n; ++pc) {

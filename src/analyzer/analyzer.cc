@@ -6,6 +6,8 @@
 #include "analyzer/reduce_filter.h"
 #include "analyzer/select.h"
 #include "mril/verifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace manimal::analyzer {
 
@@ -54,42 +56,68 @@ void ApplySafeMode(const mril::Program& program, AnalysisReport* report) {
 
 Result<AnalysisReport> Analyze(const mril::Program& program,
                                const AnalyzeOptions& options) {
-  MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
+  obs::ScopedSpan analyze_span("analyzer.analyze", "analyzer");
+  analyze_span.AddArg("program", program.name);
+  obs::MetricsRegistry::Get().GetCounter("analyzer.analyses")
+      ->Increment();
+  {
+    obs::ScopedSpan span("analyzer.verify", "analyzer");
+    MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
+  }
 
   AnalysisReport report;
-  report.side_effects = analysis::FindSideEffects(program.map_fn);
-
-  SelectResult select = FindSelect(program);
-  if (select.descriptor.has_value()) {
-    report.selection = std::move(select.descriptor);
-  } else if (!select.always_emits && !select.miss_reason.empty()) {
-    report.misses.push_back(MissReason{"selection", select.miss_reason});
+  {
+    obs::ScopedSpan span("analyzer.side_effects", "analyzer");
+    report.side_effects = analysis::FindSideEffects(program.map_fn);
   }
 
-  ProjectResult project = FindProject(program);
-  if (project.descriptor.has_value()) {
-    report.projection = std::move(project.descriptor);
-  } else if (!project.all_fields_used && !project.miss_reason.empty()) {
-    report.misses.push_back(MissReason{"projection", project.miss_reason});
+  {
+    obs::ScopedSpan span("analyzer.select", "analyzer");
+    SelectResult select = FindSelect(program);
+    if (select.descriptor.has_value()) {
+      report.selection = std::move(select.descriptor);
+    } else if (!select.always_emits && !select.miss_reason.empty()) {
+      report.misses.push_back(
+          MissReason{"selection", select.miss_reason});
+    }
   }
 
-  DeltaResult delta = FindDeltaCompression(program);
-  if (delta.descriptor.has_value()) {
-    report.delta = std::move(delta.descriptor);
-  } else if (!delta.no_numeric_fields && !delta.miss_reason.empty()) {
-    report.misses.push_back(
-        MissReason{"delta-compression", delta.miss_reason});
+  {
+    obs::ScopedSpan span("analyzer.project", "analyzer");
+    ProjectResult project = FindProject(program);
+    if (project.descriptor.has_value()) {
+      report.projection = std::move(project.descriptor);
+    } else if (!project.all_fields_used && !project.miss_reason.empty()) {
+      report.misses.push_back(
+          MissReason{"projection", project.miss_reason});
+    }
   }
 
-  DirectOpResult direct = FindDirectOperation(program);
-  if (direct.descriptor.has_value()) {
-    report.direct_op = std::move(direct.descriptor);
-  } else if (!direct.no_eligible_fields && !direct.miss_reason.empty()) {
-    report.misses.push_back(
-        MissReason{"direct-operation", direct.miss_reason});
+  {
+    obs::ScopedSpan span("analyzer.delta", "analyzer");
+    DeltaResult delta = FindDeltaCompression(program);
+    if (delta.descriptor.has_value()) {
+      report.delta = std::move(delta.descriptor);
+    } else if (!delta.no_numeric_fields && !delta.miss_reason.empty()) {
+      report.misses.push_back(
+          MissReason{"delta-compression", delta.miss_reason});
+    }
+  }
+
+  {
+    obs::ScopedSpan span("analyzer.direct_op", "analyzer");
+    DirectOpResult direct = FindDirectOperation(program);
+    if (direct.descriptor.has_value()) {
+      report.direct_op = std::move(direct.descriptor);
+    } else if (!direct.no_eligible_fields &&
+               !direct.miss_reason.empty()) {
+      report.misses.push_back(
+          MissReason{"direct-operation", direct.miss_reason});
+    }
   }
 
   if (options.enable_reduce_filter && program.reduce_fn.has_value()) {
+    obs::ScopedSpan span("analyzer.reduce_filter", "analyzer");
     ReduceFilterResult filter = FindReduceKeyFilter(program);
     if (filter.descriptor.has_value()) {
       report.reduce_filter = std::move(filter.descriptor);
@@ -99,7 +127,21 @@ Result<AnalysisReport> Analyze(const mril::Program& program,
     }
   }
 
-  if (options.safe_mode) ApplySafeMode(program, &report);
+  if (options.safe_mode) {
+    obs::ScopedSpan span("analyzer.safe_mode", "analyzer");
+    ApplySafeMode(program, &report);
+  }
+
+  auto count_detection = [](const char* name, bool detected) {
+    obs::MetricsRegistry::Get()
+        .GetCounter(std::string("analyzer.detected.") + name)
+        ->Add(detected ? 1 : 0);
+  };
+  count_detection("selection", report.selection.has_value());
+  count_detection("projection", report.projection.has_value());
+  count_detection("delta", report.delta.has_value());
+  count_detection("direct_op", report.direct_op.has_value());
+  count_detection("reduce_filter", report.reduce_filter.has_value());
   return report;
 }
 

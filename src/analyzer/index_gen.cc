@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace manimal::analyzer {
 
@@ -69,6 +70,9 @@ std::string IndexGenProgram::Describe() const {
 
 std::vector<IndexGenProgram> SynthesizeIndexPrograms(
     const mril::Program& program, const AnalysisReport& report) {
+  obs::ScopedSpan span("analyzer.synthesize_index_programs",
+                       "analyzer");
+  span.AddArg("program", program.name);
   std::vector<IndexGenProgram> out;
   const std::string schema = program.value_schema.ToString();
 

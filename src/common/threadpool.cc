@@ -1,10 +1,13 @@
 #include "common/threadpool.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace manimal {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : queue_depth_gauge_(
+          obs::MetricsRegistry::Get().GetGauge("threadpool.queue_depth")) {
   MANIMAL_CHECK(num_threads > 0);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -27,6 +30,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     MANIMAL_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
   task_available_.notify_one();
 }
@@ -49,6 +53,7 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
     task();
     {

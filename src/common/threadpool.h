@@ -11,6 +11,10 @@
 #include <thread>
 #include <vector>
 
+namespace manimal::obs {
+class Gauge;
+}  // namespace manimal::obs
+
 namespace manimal {
 
 class ThreadPool {
@@ -38,6 +42,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
+  // "threadpool.queue_depth" gauge: tasks submitted but not yet
+  // picked up, published on every transition (max tracks the peak).
+  obs::Gauge* queue_depth_gauge_;
 };
 
 }  // namespace manimal

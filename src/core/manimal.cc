@@ -1,8 +1,14 @@
 #include "core/manimal.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace manimal::core {
+
+std::string ManimalSystem::DumpMetricsJson() {
+  return obs::MetricsRegistry::Get().DumpJson();
+}
 
 Result<std::unique_ptr<ManimalSystem>> ManimalSystem::Open(
     Options options) {
@@ -52,6 +58,8 @@ Result<ManimalSystem::SubmitOutcome> ManimalSystem::Submit(
 
 Result<ManimalSystem::SubmitOutcome> ManimalSystem::SubmitWithReport(
     const Submission& submission, analyzer::AnalysisReport report) {
+  obs::ScopedSpan span("system.submit", "core");
+  span.AddArg("program", submission.program.name);
   SubmitOutcome outcome;
   outcome.report = std::move(report);
   outcome.index_programs = analyzer::SynthesizeIndexPrograms(
@@ -70,6 +78,8 @@ Result<ManimalSystem::SubmitOutcome> ManimalSystem::SubmitWithReport(
 
 Result<exec::JobResult> ManimalSystem::RunBaseline(
     const Submission& submission) {
+  obs::ScopedSpan span("system.baseline", "core");
+  span.AddArg("program", submission.program.name);
   exec::ExecutionDescriptor descriptor = optimizer::BaselineDescriptor(
       submission.program, submission.input_path);
   exec::JobConfig config = MakeJobConfig(submission.output_path);

@@ -138,6 +138,11 @@ class ManimalSystem {
   const index::Catalog& catalog() const { return *catalog_; }
   const Options& options() const { return options_; }
 
+  // JSON snapshot of the process-wide telemetry registry (counters,
+  // gauges, histograms) accumulated across every job this process ran.
+  // See docs/observability.md for the metric naming scheme.
+  static std::string DumpMetricsJson();
+
  private:
   explicit ManimalSystem(Options options)
       : options_(std::move(options)) {}

@@ -8,6 +8,7 @@
 #include "analyzer/project.h"
 #include "common/strings.h"
 #include "core/manimal.h"
+#include "obs/trace.h"
 
 namespace manimal::core {
 
@@ -18,6 +19,8 @@ Result<ManimalSystem::PipelineResult> ManimalSystem::RunPipeline(
   if (stages.empty()) {
     return Status::InvalidArgument("pipeline has no stages");
   }
+  obs::ScopedSpan span("system.pipeline", "core");
+  span.AddArg("stages", std::to_string(stages.size()));
   // Validate the stage chain's declared types up front.
   for (size_t i = 0; i < stages.size(); ++i) {
     const bool is_last = i + 1 == stages.size();

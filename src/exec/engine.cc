@@ -14,12 +14,26 @@
 #include "index/external_sorter.h"
 #include "mril/verifier.h"
 #include "mril/vm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/key_codec.h"
 #include "serde/record_codec.h"
 
 namespace manimal::exec {
 
 namespace {
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kSeqScan:
+      return "seqscan";
+    case AccessPath::kBTree:
+      return "btree";
+    case AccessPath::kColumnGroups:
+      return "column-groups";
+  }
+  return "unknown";
+}
 
 // Shared error latch: first error wins; all tasks then bail early.
 class ErrorLatch {
@@ -142,11 +156,19 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   JobResult result;
   result.output_path = config.output_path;
   result.applied_optimizations = descriptor.applied;
+  obs::MetricsRegistry::Get().GetCounter("exec.jobs")->Increment();
+  obs::ScopedSpan job_span("job.run", "exec");
+  job_span.AddArg("access_path", AccessPathName(descriptor.access_path));
+  job_span.AddArg("program", program.name);
   Stopwatch total_watch;
+  Stopwatch plan_watch;
 
-  MANIMAL_ASSIGN_OR_RETURN(
-      std::unique_ptr<InputPlan> plan,
-      PlanInput(descriptor, config.map_parallelism * 3));
+  std::unique_ptr<InputPlan> plan;
+  {
+    obs::ScopedSpan plan_span("job.plan_input", "exec");
+    MANIMAL_ASSIGN_OR_RETURN(
+        plan, PlanInput(descriptor, config.map_parallelism * 3));
+  }
   result.counters.input_file_bytes = plan->total_input_bytes();
 
   // Self-describing projected inputs carry their own remap.
@@ -163,6 +185,7 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
                                                       : 0);
   for (int p = 0; p < static_cast<int>(partitions.size()); ++p) {
     index::ExternalSorter::Options opts;
+    opts.metric_label = "shuffle";
     opts.temp_dir = config.temp_dir + "/part-" + std::to_string(p);
     MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(opts.temp_dir));
     opts.memory_budget_bytes =
@@ -180,12 +203,17 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
       map_output_filtered{0}, log_messages{0};
 
   // ---------------- map phase ----------------
+  result.phase_breakdown["plan"].seconds = plan_watch.ElapsedSeconds();
   Stopwatch map_watch;
   {
+    obs::ScopedSpan map_phase_span("job.map_phase", "exec");
     ThreadPool pool(std::max(1, config.map_parallelism));
     for (int i = 0; i < plan->num_splits(); ++i) {
       pool.Submit([&, i] {
         if (errors.Failed()) return;
+        obs::ScopedSpan task_span("map_task", "exec");
+        task_span.AddArg("split", std::to_string(i));
+        Stopwatch task_watch;
         auto run = [&]() -> Status {
           MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
                                    plan->OpenSplit(i));
@@ -258,12 +286,17 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
         };
         Status st = run();
         if (!st.ok()) errors.Set(st);
+        auto& metrics = obs::MetricsRegistry::Get();
+        metrics.GetCounter("exec.map_tasks")->Increment();
+        metrics.GetHistogram("exec.map_task_seconds")
+            ->Record(task_watch.ElapsedSeconds());
       });
     }
     pool.Wait();
   }
   MANIMAL_RETURN_IF_ERROR(errors.First());
   result.map_seconds = map_watch.ElapsedSeconds();
+  result.phase_breakdown["map"].seconds = result.map_seconds;
 
   // ---------------- reduce / output phase ----------------
   Stopwatch reduce_watch;
@@ -288,14 +321,21 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
     std::vector<std::string> partition_outputs(num_partitions);
     std::vector<uint64_t> partition_groups(num_partitions, 0);
     {
+      obs::ScopedSpan reduce_phase_span("job.reduce_phase", "exec");
       ThreadPool pool(std::max(1, config.map_parallelism));
       for (int p = 0; p < num_partitions; ++p) {
         pool.Submit([&, p] {
           if (errors.Failed()) return;
+          obs::ScopedSpan task_span("reduce_task", "exec");
+          task_span.AddArg("partition", std::to_string(p));
+          Stopwatch task_watch;
           auto run = [&]() -> Status {
-            MANIMAL_ASSIGN_OR_RETURN(
-                std::unique_ptr<index::SortedStream> stream,
-                partitions[p].sorter->Finish());
+            std::unique_ptr<index::SortedStream> stream;
+            {
+              obs::ScopedSpan merge_span("shuffle.merge", "exec");
+              MANIMAL_ASSIGN_OR_RETURN(stream,
+                                       partitions[p].sorter->Finish());
+            }
             mril::VmInstance vm(&program);
             vm.set_log_sink([&log_messages](const Value&) {
               log_messages.fetch_add(1, std::memory_order_relaxed);
@@ -337,6 +377,10 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
           };
           Status st = run();
           if (!st.ok()) errors.Set(st);
+          auto& metrics = obs::MetricsRegistry::Get();
+          metrics.GetCounter("exec.reduce_tasks")->Increment();
+          metrics.GetHistogram("exec.reduce_task_seconds")
+              ->Record(task_watch.ElapsedSeconds());
         });
       }
       pool.Wait();
@@ -363,6 +407,7 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   result.counters.output_records = out->num_outputs();
   MANIMAL_ASSIGN_OR_RETURN(result.counters.output_bytes, out->Finish());
   result.reduce_seconds = reduce_watch.ElapsedSeconds();
+  result.phase_breakdown["reduce"].seconds = result.reduce_seconds;
 
   result.counters.input_records = input_records.load();
   result.counters.input_bytes = input_bytes.load();
@@ -372,6 +417,11 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   result.counters.map_output_filtered = map_output_filtered.load();
   result.counters.log_messages = log_messages.load();
   result.counters.reduce_groups = reduce_groups_total;
+
+  result.phase_breakdown["map"].bytes =
+      result.counters.input_bytes + result.counters.map_output_bytes;
+  result.phase_breakdown["reduce"].bytes =
+      result.counters.map_output_bytes + result.counters.output_bytes;
 
   result.wall_seconds = total_watch.ElapsedSeconds();
   if (config.simulated_disk_bytes_per_sec > 0) {
@@ -387,6 +437,11 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   result.reported_seconds = result.wall_seconds +
                             config.simulated_startup_seconds +
                             result.simulated_io_seconds;
+  // Rewrite the cumulative trace after every job so MANIMAL_TRACE
+  // output exists even when the process exits abnormally later.
+  if (obs::Tracer::Get().enabled()) {
+    obs::Tracer::Get().WriteIfConfigured();
+  }
   return result;
 }
 

@@ -10,11 +10,14 @@
 #define MANIMAL_EXEC_ENGINE_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "exec/descriptor.h"
+#include "serde/schema.h"
 
 namespace manimal::exec {
 
@@ -70,6 +73,14 @@ struct JobCounters {
   uint64_t shuffle_spilled_bytes = 0;
 };
 
+// One named phase of a job's wall time, with the bytes that phase
+// moved (the paper's tables decompose runtimes exactly this way:
+// startup vs. scan vs. shuffle vs. output).
+struct PhaseStat {
+  double seconds = 0;
+  uint64_t bytes = 0;
+};
+
 struct JobResult {
   JobCounters counters;
   double map_seconds = 0;
@@ -80,6 +91,11 @@ struct JobResult {
   double reported_seconds = 0;
   std::string output_path;
   std::vector<std::string> applied_optimizations;
+  // Contiguous decomposition of wall_seconds: "plan" (input planning
+  // and shuffle setup), "map" (bytes = input read + map output
+  // written), "reduce" (the reduce/output pass; bytes = shuffled
+  // bytes + job output). The phases sum to ~wall_seconds.
+  std::map<std::string, PhaseStat> phase_breakdown;
 };
 
 // Runs the job described by `descriptor` under `config`.

@@ -12,6 +12,8 @@
 #include "common/strings.h"
 #include "index/btree.h"
 #include "index/external_sorter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/key_codec.h"
 #include "serde/record_codec.h"
 
@@ -48,6 +50,9 @@ Result<IndexBuildResult> BuildIndexArtifact(
     const std::string& artifact_dir, const std::string& temp_dir) {
   MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(artifact_dir));
   MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(temp_dir));
+  obs::ScopedSpan build_span("index.build", "index");
+  build_span.AddArg("spec", spec.Describe());
+  obs::MetricsRegistry::Get().GetCounter("index.builds")->Increment();
   Stopwatch watch;
 
   MANIMAL_ASSIGN_OR_RETURN(
@@ -138,6 +143,7 @@ Result<IndexBuildResult> BuildIndexArtifact(
     // keeps selection indexes tiny (Table 2: 0.1% space overhead).
     index::ExternalSorter::Options sort_opts;
     sort_opts.temp_dir = temp_dir;
+    sort_opts.metric_label = "index_sort";
     index::ExternalSorter sorter(sort_opts);
 
     std::unique_ptr<columnar::SeqFileWriter> sibling;

@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/coding.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace manimal::index {
 
@@ -221,9 +223,17 @@ Status ExternalSorter::SpillBuffer() {
     MANIMAL_RETURN_IF_ERROR(f->Append(buf));
   }
   stats_.spilled_bytes += f->bytes_written();
+  const uint64_t run_bytes = f->bytes_written();
   MANIMAL_RETURN_IF_ERROR(f->Close());
   run_paths_.push_back(std::move(path));
   ++stats_.spilled_runs;
+  auto& metrics = obs::MetricsRegistry::Get();
+  metrics.GetCounter(options_.metric_label + ".spilled_runs")
+      ->Increment();
+  metrics.GetCounter(options_.metric_label + ".spilled_bytes")
+      ->Add(static_cast<int64_t>(run_bytes));
+  obs::TraceInstant((options_.metric_label + ".spill").c_str(), "exec",
+                    {{"bytes", std::to_string(run_bytes)}});
   buffered_.clear();
   arena_.clear();
   return Status::OK();

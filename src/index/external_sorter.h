@@ -37,6 +37,11 @@ class ExternalSorter {
   struct Options {
     std::string temp_dir;  // required: where spill runs live
     uint64_t memory_budget_bytes = 64u << 20;
+    // Telemetry label: spills publish the "<label>.spilled_runs" /
+    // "<label>.spilled_bytes" counters and "<label>.spill" trace
+    // instants, so shuffle spills and index-build spills stay
+    // distinguishable.
+    std::string metric_label = "sort";
   };
 
   struct Stats {

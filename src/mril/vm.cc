@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "mril/builtins.h"
+#include "obs/metrics.h"
 
 namespace manimal::mril {
 
@@ -115,8 +116,29 @@ Status Compare(Opcode op, const Value& a, const Value& b, Value* out) {
 }  // namespace
 
 VmInstance::VmInstance(const Program* program, VmOptions options)
-    : program_(program), options_(std::move(options)) {
+    : program_(program),
+      options_(std::move(options)),
+      builtin_calls_(BuiltinRegistry::Get().size(), 0) {
   ResetMembers();
+}
+
+VmInstance::~VmInstance() {
+  if (total_steps_ == 0 && map_invocations_ == 0 &&
+      reduce_invocations_ == 0) {
+    return;
+  }
+  auto& metrics = obs::MetricsRegistry::Get();
+  metrics.GetCounter("mril.instructions")->Add(total_steps_);
+  metrics.GetCounter("mril.invocations")
+      ->Add(map_invocations_ + reduce_invocations_);
+  const BuiltinRegistry& registry = BuiltinRegistry::Get();
+  for (size_t id = 0; id < builtin_calls_.size(); ++id) {
+    if (builtin_calls_[id] == 0) continue;
+    const Builtin* b = registry.FindById(static_cast<int>(id));
+    if (b == nullptr) continue;
+    metrics.GetCounter("mril.builtin." + b->name)
+        ->Add(builtin_calls_[id]);
+  }
 }
 
 void VmInstance::ResetMembers() {
@@ -136,6 +158,7 @@ Status VmInstance::InvokeReduce(const Value& key, const Value& values) {
   if (!program_->reduce_fn.has_value()) {
     return Status::InvalidArgument("program has no reduce()");
   }
+  ++reduce_invocations_;
   return Invoke(*program_->reduce_fn, key, values);
 }
 
@@ -297,6 +320,7 @@ Status VmInstance::Invoke(const Function& fn, const Value& p0,
       case Opcode::kCall: {
         const Builtin* b = registry.FindById(inst.operand);
         MANIMAL_CHECK(b != nullptr);  // verifier guarantees
+        ++builtin_calls_[inst.operand];
         std::vector<Value> args(b->arity);
         for (int i = b->arity - 1; i >= 0; --i) args[i] = pop();
         Value result;

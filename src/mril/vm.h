@@ -44,6 +44,11 @@ class VmInstance {
   // The program must have passed VerifyProgram.
   VmInstance(const Program* program, VmOptions options = {});
 
+  // Flushes accumulated telemetry ("mril.instructions",
+  // "mril.invocations", "mril.builtin.<name>" counters) to the
+  // metrics registry.
+  ~VmInstance();
+
   void set_emit_sink(EmitSink sink) { emit_ = std::move(sink); }
   void set_log_sink(LogSink sink) { log_ = std::move(sink); }
 
@@ -71,6 +76,10 @@ class VmInstance {
   LogSink log_;
   int64_t total_steps_ = 0;
   int64_t map_invocations_ = 0;
+  int64_t reduce_invocations_ = 0;
+  // Per-builtin-id call counts, flushed to named counters at
+  // destruction (a plain array increment on the kCall hot path).
+  std::vector<int64_t> builtin_calls_;
 };
 
 }  // namespace manimal::mril

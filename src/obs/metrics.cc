@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace manimal::obs {
+
+namespace {
+
+// Minimal JSON string escaping (names are plain identifiers in
+// practice, but stay correct for anything).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Record(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+int64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(samples_.size());
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank definition: the smallest sample such that at least
+  // q * n samples are <= it.
+  double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  size_t idx = rank <= 1 ? 0 : static_cast<size_t>(rank) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked singleton: metrics must outlive every static destructor
+  // that might still report.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":" + std::to_string(c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"value\":" +
+           std::to_string(g->Value()) +
+           ",\"max\":" + std::to_string(g->Max()) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h->Count());
+    out += ",\"sum\":" + JsonNumber(h->Sum());
+    out += ",\"min\":" + JsonNumber(h->Min());
+    out += ",\"max\":" + JsonNumber(h->Max());
+    out += ",\"p50\":" + JsonNumber(h->Quantile(0.50));
+    out += ",\"p95\":" + JsonNumber(h->Quantile(0.95));
+    out += ",\"p99\":" + JsonNumber(h->Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
+    g->max_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mu_);
+    h->samples_.clear();
+    h->sum_ = h->min_ = h->max_ = 0;
+  }
+}
+
+}  // namespace manimal::obs

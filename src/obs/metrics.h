@@ -1,0 +1,129 @@
+// Telemetry substrate, part 1: a process-wide metrics registry.
+//
+// The paper's evaluation decomposes every result into measured
+// quantities (startup vs. scan vs. shuffle time, bytes moved, index
+// selectivity); this registry is the repo-wide substrate for that kind
+// of evidence. Three metric kinds:
+//
+//   Counter    monotonically increasing count (relaxed atomics — cheap
+//              enough to leave on in release builds).
+//   Gauge      last-written level (e.g. threadpool queue depth).
+//   Histogram  recorded samples with count/sum/min/max and exact
+//              p50/p95/p99 quantiles (mutex-protected; record at
+//              per-task or per-pass frequency, not per record).
+//
+// Metric names are dot-separated, lower_snake_case path segments:
+// "<layer>.<thing>[.<unit>]", e.g. "exec.map_tasks",
+// "mril.builtin.str.contains", "shuffle.spilled_runs". See
+// docs/observability.md for the full naming scheme.
+//
+// This library is intentionally dependency-free (not even
+// common/) so that the lowest layers — the threadpool included — can
+// publish metrics without a dependency cycle.
+
+#ifndef MANIMAL_OBS_METRICS_H_
+#define MANIMAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace manimal::obs {
+
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    // Track the high-water mark so short-lived peaks (queue bursts)
+    // survive into the dump.
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+class Histogram {
+ public:
+  void Record(double sample);
+
+  int64_t Count() const;
+  double Sum() const;
+  double Min() const;
+  double Max() const;
+  // Exact quantile over all recorded samples; q in (0, 1]. Returns 0
+  // when empty.
+  double Quantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Process-wide named metrics. Get*() returns a stable pointer the
+// caller may cache for the process lifetime; lookups take a mutex, so
+// hot paths should look up once and hold the pointer.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Current value of a counter, or 0 if it was never created
+  // (convenient for tests and dashboards).
+  int64_t CounterValue(const std::string& name) const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,sum,min,max,p50,p95,p99}}}.
+  std::string DumpJson() const;
+
+  // Zeroes every metric while keeping all handed-out pointers valid.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace manimal::obs
+
+#endif  // MANIMAL_OBS_METRICS_H_

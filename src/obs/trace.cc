@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace manimal::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AtExitFlush() { Tracer::Get().WriteIfConfigured(); }
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {
+  const char* path = std::getenv("MANIMAL_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    output_path_ = path;
+    enabled_.store(true, std::memory_order_relaxed);
+    std::atexit(&AtExitFlush);
+  }
+}
+
+Tracer& Tracer::Get() {
+  // Leaked singleton: thread-local buffers retire into it during
+  // thread shutdown, including the main thread's at process exit.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::NowMicros() const {
+  return static_cast<double>(SteadyNowNs() - epoch_ns_) / 1000.0;
+}
+
+Tracer::ThreadLog* Tracer::LocalLog() {
+  // The holder's destructor retires the buffer when the thread dies,
+  // preserving its events for later export.
+  struct Holder {
+    ThreadLog* log = nullptr;
+    ~Holder() {
+      if (log != nullptr) Tracer::Get().Retire(log);
+    }
+  };
+  thread_local Holder holder;
+  if (holder.log == nullptr) {
+    auto* log = new ThreadLog();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log->tid = next_tid_++;
+      live_.push_back(log);
+    }
+    holder.log = log;
+  }
+  return holder.log;
+}
+
+void Tracer::Retire(ThreadLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    retired_.insert(retired_.end(),
+                    std::make_move_iterator(log->events.begin()),
+                    std::make_move_iterator(log->events.end()));
+  }
+  live_.erase(std::remove(live_.begin(), live_.end(), log),
+              live_.end());
+  delete log;
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadLog* log = LocalLog();
+  event.tid = log->tid;
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = retired_;
+    for (const ThreadLog* log : live_) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      out.insert(out.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+size_t Tracer::CountEvents(std::string_view name) const {
+  size_t n = 0;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+std::string Tracer::ExportJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(e.cat) + "\"";
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\"";
+    out += ",\"ts\":" + JsonNumber(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + JsonNumber(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::WriteIfConfigured() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = output_path_;
+  }
+  if (path.empty()) return false;
+  std::string json = ExportJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void Tracer::ClearForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+  for (ThreadLog* log : live_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat)
+    : active_(Tracer::Get().enabled()), name_(name), cat_(cat) {
+  if (active_) start_us_ = Tracer::Get().NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Get();
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.phase = 'X';
+  e.ts_us = start_us_;
+  e.dur_us = tracer.NowMicros() - start_us_;
+  e.args = std::move(args_);
+  tracer.Record(std::move(e));
+}
+
+void ScopedSpan::AddArg(std::string key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceInstant(const char* name, const char* cat,
+                  std::vector<std::pair<std::string, std::string>> args) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_us = tracer.NowMicros();
+  e.args = std::move(args);
+  tracer.Record(std::move(e));
+}
+
+}  // namespace manimal::obs

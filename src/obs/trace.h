@@ -1,0 +1,132 @@
+// Telemetry substrate, part 2: a span-based tracer with Chrome
+// trace-event JSON export.
+//
+// Spans are named, nested phases of work ("analyzer.select",
+// "map_task", "shuffle.merge") recorded with microsecond timestamps
+// and small sequential thread ids into per-thread buffers (no locking
+// on the record path beyond one uncontended per-thread mutex), merged
+// on export. The output is the Chrome trace-event format: open it at
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Enabling: set MANIMAL_TRACE=<path>. The execution fabric rewrites
+// the file at the end of every job (cumulative — the final file holds
+// the whole process), and an atexit hook writes whatever is buffered
+// at clean process exit. When the variable is unset, recording is a
+// single relaxed atomic load and spans never touch the clock.
+//
+// Naming scheme (see docs/observability.md): span names are
+// dot-separated like metric names; the `cat` field is the subsystem
+// ("analysis", "analyzer", "optimizer", "exec", "index", "system").
+
+#ifndef MANIMAL_OBS_TRACE_H_
+#define MANIMAL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace manimal::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';  // 'X' complete span, 'i' instant event
+  double ts_us = 0;  // microseconds since process trace epoch
+  double dur_us = 0; // span duration ('X' only)
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Tests flip recording on without the environment variable.
+  void SetEnabledForTest(bool on) { enabled_.store(on); }
+
+  // Microseconds since the tracer's epoch (steady clock).
+  double NowMicros() const;
+
+  // Appends an event to the calling thread's buffer; assigns the tid.
+  // No-op when disabled.
+  void Record(TraceEvent event);
+
+  // Merged copy of every buffered event (live threads + finished
+  // ones), sorted by timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Number of buffered events with the given name.
+  size_t CountEvents(std::string_view name) const;
+
+  // Chrome trace-event JSON for everything buffered so far.
+  std::string ExportJson() const;
+
+  // Writes ExportJson() to the MANIMAL_TRACE path (or the test
+  // override); returns false when no path is configured or the write
+  // failed.
+  bool WriteIfConfigured() const;
+  void SetOutputPathForTest(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    output_path_ = std::move(path);
+  }
+
+  void ClearForTest();
+
+ private:
+  struct ThreadLog {
+    int tid = 0;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer();
+  ThreadLog* LocalLog();
+  void Retire(ThreadLog* log);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::string output_path_;
+  int next_tid_ = 1;
+  std::vector<ThreadLog*> live_;
+  std::vector<TraceEvent> retired_;
+  int64_t epoch_ns_ = 0;
+};
+
+// RAII span: captures the start time at construction and records a
+// complete ('X') event at destruction. All work is skipped when
+// tracing is disabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "manimal");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a key/value arg shown in the trace viewer.
+  void AddArg(std::string key, std::string value);
+
+ private:
+  bool active_;
+  double start_us_ = 0;
+  const char* name_;
+  const char* cat_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+// Records an instant ('i') event, e.g. a shuffle spill.
+void TraceInstant(
+    const char* name, const char* cat = "manimal",
+    std::vector<std::pair<std::string, std::string>> args = {});
+
+}  // namespace manimal::obs
+
+#endif  // MANIMAL_OBS_TRACE_H_

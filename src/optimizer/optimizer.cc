@@ -4,8 +4,10 @@
 
 #include "columnar/dictionary.h"
 #include "common/env.h"
-#include "optimizer/cost.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/cost.h"
 
 namespace manimal::optimizer {
 
@@ -188,6 +190,11 @@ Result<Plan> BuildPlan(const mril::Program& program,
                        const analyzer::AnalysisReport& report,
                        const index::Catalog& catalog,
                        const PlanningOptions& options) {
+  obs::ScopedSpan plan_span("optimizer.build_plan", "optimizer");
+  plan_span.AddArg("program", program.name);
+  plan_span.AddArg("mode", options.cost_based ? "cost" : "rule");
+  obs::MetricsRegistry::Get().GetCounter("optimizer.plans")
+      ->Increment();
   // Candidates come pre-ranked for the rule-based mode: the maximal
   // combination first, then selection, projection, column groups,
   // delta, direct-op.
@@ -203,9 +210,28 @@ Result<Plan> BuildPlan(const mril::Program& program,
       available.emplace_back(&spec, std::move(*entry));
     }
   }
+  plan_span.AddArg("candidates", std::to_string(candidates.size()));
+  plan_span.AddArg("cataloged", std::to_string(available.size()));
 
   if (!options.cost_based) {
     if (!available.empty()) {
+      // Rule-based: the pre-ranked head wins; the rest are rejected by
+      // rank, but price them anyway so the trace shows the estimated
+      // cost of every candidate not taken.
+      for (size_t i = 1; i < available.size(); ++i) {
+        const auto& [spec, entry] = available[i];
+        auto cost_or = EstimateArtifactCost(*spec, entry, report);
+        obs::TraceInstant(
+            "optimizer.candidate_rejected", "optimizer",
+            {{"candidate", spec->Describe()},
+             {"reason", "rule-based rank"},
+             {"est_bytes", cost_or.ok()
+                               ? StrPrintf("%.0f", cost_or->bytes)
+                               : std::string("unpriceable")}});
+        obs::MetricsRegistry::Get()
+            .GetCounter("optimizer.candidates_rejected")
+            ->Increment();
+      }
       return MakePlanForSpec(program, *available[0].first,
                              available[0].second, report);
     }
@@ -218,11 +244,34 @@ Result<Plan> BuildPlan(const mril::Program& program,
     const index::CatalogEntry* chosen_entry = nullptr;
     for (const auto& [spec, entry] : available) {
       auto cost_or = EstimateArtifactCost(*spec, entry, report);
-      if (!cost_or.ok()) continue;  // unpriceable: skip, stay safe
+      if (!cost_or.ok()) {
+        // Unpriceable: skip, stay safe.
+        obs::TraceInstant("optimizer.candidate_rejected", "optimizer",
+                          {{"candidate", spec->Describe()},
+                           {"reason", "unpriceable"}});
+        obs::MetricsRegistry::Get()
+            .GetCounter("optimizer.candidates_rejected")
+            ->Increment();
+        continue;
+      }
+      obs::TraceInstant(
+          "optimizer.candidate_priced", "optimizer",
+          {{"candidate", spec->Describe()},
+           {"est_bytes", StrPrintf("%.0f", cost_or->bytes)},
+           {"selectivity", StrPrintf("%.4f", cost_or->selectivity)}});
       if (cost_or->bytes < best.bytes) {
         best = *cost_or;
         chosen_spec = spec;
         chosen_entry = &entry;
+      } else {
+        obs::TraceInstant(
+            "optimizer.candidate_rejected", "optimizer",
+            {{"candidate", spec->Describe()},
+             {"reason", "costlier than best"},
+             {"est_bytes", StrPrintf("%.0f", cost_or->bytes)}});
+        obs::MetricsRegistry::Get()
+            .GetCounter("optimizer.candidates_rejected")
+            ->Increment();
       }
     }
     if (chosen_spec != nullptr) {

@@ -10,6 +10,7 @@
 #include "exec/index_build.h"
 #include "exec/pairfile.h"
 #include "mril/builder.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "tests/test_util.h"
 #include "workloads/datagen.h"
@@ -182,6 +183,86 @@ TEST_F(EngineTest, SimulatedCostsAppearInReportedTime) {
   EXPECT_GT(result.simulated_io_seconds, 0.0);
   EXPECT_GE(result.reported_seconds,
             2.5 + result.simulated_io_seconds);
+}
+
+TEST_F(EngineTest, PhaseBreakdownCoversWallTime) {
+  mril::Program program = workloads::SelectionCountQuery(-1);
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), Config("out.prs")));
+  ASSERT_FALSE(result.phase_breakdown.empty());
+  EXPECT_TRUE(result.phase_breakdown.count("plan"));
+  EXPECT_TRUE(result.phase_breakdown.count("map"));
+  EXPECT_TRUE(result.phase_breakdown.count("reduce"));
+  double sum = 0;
+  for (const auto& [name, stat] : result.phase_breakdown) {
+    EXPECT_GE(stat.seconds, 0.0) << name;
+    sum += stat.seconds;
+  }
+  // The phases are contiguous stopwatch regions of the job, so their
+  // sum tracks the measured wall time closely.
+  EXPECT_NEAR(sum, result.wall_seconds,
+              0.05 * result.wall_seconds + 0.01);
+  // The map phase moved at least the input bytes.
+  EXPECT_GE(result.phase_breakdown["map"].bytes,
+            result.counters.input_bytes);
+}
+
+TEST_F(EngineTest, MapOnlyJobStillReportsPhases) {
+  mril::Program program = workloads::ProjectionQuery(49);
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), Config("out.prs")));
+  EXPECT_FALSE(result.phase_breakdown.empty());
+  EXPECT_TRUE(result.phase_breakdown.count("map"));
+}
+
+TEST_F(EngineTest, ShuffleSpillEventsMatchJobCounters) {
+  // Emit the whole content column through the shuffle into a single
+  // partition with the minimum sort budget (the engine floors it at
+  // 1 MiB per partition) so spilling is forced.
+  TempDir dir("spill");
+  workloads::WebPagesOptions gen;
+  gen.num_pages = 20000;
+  gen.content_len = 128;
+  gen.rank_range = 100;
+  ASSERT_TRUE(
+      workloads::GenerateWebPages(dir.file("pages.msq"), gen).ok());
+
+  mril::ProgramBuilder b("spiller");
+  b.SetKeyType(FieldType::kI64)
+      .SetValueSchema(workloads::WebPagesSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank");
+  m.LoadParam(1).GetField("content");
+  m.Emit().Ret();
+  auto& r = b.Reduce();
+  r.LoadParam(0);
+  r.LoadParam(1).Call("list.len");
+  r.Emit().Ret();
+  mril::Program program = b.Build();
+
+  JobConfig config;
+  config.map_parallelism = 2;
+  config.num_partitions = 1;
+  config.sort_buffer_bytes = 1;  // floored to 1 MiB by the engine
+  config.temp_dir = dir.file("tmp");
+  config.output_path = dir.file("out.prs");
+  config.simulated_startup_seconds = 0;
+  config.simulated_disk_bytes_per_sec = 0;
+
+  int64_t runs_before =
+      obs::MetricsRegistry::Get().CounterValue("shuffle.spilled_runs");
+  ASSERT_OK_AND_ASSIGN(
+      JobResult result,
+      RunJob(optimizer::BaselineDescriptor(program,
+                                           dir.file("pages.msq")),
+             config));
+  int64_t runs_after =
+      obs::MetricsRegistry::Get().CounterValue("shuffle.spilled_runs");
+
+  EXPECT_GT(result.counters.shuffle_spilled_runs, 0u);
+  // The registry counter advanced by exactly the spills this job saw.
+  EXPECT_EQ(runs_after - runs_before,
+            static_cast<int64_t>(result.counters.shuffle_spilled_runs));
 }
 
 TEST_F(EngineTest, MissingInputIsAnError) {

@@ -1,0 +1,315 @@
+// Tests for the telemetry substrate: metrics registry (counters,
+// gauges, histograms), the span tracer, and the Chrome trace-event
+// JSON export.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace manimal::obs {
+namespace {
+
+// ---------------- minimal JSON validator ----------------
+//
+// Just enough of a recursive-descent parser to assert the exported
+// documents are well-formed (the repo has no JSON dependency).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------- metrics ----------------
+
+TEST(MetricsTest, ConcurrentCountersAreExact) {
+  MetricsRegistry::Get().ResetForTest();
+  Counter* counter =
+      MetricsRegistry::Get().GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(MetricsRegistry::Get().CounterValue("test.concurrent"),
+            static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Get().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Get().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(MetricsRegistry::Get().CounterValue("test.never_created"),
+            0);
+}
+
+TEST(MetricsTest, GaugeTracksValueAndHighWaterMark) {
+  MetricsRegistry::Get().ResetForTest();
+  Gauge* gauge = MetricsRegistry::Get().GetGauge("test.gauge");
+  gauge->Set(5);
+  gauge->Set(17);
+  gauge->Set(3);
+  EXPECT_EQ(gauge->Value(), 3);
+  EXPECT_EQ(gauge->Max(), 17);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreExact) {
+  MetricsRegistry::Get().ResetForTest();
+  Histogram* h = MetricsRegistry::Get().GetHistogram("test.hist");
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  EXPECT_EQ(h->Count(), 100);
+  EXPECT_DOUBLE_EQ(h->Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h->Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100.0);
+}
+
+TEST(MetricsTest, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry::Get().ResetForTest();
+  Histogram* h = MetricsRegistry::Get().GetHistogram("test.empty");
+  EXPECT_EQ(h->Count(), 0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, ResetKeepsPointersValid) {
+  Counter* c = MetricsRegistry::Get().GetCounter("test.reset");
+  c->Add(42);
+  MetricsRegistry::Get().ResetForTest();
+  EXPECT_EQ(c->Value(), 0);
+  c->Increment();
+  EXPECT_EQ(MetricsRegistry::Get().CounterValue("test.reset"), 1);
+}
+
+TEST(MetricsTest, DumpJsonIsWellFormed) {
+  MetricsRegistry::Get().ResetForTest();
+  MetricsRegistry::Get().GetCounter("test.c\"quote")->Add(3);
+  MetricsRegistry::Get().GetGauge("test.g")->Set(7);
+  Histogram* h = MetricsRegistry::Get().GetHistogram("test.h");
+  h->Record(1.5);
+  h->Record(2.5);
+  std::string json = MetricsRegistry::Get().DumpJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("counters"), std::string::npos);
+  EXPECT_NE(json.find("gauges"), std::string::npos);
+  EXPECT_NE(json.find("histograms"), std::string::npos);
+}
+
+// ---------------- tracer ----------------
+
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest() {
+    Tracer::Get().ClearForTest();
+    Tracer::Get().SetEnabledForTest(true);
+  }
+  ~TracerTest() override {
+    Tracer::Get().SetEnabledForTest(false);
+    Tracer::Get().ClearForTest();
+  }
+};
+
+TEST_F(TracerTest, NestedSpansAreContained) {
+  {
+    ScopedSpan outer("test.outer", "test");
+    {
+      ScopedSpan inner("test.inner", "test");
+      inner.AddArg("k", "v");
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "test.outer") outer = &e;
+    if (e.name == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->phase, 'X');
+  // The inner span's interval lies within the outer's.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us,
+            outer->ts_us + outer->dur_us + 1e-3);
+  ASSERT_EQ(inner->args.size(), 1u);
+  EXPECT_EQ(inner->args[0].first, "k");
+  EXPECT_EQ(inner->args[0].second, "v");
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctTidsAndMergeIntoSnapshot) {
+  {
+    ScopedSpan main_span("test.main_thread", "test");
+  }
+  std::thread other([] {
+    ScopedSpan span("test.other_thread", "test");
+  });
+  other.join();
+  std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  int main_tid = -1, other_tid = -1;
+  for (const TraceEvent& e : events) {
+    if (e.name == "test.main_thread") main_tid = e.tid;
+    if (e.name == "test.other_thread") other_tid = e.tid;
+  }
+  ASSERT_NE(main_tid, -1);
+  ASSERT_NE(other_tid, -1);  // retired buffer still in the snapshot
+  EXPECT_NE(main_tid, other_tid);
+  EXPECT_EQ(Tracer::Get().CountEvents("test.main_thread"), 1u);
+}
+
+TEST_F(TracerTest, InstantEventsAreRecorded) {
+  TraceInstant("test.spill", "exec", {{"bytes", "123"}});
+  EXPECT_EQ(Tracer::Get().CountEvents("test.spill"), 1u);
+  std::string json = Tracer::Get().ExportJson();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+}
+
+TEST_F(TracerTest, ExportJsonIsWellFormedChromeTrace) {
+  {
+    ScopedSpan span("test.span", "test");
+    span.AddArg("quote", "has \"quotes\" and \\ backslash\n");
+    TraceInstant("test.instant", "test");
+  }
+  std::string json = Tracer::Get().ExportJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.span"), std::string::npos);
+}
+
+TEST_F(TracerTest, SnapshotIsSortedByTimestamp) {
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("test.seq", "test");
+  }
+  std::vector<TraceEvent> events = Tracer::Get().Snapshot();
+  ASSERT_GE(events.size(), 5u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST(TracerDisabledTest, DisabledTracerRecordsNothing) {
+  Tracer::Get().SetEnabledForTest(false);
+  Tracer::Get().ClearForTest();
+  {
+    ScopedSpan span("test.off", "test");
+    TraceInstant("test.off_instant");
+  }
+  EXPECT_EQ(Tracer::Get().CountEvents("test.off"), 0u);
+  EXPECT_EQ(Tracer::Get().CountEvents("test.off_instant"), 0u);
+}
+
+}  // namespace
+}  // namespace manimal::obs
