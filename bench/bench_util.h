@@ -6,6 +6,9 @@
 //                  hundred-GB datasets are reached by raising this).
 //   MANIMAL_RUNS   timed repetitions averaged per configuration
 //                  (default 1; the paper averaged 3).
+//   MANIMAL_SORT_BUFFER_BYTES  total map-side sort budget, divided
+//                  across mappers (default 32 MiB; shrink to force
+//                  shuffle spills — see docs/execution.md).
 //
 // Telemetry (see docs/observability.md):
 //   MANIMAL_BENCH_JSON  append one JSON object per reported row to
@@ -74,6 +77,9 @@ class BenchWorkspace {
     options.map_parallelism =
         static_cast<int>(EnvInt64("MANIMAL_THREADS", 4));
     options.num_partitions = options.map_parallelism;
+    options.sort_buffer_bytes = static_cast<uint64_t>(EnvInt64(
+        "MANIMAL_SORT_BUFFER_BYTES",
+        static_cast<int64_t>(options.sort_buffer_bytes)));
     options.simulated_startup_seconds = startup_seconds;
     return CheckOk(core::ManimalSystem::Open(options), "open system");
   }

@@ -11,7 +11,7 @@
 #include "common/strings.h"
 #include "common/threadpool.h"
 #include "exec/pairfile.h"
-#include "index/external_sorter.h"
+#include "exec/shuffle.h"
 #include "mril/verifier.h"
 #include "mril/vm.h"
 #include "obs/metrics.h"
@@ -56,13 +56,10 @@ class ErrorLatch {
   Status first_;
 };
 
-struct PartitionShuffle {
-  std::mutex mu;
-  std::unique_ptr<index::ExternalSorter> sorter;
-};
-
 // Job output sink: a PairFile, or (pipeline mode) a typed SeqFile the
-// next MapReduce stage can consume.
+// next MapReduce stage can consume. Internally synchronized: map-only
+// map tasks and reduce tasks stream their pairs straight in from
+// worker threads instead of materializing per-partition buffers.
 class OutputWriter {
  public:
   static Result<std::unique_ptr<OutputWriter>> Create(
@@ -74,6 +71,17 @@ class OutputWriter {
       return out;
     }
     const Schema& declared = *config.output_schema;
+    if (!declared.opaque()) {
+      for (size_t i = 0; i < config.output_kept_fields.size(); ++i) {
+        const int f = config.output_kept_fields[i];
+        if (f < 0 || f >= declared.num_fields()) {
+          return Status::InvalidArgument(StrPrintf(
+              "output_kept_fields[%zu] = %d out of range for output "
+              "schema with %d fields",
+              i, f, declared.num_fields()));
+        }
+      }
+    }
     columnar::SeqFileMeta meta;
     meta.original_schema = declared;
     if (config.output_kept_fields.empty() || declared.opaque()) {
@@ -98,6 +106,45 @@ class OutputWriter {
   }
 
   Status Append(const Value& key, const Value& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return AppendLocked(key, value);
+  }
+
+  // Fast path for map-only jobs, which already hold the pair encoded
+  // as EncodeValue(key)+EncodeValue(value) for byte accounting.
+  Status AppendEncoded(const Value& key, const Value& value,
+                       std::string_view encoded_pair) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pairs_ != nullptr) return pairs_->AppendEncoded(encoded_pair);
+    return AppendLocked(key, value);
+  }
+
+  // True when the output is a raw PairFile: emitters may then batch
+  // encoded pairs locally and flush whole chunks through a single
+  // lock acquisition instead of taking the mutex per record.
+  bool pair_encoded() const { return pairs_ != nullptr; }
+
+  Status AppendEncodedChunk(std::string_view bytes, uint64_t num_pairs) {
+    if (bytes.empty()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_->AppendEncodedChunk(bytes, num_pairs);
+  }
+
+  uint64_t num_outputs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_ != nullptr ? pairs_->num_pairs() : num_records_;
+  }
+
+  Result<uint64_t> Finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pairs_ != nullptr) return pairs_->Finish();
+    return records_->Finish();
+  }
+
+ private:
+  OutputWriter() = default;
+
+  Status AppendLocked(const Value& key, const Value& value) {
     if (pairs_ != nullptr) return pairs_->Append(key, value);
     // Flatten (k, v) into a record.
     Record record;
@@ -123,18 +170,7 @@ class OutputWriter {
     return records_->Append(record);
   }
 
-  uint64_t num_outputs() const {
-    return pairs_ != nullptr ? pairs_->num_pairs() : num_records_;
-  }
-
-  Result<uint64_t> Finish() {
-    if (pairs_ != nullptr) return pairs_->Finish();
-    return records_->Finish();
-  }
-
- private:
-  OutputWriter() = default;
-
+  mutable std::mutex mu_;
   std::unique_ptr<PairFileWriter> pairs_;
   std::unique_ptr<columnar::SeqFileWriter> records_;
   Schema declared_;
@@ -149,12 +185,18 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   if (config.temp_dir.empty() || config.output_path.empty()) {
     return Status::InvalidArgument("temp_dir and output_path required");
   }
+  // Normalize the parallelism knobs exactly once, so input planning,
+  // the worker pools, and the shuffle budget all see the same values.
+  JobConfig cfg = config;
+  cfg.map_parallelism = std::max(1, cfg.map_parallelism);
+  cfg.num_partitions = std::max(1, cfg.num_partitions);
+
   const mril::Program& program = descriptor.program;
   MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
-  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(config.temp_dir));
+  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(cfg.temp_dir));
 
   JobResult result;
-  result.output_path = config.output_path;
+  result.output_path = cfg.output_path;
   result.applied_optimizations = descriptor.applied;
   obs::MetricsRegistry::Get().GetCounter("exec.jobs")->Increment();
   obs::ScopedSpan job_span("job.run", "exec");
@@ -167,7 +209,7 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   {
     obs::ScopedSpan plan_span("job.plan_input", "exec");
     MANIMAL_ASSIGN_OR_RETURN(
-        plan, PlanInput(descriptor, config.map_parallelism * 3));
+        plan, PlanInput(descriptor, cfg.map_parallelism * 3));
   }
   result.counters.input_file_bytes = plan->total_input_bytes();
 
@@ -177,25 +219,22 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
                                      : descriptor.field_remap;
 
   const bool has_reduce = program.has_reduce();
-  const int num_partitions = std::max(1, config.num_partitions);
+  const int num_partitions = cfg.num_partitions;
 
-  // Shuffle targets (with reduce) or per-split output buffers
-  // (map-only).
-  std::vector<PartitionShuffle> partitions(has_reduce ? num_partitions
-                                                      : 0);
-  for (int p = 0; p < static_cast<int>(partitions.size()); ++p) {
-    index::ExternalSorter::Options opts;
-    opts.metric_label = "shuffle";
-    opts.temp_dir = config.temp_dir + "/part-" + std::to_string(p);
-    MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(opts.temp_dir));
-    opts.memory_budget_bytes =
-        std::max<uint64_t>(1u << 20,
-                           config.sort_buffer_bytes / num_partitions);
-    partitions[p].sorter =
-        std::make_unique<index::ExternalSorter>(opts);
+  std::unique_ptr<Shuffle> shuffle;
+  if (has_reduce) {
+    Shuffle::Options shuffle_opts;
+    shuffle_opts.temp_dir = cfg.temp_dir;
+    shuffle_opts.num_partitions = num_partitions;
+    // The sort budget is shared by the concurrently-running mappers
+    // (floored so degenerate configs still buffer something useful).
+    shuffle_opts.mapper_budget_bytes = std::max<uint64_t>(
+        64u << 10, cfg.sort_buffer_bytes / cfg.map_parallelism);
+    shuffle = std::make_unique<Shuffle>(std::move(shuffle_opts));
   }
-  std::vector<std::string> map_only_outputs(
-      has_reduce ? 0 : plan->num_splits());
+
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<OutputWriter> out,
+                           OutputWriter::Create(cfg));
 
   ErrorLatch errors;
   std::atomic<uint64_t> input_records{0}, input_bytes{0},
@@ -207,7 +246,7 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   Stopwatch map_watch;
   {
     obs::ScopedSpan map_phase_span("job.map_phase", "exec");
-    ThreadPool pool(std::max(1, config.map_parallelism));
+    ThreadPool pool(cfg.map_parallelism);
     for (int i = 0; i < plan->num_splits(); ++i) {
       pool.Submit([&, i] {
         if (errors.Failed()) return;
@@ -217,14 +256,26 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
         auto run = [&]() -> Status {
           MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
                                    plan->OpenSplit(i));
+          std::unique_ptr<Shuffle::Mapper> mapper =
+              has_reduce ? shuffle->NewMapper() : nullptr;
           mril::VmOptions vm_options;
           vm_options.field_remap = field_remap;
           mril::VmInstance vm(&program, vm_options);
           vm.set_log_sink([&log_messages](const Value&) {
             log_messages.fetch_add(1, std::memory_order_relaxed);
           });
-          std::string* local_out =
-              has_reduce ? nullptr : &map_only_outputs[i];
+          // Per-task emit state: scratch encode buffers are reused
+          // across records, counters accumulate locally and flush to
+          // the shared atomics once at task end, and map-only
+          // PairFile output batches into chunks so the writer mutex
+          // is taken per block instead of per record.
+          constexpr size_t kOutputChunkBytes = 256u << 10;
+          std::string key_scratch, value_scratch;
+          std::string out_chunk;
+          uint64_t out_chunk_pairs = 0;
+          uint64_t task_output_records = 0, task_output_bytes = 0;
+          uint64_t task_output_filtered = 0;
+          const bool batch_output = !has_reduce && out->pair_encoded();
           vm.set_emit_sink([&](const Value& k, const Value& v) -> Status {
             // Appendix E: delete pairs the reduce provably discards.
             if (descriptor.reduce_key_filter.has_value()) {
@@ -238,33 +289,43 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
                       "non-boolean reduce filter term");
                 }
                 if (verdict.bool_value() != term.polarity) {
-                  map_output_filtered.fetch_add(
-                      1, std::memory_order_relaxed);
+                  ++task_output_filtered;
                   return Status::OK();
                 }
               }
             }
-            std::string value_bytes;
-            MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &value_bytes));
-            map_output_records.fetch_add(1, std::memory_order_relaxed);
+            ++task_output_records;
             if (has_reduce) {
-              std::string key_bytes;
-              MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(k, &key_bytes));
-              map_output_bytes.fetch_add(
-                  key_bytes.size() + value_bytes.size(),
-                  std::memory_order_relaxed);
+              key_scratch.clear();
+              MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(k, &key_scratch));
+              value_scratch.clear();
+              MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &value_scratch));
+              task_output_bytes +=
+                  key_scratch.size() + value_scratch.size();
               int p = static_cast<int>(k.Hash() % num_partitions);
-              std::lock_guard<std::mutex> lock(partitions[p].mu);
-              return partitions[p].sorter->Add(key_bytes, value_bytes);
+              // Lock-free: this task's private partition buffer.
+              return mapper->Add(p, key_scratch, value_scratch);
             }
-            // Map-only: output pair directly.
-            std::string pair_bytes;
-            MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &pair_bytes));
-            pair_bytes += value_bytes;
-            map_output_bytes.fetch_add(pair_bytes.size(),
-                                       std::memory_order_relaxed);
-            local_out->append(pair_bytes);
-            return Status::OK();
+            if (batch_output) {
+              const size_t before = out_chunk.size();
+              MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_chunk));
+              MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &out_chunk));
+              task_output_bytes += out_chunk.size() - before;
+              ++out_chunk_pairs;
+              if (out_chunk.size() >= kOutputChunkBytes) {
+                MANIMAL_RETURN_IF_ERROR(
+                    out->AppendEncodedChunk(out_chunk, out_chunk_pairs));
+                out_chunk.clear();
+                out_chunk_pairs = 0;
+              }
+              return Status::OK();
+            }
+            // Map-only typed (pipeline) output: per-record append.
+            key_scratch.clear();
+            MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &key_scratch));
+            MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &key_scratch));
+            task_output_bytes += key_scratch.size();
+            return out->AppendEncoded(k, v, key_scratch);
           });
 
           int64_t key = 0;
@@ -277,11 +338,22 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
             ++records;
             MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
           }
+          MANIMAL_RETURN_IF_ERROR(
+              out->AppendEncodedChunk(out_chunk, out_chunk_pairs));
+          map_output_records.fetch_add(task_output_records,
+                                      std::memory_order_relaxed);
+          map_output_bytes.fetch_add(task_output_bytes,
+                                     std::memory_order_relaxed);
+          map_output_filtered.fetch_add(task_output_filtered,
+                                        std::memory_order_relaxed);
           input_records.fetch_add(records, std::memory_order_relaxed);
           input_bytes.fetch_add(split->bytes_read(),
                                 std::memory_order_relaxed);
           map_invocations.fetch_add(vm.map_invocations(),
                                     std::memory_order_relaxed);
+          // Map/reduce barrier handoff: sorted runs + in-memory tails
+          // move to the partitions in one locked step.
+          if (mapper != nullptr) MANIMAL_RETURN_IF_ERROR(mapper->Seal());
           return Status::OK();
         };
         Status st = run();
@@ -302,27 +374,14 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   Stopwatch reduce_watch;
   uint64_t reduce_groups_total = 0;
 
-  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<OutputWriter> out,
-                           OutputWriter::Create(config));
-
-  if (!has_reduce) {
-    for (const std::string& buf : map_only_outputs) {
-      std::string_view in = buf;
-      // Each buffered chunk holds whole encoded pairs.
-      while (!in.empty()) {
-        Value k, v;
-        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &k));
-        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
-        MANIMAL_RETURN_IF_ERROR(out->Append(k, v));
-      }
-    }
-  } else {
-    // Reduce partitions in parallel, buffering each partition's output.
-    std::vector<std::string> partition_outputs(num_partitions);
+  if (has_reduce) {
+    // Reduce partitions in parallel; each task iterates groups off
+    // its merged stream and streams output pairs straight into the
+    // (internally synchronized) writer — no per-partition buffering.
     std::vector<uint64_t> partition_groups(num_partitions, 0);
     {
       obs::ScopedSpan reduce_phase_span("job.reduce_phase", "exec");
-      ThreadPool pool(std::max(1, config.map_parallelism));
+      ThreadPool pool(cfg.map_parallelism);
       for (int p = 0; p < num_partitions; ++p) {
         pool.Submit([&, p] {
           if (errors.Failed()) return;
@@ -334,46 +393,52 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
             {
               obs::ScopedSpan merge_span("shuffle.merge", "exec");
               MANIMAL_ASSIGN_OR_RETURN(stream,
-                                       partitions[p].sorter->Finish());
+                                       shuffle->FinishPartition(p));
             }
             mril::VmInstance vm(&program);
             vm.set_log_sink([&log_messages](const Value&) {
               log_messages.fetch_add(1, std::memory_order_relaxed);
             });
-            std::string& out_buf = partition_outputs[p];
-            vm.set_emit_sink(
-                [&out_buf](const Value& k, const Value& v) -> Status {
-                  MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_buf));
-                  return EncodeValue(v, &out_buf);
-                });
+            // PairFile output: batch encoded pairs per task and flush
+            // block-sized chunks through one lock acquisition; typed
+            // (pipeline) output appends per record.
+            constexpr size_t kOutputChunkBytes = 256u << 10;
+            std::string out_chunk;
+            uint64_t out_chunk_pairs = 0;
+            if (out->pair_encoded()) {
+              vm.set_emit_sink(
+                  [&](const Value& k, const Value& v) -> Status {
+                    MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_chunk));
+                    MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &out_chunk));
+                    ++out_chunk_pairs;
+                    if (out_chunk.size() >= kOutputChunkBytes) {
+                      MANIMAL_RETURN_IF_ERROR(out->AppendEncodedChunk(
+                          out_chunk, out_chunk_pairs));
+                      out_chunk.clear();
+                      out_chunk_pairs = 0;
+                    }
+                    return Status::OK();
+                  });
+            } else {
+              vm.set_emit_sink(
+                  [&out](const Value& k, const Value& v) -> Status {
+                    return out->Append(k, v);
+                  });
+            }
 
-            while (stream->Valid()) {
-              std::string group_key(stream->key());
-              std::vector<std::string> encoded_values;
-              while (stream->Valid() && stream->key() == group_key) {
-                encoded_values.emplace_back(stream->payload());
-                MANIMAL_RETURN_IF_ERROR(stream->Next());
-              }
-              // Canonical value order: the shuffle's arrival order is
-              // nondeterministic, so reduce sees values in sorted
-              // encoded order, making runs reproducible and
-              // baseline/optimized outputs comparable.
-              std::sort(encoded_values.begin(), encoded_values.end());
-              ValueList values;
-              values.reserve(encoded_values.size());
-              for (const std::string& ev : encoded_values) {
-                std::string_view in = ev;
-                Value v;
-                MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
-                values.push_back(std::move(v));
-              }
-              Value key;
-              MANIMAL_RETURN_IF_ERROR(DecodeOrderedKey(group_key, &key));
+            GroupIterator groups(stream.get());
+            Value key;
+            ValueList values;
+            while (true) {
+              MANIMAL_ASSIGN_OR_RETURN(bool more,
+                                       groups.Next(&key, &values));
+              if (!more) break;
+              if (errors.Failed()) return Status::OK();
               ++partition_groups[p];
               MANIMAL_RETURN_IF_ERROR(
                   vm.InvokeReduce(key, Value::List(std::move(values))));
             }
-            return Status::OK();
+            return out->AppendEncodedChunk(out_chunk, out_chunk_pairs);
           };
           Status st = run();
           if (!st.ok()) errors.Set(st);
@@ -388,20 +453,10 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
     MANIMAL_RETURN_IF_ERROR(errors.First());
     for (int p = 0; p < num_partitions; ++p) {
       reduce_groups_total += partition_groups[p];
-      std::string_view in = partition_outputs[p];
-      while (!in.empty()) {
-        Value k, v;
-        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &k));
-        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
-        MANIMAL_RETURN_IF_ERROR(out->Append(k, v));
-      }
     }
-    for (int p = 0; p < num_partitions; ++p) {
-      result.counters.shuffle_spilled_runs +=
-          partitions[p].sorter->stats().spilled_runs;
-      result.counters.shuffle_spilled_bytes +=
-          partitions[p].sorter->stats().spilled_bytes;
-    }
+    const Shuffle::Stats shuffle_stats = shuffle->stats();
+    result.counters.shuffle_spilled_runs = shuffle_stats.spilled_runs;
+    result.counters.shuffle_spilled_bytes = shuffle_stats.spilled_bytes;
   }
 
   result.counters.output_records = out->num_outputs();
@@ -424,18 +479,18 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
       result.counters.map_output_bytes + result.counters.output_bytes;
 
   result.wall_seconds = total_watch.ElapsedSeconds();
-  if (config.simulated_disk_bytes_per_sec > 0) {
+  if (cfg.simulated_disk_bytes_per_sec > 0) {
     uint64_t bytes_moved = result.counters.input_bytes +
                            result.counters.map_output_bytes +
                            result.counters.output_bytes;
     double aggregate_rate =
-        static_cast<double>(config.simulated_disk_bytes_per_sec) *
-        std::max(1, config.map_parallelism);
+        static_cast<double>(cfg.simulated_disk_bytes_per_sec) *
+        cfg.map_parallelism;
     result.simulated_io_seconds =
         static_cast<double>(bytes_moved) / aggregate_rate;
   }
   result.reported_seconds = result.wall_seconds +
-                            config.simulated_startup_seconds +
+                            cfg.simulated_startup_seconds +
                             result.simulated_io_seconds;
   // Rewrite the cumulative trace after every job so MANIMAL_TRACE
   // output exists even when the process exits abnormally later.

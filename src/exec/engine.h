@@ -4,7 +4,9 @@
 // splits, hash partitioning, an external-sort shuffle, reduce tasks —
 // "with a few modifications to support B+Tree-indexed input formats"
 // (and the other optimized representations), which arrive via the
-// ExecutionDescriptor.
+// ExecutionDescriptor. The shuffle/reduce data path (per-mapper spill
+// buffers, heap merge, streaming reduce) is described in
+// docs/execution.md.
 
 #ifndef MANIMAL_EXEC_ENGINE_H_
 #define MANIMAL_EXEC_ENGINE_H_
@@ -52,7 +54,9 @@ struct JobConfig {
   // paper's speedups rest on. Accounted into reported_seconds, not
   // slept.
   uint64_t simulated_disk_bytes_per_sec = 16u << 20;
-  // Shuffle in-memory sort budget per partition.
+  // Shuffle in-memory sort budget, divided across the concurrently
+  // running map tasks; each map task buffers its partitioned output
+  // privately and spills sorted runs when its share fills.
   uint64_t sort_buffer_bytes = 32u << 20;
 };
 

@@ -33,6 +33,13 @@ Status PairFileWriter::AppendEncoded(std::string_view bytes) {
   return Status::OK();
 }
 
+Status PairFileWriter::AppendEncodedChunk(std::string_view bytes,
+                                          uint64_t num_pairs) {
+  MANIMAL_RETURN_IF_ERROR(file_->Append(bytes));
+  num_pairs_ += num_pairs;
+  return Status::OK();
+}
+
 Result<uint64_t> PairFileWriter::Finish() {
   std::string footer;
   PutFixed64(&footer, num_pairs_);
@@ -52,7 +59,11 @@ Result<std::vector<std::pair<Value, Value>>> ReadAllPairs(
   uint64_t count = DecodeFixed64(data.data() + data.size() - 8);
   std::string_view in(data.data() + 4, data.size() - 12);
   std::vector<std::pair<Value, Value>> out;
-  out.reserve(count);
+  // The footer count is untrusted until the decode below confirms it:
+  // every encoded pair takes >= 2 bytes, so clamp the reservation to
+  // what the payload could plausibly hold instead of letting a
+  // corrupt footer drive a huge allocation.
+  out.reserve(std::min<uint64_t>(count, in.size() / 2));
   while (!in.empty()) {
     Value key, value;
     MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &key));

@@ -23,6 +23,8 @@ class PairFileWriter {
   Status Append(const Value& key, const Value& value);
   // Appends pre-encoded pair bytes (EncodeValue(key)+EncodeValue(value)).
   Status AppendEncoded(std::string_view bytes);
+  // Appends a batch of num_pairs pre-encoded pairs in one write.
+  Status AppendEncodedChunk(std::string_view bytes, uint64_t num_pairs);
 
   Result<uint64_t> Finish();  // returns total bytes
 

@@ -1,7 +1,7 @@
 #include "index/external_sorter.h"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
 
 #include "common/check.h"
 #include "common/coding.h"
@@ -13,9 +13,14 @@ namespace manimal::index {
 
 namespace {
 
-// Reader over one spilled run file (length-prefixed key/payload pairs).
+// Block-buffered reader over one spilled run file (varint-length-
+// prefixed key/payload pairs). Reads the file in large chunks and
+// parses entries out of the in-memory window, instead of issuing one
+// file read per byte of varint.
 class RunReader {
  public:
+  static constexpr size_t kBlockBytes = 256u << 10;
+
   static Result<std::unique_ptr<RunReader>> Open(const std::string& path) {
     MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> f,
                              SequentialFile::Open(path));
@@ -29,17 +34,30 @@ class RunReader {
   std::string_view payload() const { return payload_; }
 
   Status Next() {
-    uint32_t key_len = 0;
-    MANIMAL_ASSIGN_OR_RETURN(bool have, ReadVarint32(&key_len));
-    if (!have) {
+    // Clean EOF only at an entry boundary.
+    MANIMAL_RETURN_IF_ERROR(Ensure(1));
+    if (available() == 0) {
       valid_ = false;
       return Status::OK();
     }
-    MANIMAL_RETURN_IF_ERROR(ReadExact(key_len, &key_));
-    uint32_t payload_len = 0;
-    MANIMAL_ASSIGN_OR_RETURN(have, ReadVarint32(&payload_len));
-    if (!have) return Status::Corruption("truncated run entry");
-    MANIMAL_RETURN_IF_ERROR(ReadExact(payload_len, &payload_));
+    // Parse the whole entry against offsets relative to pos_, then
+    // take views into the window — key()/payload() are zero-copy and
+    // stay valid until the next call (the only point that compacts).
+    MANIMAL_RETURN_IF_ERROR(Ensure(10));  // two max varint32s
+    uint32_t key_len = 0, payload_len = 0;
+    size_t off = 0;
+    MANIMAL_RETURN_IF_ERROR(ParseLength(&off, &key_len));
+    const size_t key_off = off;
+    off += key_len;
+    MANIMAL_RETURN_IF_ERROR(Ensure(off + 5));
+    MANIMAL_RETURN_IF_ERROR(ParseLength(&off, &payload_len));
+    MANIMAL_RETURN_IF_ERROR(Ensure(off + payload_len));
+    if (available() < off + payload_len) {
+      return Status::Corruption("short run read");
+    }
+    key_ = std::string_view(buf_.data() + pos_ + key_off, key_len);
+    payload_ = std::string_view(buf_.data() + pos_ + off, payload_len);
+    pos_ += off + payload_len;
     valid_ = true;
     return Status::OK();
   }
@@ -48,128 +66,247 @@ class RunReader {
   explicit RunReader(std::unique_ptr<SequentialFile> f)
       : file_(std::move(f)) {}
 
-  // Returns false at clean EOF (no bytes).
-  Result<bool> ReadVarint32(uint32_t* out) {
-    uint32_t result = 0;
-    int shift = 0;
-    for (;;) {
-      std::string byte;
-      MANIMAL_RETURN_IF_ERROR(file_->Read(1, &byte));
-      if (byte.empty()) {
-        if (shift == 0) return false;
-        return Status::Corruption("truncated varint in run");
+  size_t available() const { return buf_.size() - pos_; }
+
+  // Tops the window up to at least n readable bytes (less only at
+  // EOF), refilling in kBlockBytes chunks.
+  Status Ensure(size_t n) {
+    if (available() >= n || eof_) return Status::OK();
+    buf_.erase(0, pos_);
+    pos_ = 0;
+    std::string chunk;
+    while (buf_.size() < n && !eof_) {
+      MANIMAL_RETURN_IF_ERROR(
+          file_->Read(std::max(kBlockBytes, n - buf_.size()), &chunk));
+      if (chunk.empty()) {
+        eof_ = true;
+        break;
       }
-      uint8_t b = static_cast<uint8_t>(byte[0]);
-      result |= static_cast<uint32_t>(b & 0x7F) << shift;
-      if (!(b & 0x80)) break;
-      shift += 7;
-      if (shift > 28) return Status::Corruption("varint overflow in run");
+      buf_.append(chunk);
     }
-    *out = result;
-    return true;
+    return Status::OK();
   }
 
-  Status ReadExact(uint32_t n, std::string* out) {
-    MANIMAL_RETURN_IF_ERROR(file_->Read(n, out));
-    if (out->size() != n) return Status::Corruption("short run read");
+  // Decodes a varint32 at window offset *off, advancing *off past it.
+  Status ParseLength(size_t* off, uint32_t* out) {
+    if (available() < *off) return Status::Corruption("short run read");
+    std::string_view window(buf_.data() + pos_ + *off,
+                            available() - *off);
+    const size_t before = window.size();
+    if (!GetVarint32(&window, out).ok()) {
+      return Status::Corruption("truncated varint in run");
+    }
+    *off += before - window.size();
     return Status::OK();
   }
 
   std::unique_ptr<SequentialFile> file_;
-  std::string key_, payload_;
+  std::string buf_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+  std::string_view key_, payload_;
   bool valid_ = false;
 };
 
-struct MemEntry {
-  uint32_t key_offset;
-  uint32_t key_len;
-  uint32_t payload_offset;
-  uint32_t payload_len;
+// Cursor over one in-memory sorted run.
+class MemoryRunCursor {
+ public:
+  explicit MemoryRunCursor(MemoryRun run) : run_(std::move(run)) {}
+
+  bool Valid() const { return pos_ < run_.entries.size(); }
+  std::string_view key() const {
+    const MemoryRun::Entry& e = run_.entries[pos_];
+    return std::string_view(run_.arena.data() + e.key_offset, e.key_len);
+  }
+  std::string_view payload() const {
+    const MemoryRun::Entry& e = run_.entries[pos_];
+    return std::string_view(run_.arena.data() + e.payload_offset,
+                            e.payload_len);
+  }
+  void Next() { ++pos_; }
+
+ private:
+  MemoryRun run_;
+  size_t pos_ = 0;
 };
 
-// K-way merge over run readers plus an optional in-memory tail. The
-// arena is owned here so the in-memory entry offsets stay valid.
+// K-way merge: a binary min-heap of source indexes ordered by each
+// source's current key (ties toward the lower index, i.e. earlier
+// source). The head of the heap IS the current entry; advancing
+// steps that source and sifts the head down in place (one O(log k)
+// sift per entry instead of a pop + push pair), against a cache of
+// each source's current key so comparisons never chase the source
+// indirection. A single-source merge degenerates to a plain scan:
+// SiftDown over a one-element heap compares nothing.
 class MergeStream : public SortedStream {
  public:
   MergeStream(std::vector<std::unique_ptr<RunReader>> runs,
-              std::string arena, std::vector<MemEntry> entries)
-      : runs_(std::move(runs)), arena_(std::move(arena)) {
-    in_memory_.reserve(entries.size());
-    for (const MemEntry& e : entries) {
-      in_memory_.emplace_back(
-          std::string_view(arena_.data() + e.key_offset, e.key_len),
-          std::string_view(arena_.data() + e.payload_offset,
-                           e.payload_len));
+              std::vector<MemoryRun> memory_runs)
+      : runs_(std::move(runs)) {
+    memory_.reserve(memory_runs.size());
+    for (MemoryRun& run : memory_runs) {
+      memory_.emplace_back(std::move(run));
     }
-    Advance();
+    const size_t n = runs_.size() + memory_.size();
+    keys_.resize(n);
+    heap_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (SourceValid(i)) {
+        keys_[i] = SourceKey(i);
+        heap_.push_back(i);
+      }
+    }
+    for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
   }
 
-  bool Valid() const override { return valid_; }
-  std::string_view key() const override { return key_; }
-  std::string_view payload() const override { return payload_; }
+  bool Valid() const override { return !heap_.empty(); }
+  std::string_view key() const override { return keys_[heap_[0]]; }
+  std::string_view payload() const override {
+    return SourcePayload(heap_[0]);
+  }
 
   Status Next() override {
-    MANIMAL_RETURN_IF_ERROR(Consume());
-    Advance();
+    const size_t src = heap_[0];
+    MANIMAL_RETURN_IF_ERROR(SourceNext(src));
+    if (SourceValid(src)) {
+      keys_[src] = SourceKey(src);
+    } else {
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      if (heap_.empty()) return Status::OK();
+    }
+    SiftDown(0);
     return Status::OK();
   }
 
  private:
-  // Selects the smallest head among runs and the in-memory cursor.
-  void Advance() {
-    int best_run = -1;
-    bool use_memory = false;
-    std::string_view best_key;
-    for (size_t i = 0; i < runs_.size(); ++i) {
-      if (!runs_[i]->Valid()) continue;
-      if (best_run < 0 && !use_memory) {
-        best_run = static_cast<int>(i);
-        best_key = runs_[i]->key();
-      } else if (runs_[i]->key() < best_key) {
-        best_run = static_cast<int>(i);
-        best_key = runs_[i]->key();
+  // Min order over source indexes; equal keys break toward the lower
+  // source index (run files come before memory runs).
+  bool SourceLess(size_t a, size_t b) const {
+    int c = keys_[a].compare(keys_[b]);
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t left = 2 * i + 1;
+      if (left >= n) return;
+      size_t smallest = SourceLess(heap_[left], heap_[i]) ? left : i;
+      const size_t right = left + 1;
+      if (right < n && SourceLess(heap_[right], heap_[smallest])) {
+        smallest = right;
       }
-    }
-    if (mem_pos_ < in_memory_.size()) {
-      if (best_run < 0 || in_memory_[mem_pos_].first < best_key) {
-        use_memory = true;
-      }
-    }
-    if (use_memory) {
-      current_run_ = -1;
-      key_ = in_memory_[mem_pos_].first;
-      payload_ = in_memory_[mem_pos_].second;
-      valid_ = true;
-    } else if (best_run >= 0) {
-      current_run_ = best_run;
-      key_ = runs_[best_run]->key();
-      payload_ = runs_[best_run]->payload();
-      valid_ = true;
-    } else {
-      valid_ = false;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
     }
   }
 
-  Status Consume() {
-    if (!valid_) return Status::OK();
-    if (current_run_ < 0) {
-      ++mem_pos_;
-    } else {
-      MANIMAL_RETURN_IF_ERROR(runs_[current_run_]->Next());
-    }
+  bool SourceValid(size_t i) const {
+    if (i < runs_.size()) return runs_[i]->Valid();
+    return memory_[i - runs_.size()].Valid();
+  }
+  std::string_view SourceKey(size_t i) const {
+    if (i < runs_.size()) return runs_[i]->key();
+    return memory_[i - runs_.size()].key();
+  }
+  std::string_view SourcePayload(size_t i) const {
+    if (i < runs_.size()) return runs_[i]->payload();
+    return memory_[i - runs_.size()].payload();
+  }
+  Status SourceNext(size_t i) {
+    if (i < runs_.size()) return runs_[i]->Next();
+    memory_[i - runs_.size()].Next();
     return Status::OK();
   }
 
   std::vector<std::unique_ptr<RunReader>> runs_;
-  std::string arena_;
-  std::vector<std::pair<std::string_view, std::string_view>> in_memory_;
-  size_t mem_pos_ = 0;
-  int current_run_ = -1;
-  bool valid_ = false;
-  std::string_view key_, payload_;
+  std::vector<MemoryRunCursor> memory_;
+  // Current key per source, refreshed when that source advances.
+  std::vector<std::string_view> keys_;
+  std::vector<size_t> heap_;
 };
 
 }  // namespace
+
+// ---------------- SpillBuffer ----------------
+
+void SpillBuffer::Add(std::string_view key, std::string_view payload) {
+  MemoryRun::Entry e;
+  e.key_offset = static_cast<uint32_t>(arena_.size());
+  e.key_len = static_cast<uint32_t>(key.size());
+  arena_.append(key);
+  e.payload_offset = static_cast<uint32_t>(arena_.size());
+  e.payload_len = static_cast<uint32_t>(payload.size());
+  arena_.append(payload);
+  entries_.push_back(e);
+}
+
+void SpillBuffer::SortEntries() {
+  std::sort(entries_.begin(), entries_.end(),
+            [this](const MemoryRun::Entry& a, const MemoryRun::Entry& b) {
+              std::string_view ka(arena_.data() + a.key_offset, a.key_len);
+              std::string_view kb(arena_.data() + b.key_offset, b.key_len);
+              return ka < kb;
+            });
+}
+
+Result<uint64_t> SpillBuffer::SpillToFile(const std::string& path) {
+  SortEntries();
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                           WritableFile::Create(path));
+  // Batch the encoded entries into block-sized writes.
+  constexpr size_t kWriteBlockBytes = 256u << 10;
+  std::string buf;
+  buf.reserve(std::min<size_t>(kWriteBlockBytes + 1024,
+                               arena_.size() + 10 * entries_.size()));
+  for (const MemoryRun::Entry& e : entries_) {
+    PutVarint32(&buf, e.key_len);
+    buf.append(arena_.data() + e.key_offset, e.key_len);
+    PutVarint32(&buf, e.payload_len);
+    buf.append(arena_.data() + e.payload_offset, e.payload_len);
+    if (buf.size() >= kWriteBlockBytes) {
+      MANIMAL_RETURN_IF_ERROR(f->Append(buf));
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) MANIMAL_RETURN_IF_ERROR(f->Append(buf));
+  const uint64_t run_bytes = f->bytes_written();
+  MANIMAL_RETURN_IF_ERROR(f->Close());
+  entries_.clear();
+  arena_.clear();
+  return run_bytes;
+}
+
+MemoryRun SpillBuffer::TakeSortedRun() {
+  SortEntries();
+  MemoryRun run;
+  run.arena = std::move(arena_);
+  run.entries = std::move(entries_);
+  arena_.clear();
+  entries_.clear();
+  return run;
+}
+
+// ---------------- merge ----------------
+
+Result<std::unique_ptr<SortedStream>> MergeSortedRuns(
+    const std::vector<std::string>& run_paths,
+    std::vector<MemoryRun> memory_runs) {
+  std::vector<std::unique_ptr<RunReader>> runs;
+  runs.reserve(run_paths.size());
+  for (const std::string& path : run_paths) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> r,
+                             RunReader::Open(path));
+    runs.push_back(std::move(r));
+  }
+  return std::unique_ptr<SortedStream>(
+      new MergeStream(std::move(runs), std::move(memory_runs)));
+}
+
+// ---------------- ExternalSorter ----------------
 
 ExternalSorter::ExternalSorter(Options options)
     : options_(std::move(options)) {
@@ -184,47 +321,23 @@ ExternalSorter::~ExternalSorter() {
 
 Status ExternalSorter::Add(std::string_view key, std::string_view payload) {
   MANIMAL_CHECK(!finished_);
-  Entry e;
-  e.key_offset = static_cast<uint32_t>(arena_.size());
-  e.key_len = static_cast<uint32_t>(key.size());
-  arena_.append(key);
-  e.payload_offset = static_cast<uint32_t>(arena_.size());
-  e.payload_len = static_cast<uint32_t>(payload.size());
-  arena_.append(payload);
-  buffered_.push_back(e);
+  buffer_.Add(key, payload);
   ++stats_.entries;
-  if (arena_.size() >= options_.memory_budget_bytes ||
-      arena_.size() > (3u << 30)) {
-    MANIMAL_RETURN_IF_ERROR(SpillBuffer());
+  if (buffer_.buffered_bytes() >= options_.memory_budget_bytes ||
+      buffer_.buffered_bytes() > (3u << 30)) {
+    MANIMAL_RETURN_IF_ERROR(SpillToRun());
   }
   return Status::OK();
 }
 
-Status ExternalSorter::SpillBuffer() {
-  if (buffered_.empty()) return Status::OK();
-  std::sort(buffered_.begin(), buffered_.end(),
-            [this](const Entry& a, const Entry& b) {
-              std::string_view ka(arena_.data() + a.key_offset, a.key_len);
-              std::string_view kb(arena_.data() + b.key_offset, b.key_len);
-              return ka < kb;
-            });
+Status ExternalSorter::SpillToRun() {
+  if (buffer_.empty()) return Status::OK();
   std::string path = options_.temp_dir + "/" +
                      StrPrintf("run-%04d.sort",
                                static_cast<int>(run_paths_.size()));
-  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
-                           WritableFile::Create(path));
-  std::string buf;
-  for (const Entry& e : buffered_) {
-    buf.clear();
-    PutVarint32(&buf, e.key_len);
-    buf.append(arena_.data() + e.key_offset, e.key_len);
-    PutVarint32(&buf, e.payload_len);
-    buf.append(arena_.data() + e.payload_offset, e.payload_len);
-    MANIMAL_RETURN_IF_ERROR(f->Append(buf));
-  }
-  stats_.spilled_bytes += f->bytes_written();
-  const uint64_t run_bytes = f->bytes_written();
-  MANIMAL_RETURN_IF_ERROR(f->Close());
+  MANIMAL_ASSIGN_OR_RETURN(const uint64_t run_bytes,
+                           buffer_.SpillToFile(path));
+  stats_.spilled_bytes += run_bytes;
   run_paths_.push_back(std::move(path));
   ++stats_.spilled_runs;
   auto& metrics = obs::MetricsRegistry::Get();
@@ -234,40 +347,17 @@ Status ExternalSorter::SpillBuffer() {
       ->Add(static_cast<int64_t>(run_bytes));
   obs::TraceInstant((options_.metric_label + ".spill").c_str(), "exec",
                     {{"bytes", std::to_string(run_bytes)}});
-  buffered_.clear();
-  arena_.clear();
   return Status::OK();
 }
 
 Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   MANIMAL_CHECK(!finished_);
   finished_ = true;
-
-  // Sort the in-memory tail.
-  std::sort(buffered_.begin(), buffered_.end(),
-            [this](const Entry& a, const Entry& b) {
-              std::string_view ka(arena_.data() + a.key_offset, a.key_len);
-              std::string_view kb(arena_.data() + b.key_offset, b.key_len);
-              return ka < kb;
-            });
-  std::vector<MemEntry> entries;
-  entries.reserve(buffered_.size());
-  for (const Entry& e : buffered_) {
-    entries.push_back(MemEntry{e.key_offset, e.key_len, e.payload_offset,
-                               e.payload_len});
+  std::vector<MemoryRun> memory_runs;
+  if (!buffer_.empty()) {
+    memory_runs.push_back(buffer_.TakeSortedRun());
   }
-
-  std::vector<std::unique_ptr<RunReader>> runs;
-  runs.reserve(run_paths_.size());
-  for (const std::string& path : run_paths_) {
-    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> r,
-                             RunReader::Open(path));
-    runs.push_back(std::move(r));
-  }
-  // The arena moves into the stream, which rebuilds views against its
-  // own copy (offsets survive the move; raw pointers might not).
-  return std::unique_ptr<SortedStream>(new MergeStream(
-      std::move(runs), std::move(arena_), std::move(entries)));
+  return MergeSortedRuns(run_paths_, std::move(memory_runs));
 }
 
 }  // namespace manimal::index

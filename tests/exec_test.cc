@@ -63,6 +63,42 @@ TEST(PairFileTest, RejectsGarbage) {
   EXPECT_FALSE(ReadAllPairs(dir.file("bad")).ok());
 }
 
+TEST(PairFileTest, CorruptFooterCountFailsWithoutHugeAllocation) {
+  // A valid magic plus an absurd footer count must surface Corruption
+  // instead of reserving footer-count entries up front.
+  TempDir dir("pairs4");
+  std::string data = "MPRS";
+  uint64_t bogus_count = 1ull << 60;
+  data.append(reinterpret_cast<const char*>(&bogus_count), 8);
+  ASSERT_OK(WriteStringToFile(dir.file("bad.prs"), data));
+  auto result = ReadAllPairs(dir.file("bad.prs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption())
+      << result.status().ToString();
+}
+
+TEST(PairFileTest, TruncatedFileWithInflatedCountIsCorruption) {
+  // Write a real two-pair file, then hand-append a footer claiming
+  // far more pairs than the payload holds.
+  TempDir dir("pairs5");
+  std::string path = dir.file("out.prs");
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, PairFileWriter::Create(path));
+    ASSERT_OK(writer->Append(Value::Str("k1"), Value::I64(1)));
+    ASSERT_OK(writer->Append(Value::Str("k2"), Value::I64(2)));
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(path));
+  uint64_t inflated = 1ull << 50;
+  data.resize(data.size() - 8);
+  data.append(reinterpret_cast<const char*>(&inflated), 8);
+  ASSERT_OK(WriteStringToFile(path, data));
+  auto result = ReadAllPairs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption())
+      << result.status().ToString();
+}
+
 // ---------------- engine fixtures ----------------
 
 class EngineTest : public ::testing::Test {
@@ -217,8 +253,8 @@ TEST_F(EngineTest, MapOnlyJobStillReportsPhases) {
 
 TEST_F(EngineTest, ShuffleSpillEventsMatchJobCounters) {
   // Emit the whole content column through the shuffle into a single
-  // partition with the minimum sort budget (the engine floors it at
-  // 1 MiB per partition) so spilling is forced.
+  // partition with the minimum sort budget (the engine floors each
+  // mapper's share at 64 KiB) so spilling is forced.
   TempDir dir("spill");
   workloads::WebPagesOptions gen;
   gen.num_pages = 20000;
@@ -243,7 +279,7 @@ TEST_F(EngineTest, ShuffleSpillEventsMatchJobCounters) {
   JobConfig config;
   config.map_parallelism = 2;
   config.num_partitions = 1;
-  config.sort_buffer_bytes = 1;  // floored to 1 MiB by the engine
+  config.sort_buffer_bytes = 1;  // floored to 64 KiB per mapper
   config.temp_dir = dir.file("tmp");
   config.output_path = dir.file("out.prs");
   config.simulated_startup_seconds = 0;
@@ -270,6 +306,106 @@ TEST_F(EngineTest, MissingInputIsAnError) {
   ExecutionDescriptor d =
       optimizer::BaselineDescriptor(program, dir_.file("nope.msq"));
   EXPECT_FALSE(RunJob(d, Config("out.prs")).ok());
+}
+
+TEST_F(EngineTest, NonPositiveParallelismIsNormalized) {
+  // Regression: map_parallelism <= 0 used to reach PlanInput as a
+  // non-positive split hint while the pools clamped separately. The
+  // engine now normalizes the knobs once, so degenerate configs run
+  // and produce the same output.
+  mril::Program program = workloads::SelectionCountQuery(20);
+  ASSERT_OK(RunJob(Baseline(program), Config("ref.prs")).status());
+
+  JobConfig degenerate = Config("deg.prs");
+  degenerate.map_parallelism = 0;
+  degenerate.num_partitions = -3;
+  ASSERT_OK_AND_ASSIGN(JobResult result,
+                       RunJob(Baseline(program), degenerate));
+  EXPECT_EQ(result.counters.input_records, 3000u);
+
+  JobConfig negative = Config("neg.prs");
+  negative.map_parallelism = -7;
+  ASSERT_OK(RunJob(Baseline(program), negative).status());
+
+  ASSERT_OK_AND_ASSIGN(auto ref, ReadCanonicalPairs(dir_.file("ref.prs")));
+  ASSERT_OK_AND_ASSIGN(auto deg, ReadCanonicalPairs(dir_.file("deg.prs")));
+  ASSERT_OK_AND_ASSIGN(auto neg, ReadCanonicalPairs(dir_.file("neg.prs")));
+  EXPECT_EQ(ref, deg);
+  EXPECT_EQ(ref, neg);
+}
+
+TEST_F(EngineTest, OutOfRangeKeptFieldsFailCleanly) {
+  // Regression: an out-of-range output_kept_fields entry used to be
+  // an unchecked record[f] read at every append; it must fail at
+  // writer creation instead.
+  mril::Program program = workloads::ProjectionQuery(49);
+  JobConfig config = Config("out.msq");
+  config.output_schema =
+      Schema({{"url", FieldType::kStr}, {"rank", FieldType::kI64}});
+  config.output_kept_fields = {0, 5};
+  auto result = RunJob(Baseline(program), config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+
+  JobConfig negative = Config("out2.msq");
+  negative.output_schema = config.output_schema;
+  negative.output_kept_fields = {-1};
+  EXPECT_TRUE(RunJob(Baseline(program), negative)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EngineSpillTest, ForcedSpillsDoNotChangeOutput) {
+  // The full data path — per-mapper spill buffers, run files, heap
+  // merge, streaming reduce — against the no-spill in-memory path.
+  TempDir dir("spill-equiv");
+  workloads::WebPagesOptions gen;
+  gen.num_pages = 20000;
+  gen.content_len = 128;
+  gen.rank_range = 100;
+  ASSERT_TRUE(
+      workloads::GenerateWebPages(dir.file("pages.msq"), gen).ok());
+
+  // emit(rank, content); reduce(rank, contents) -> count.
+  mril::ProgramBuilder b("spill-equiv");
+  b.SetKeyType(FieldType::kI64)
+      .SetValueSchema(workloads::WebPagesSchema());
+  auto& m = b.Map();
+  m.LoadParam(1).GetField("rank");
+  m.LoadParam(1).GetField("content");
+  m.Emit().Ret();
+  auto& r = b.Reduce();
+  r.LoadParam(0);
+  r.LoadParam(1).Call("list.len");
+  r.Emit().Ret();
+  mril::Program program = b.Build();
+  ExecutionDescriptor d =
+      optimizer::BaselineDescriptor(program, dir.file("pages.msq"));
+
+  auto config = [&](const std::string& out) {
+    JobConfig c;
+    c.map_parallelism = 4;
+    c.num_partitions = 3;
+    c.temp_dir = dir.file("tmp-" + out);
+    c.output_path = dir.file(out);
+    c.simulated_startup_seconds = 0;
+    c.simulated_disk_bytes_per_sec = 0;
+    return c;
+  };
+
+  ASSERT_OK_AND_ASSIGN(JobResult in_memory,
+                       RunJob(d, config("mem.prs")));
+  EXPECT_EQ(in_memory.counters.shuffle_spilled_runs, 0u);
+
+  JobConfig spilling = config("spill.prs");
+  spilling.sort_buffer_bytes = 1;  // floored to 64 KiB per mapper
+  ASSERT_OK_AND_ASSIGN(JobResult spilled, RunJob(d, spilling));
+  EXPECT_GT(spilled.counters.shuffle_spilled_runs, 4u);
+
+  ASSERT_OK_AND_ASSIGN(auto a, ReadCanonicalPairs(dir.file("mem.prs")));
+  ASSERT_OK_AND_ASSIGN(auto b2, ReadCanonicalPairs(dir.file("spill.prs")));
+  EXPECT_EQ(a, b2);
 }
 
 // ---------------- index build + btree input plans ----------------

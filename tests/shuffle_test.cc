@@ -1,0 +1,213 @@
+// Tests for the shuffle data path: per-mapper partitioned spill
+// buffers, the barrier handoff, per-partition heap merges, and the
+// bounded-memory group iterator.
+
+#include "exec/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "serde/key_codec.h"
+#include "serde/record_codec.h"
+#include "tests/test_util.h"
+
+namespace manimal::exec {
+namespace {
+
+using testing::TempDir;
+
+std::string Key(int64_t v) {
+  std::string out;
+  EXPECT_OK(EncodeOrderedKey(Value::I64(v), &out));
+  return out;
+}
+
+std::string Payload(int64_t v) {
+  std::string out;
+  EXPECT_OK(EncodeValue(Value::I64(v), &out));
+  return out;
+}
+
+TEST(ShuffleTest, SingleMapperSinglePartition) {
+  TempDir dir("shuffle1");
+  Shuffle::Options opts;
+  opts.temp_dir = dir.path();
+  opts.num_partitions = 1;
+  Shuffle shuffle(opts);
+  auto mapper = shuffle.NewMapper();
+  ASSERT_OK(mapper->Add(0, "b", "2"));
+  ASSERT_OK(mapper->Add(0, "a", "1"));
+  ASSERT_OK(mapper->Add(0, "c", "3"));
+  ASSERT_OK(mapper->Seal());
+  ASSERT_OK_AND_ASSIGN(auto stream, shuffle.FinishPartition(0));
+  std::string keys;
+  while (stream->Valid()) {
+    keys += stream->key();
+    ASSERT_OK(stream->Next());
+  }
+  EXPECT_EQ(keys, "abc");
+  EXPECT_EQ(shuffle.stats().entries, 3u);
+  EXPECT_EQ(shuffle.stats().mappers_sealed, 1u);
+  EXPECT_EQ(shuffle.stats().spilled_runs, 0u);
+}
+
+TEST(ShuffleTest, ConcurrentMappersSpillAndMergeSorted) {
+  TempDir dir("shuffle2");
+  Shuffle::Options opts;
+  opts.temp_dir = dir.path();
+  opts.num_partitions = 3;
+  opts.mapper_budget_bytes = 1024;  // force spills from every mapper
+  Shuffle shuffle(opts);
+
+  constexpr int kMappers = 4;
+  constexpr int kPerMapper = 1500;
+  std::vector<std::thread> threads;
+  std::mutex expected_mu;
+  using Pairs = std::vector<std::pair<std::string, std::string>>;
+  std::vector<Pairs> expected(opts.num_partitions);
+  for (int m = 0; m < kMappers; ++m) {
+    threads.emplace_back([&, m] {
+      Rng rng(100 + m);
+      auto mapper = shuffle.NewMapper();
+      std::vector<Pairs> local(opts.num_partitions);
+      for (int i = 0; i < kPerMapper; ++i) {
+        int64_t k = static_cast<int64_t>(rng.Uniform(500));
+        int p = static_cast<int>(k % opts.num_partitions);
+        std::string key = Key(k);
+        std::string payload = Payload(m * kPerMapper + i);
+        local[p].emplace_back(key, payload);
+        ASSERT_OK(mapper->Add(p, key, payload));
+      }
+      ASSERT_OK(mapper->Seal());
+      std::lock_guard<std::mutex> lock(expected_mu);
+      for (int p = 0; p < opts.num_partitions; ++p) {
+        expected[p].insert(expected[p].end(), local[p].begin(),
+                           local[p].end());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Shuffle::Stats stats = shuffle.stats();
+  EXPECT_EQ(stats.mappers_sealed, static_cast<uint64_t>(kMappers));
+  EXPECT_EQ(stats.entries,
+            static_cast<uint64_t>(kMappers * kPerMapper));
+  EXPECT_GT(stats.spilled_runs, static_cast<uint64_t>(kMappers));
+
+  uint64_t total = 0;
+  for (int p = 0; p < opts.num_partitions; ++p) {
+    ASSERT_OK_AND_ASSIGN(auto stream, shuffle.FinishPartition(p));
+    Pairs got;
+    std::string prev;
+    while (stream->Valid()) {
+      std::string k(stream->key());
+      EXPECT_GE(k, prev);  // globally sorted within the partition
+      got.emplace_back(k, std::string(stream->payload()));
+      prev = k;
+      ++total;
+      ASSERT_OK(stream->Next());
+    }
+    // Same multiset of pairs; value order within a key is the heap's
+    // tie-break order, not the insertion order.
+    std::sort(got.begin(), got.end());
+    std::sort(expected[p].begin(), expected[p].end());
+    EXPECT_EQ(got, expected[p]) << "partition " << p;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kMappers * kPerMapper));
+}
+
+TEST(ShuffleTest, SpillsPublishMetricsMatchingStats) {
+  TempDir dir("shuffle3");
+  int64_t runs_before =
+      obs::MetricsRegistry::Get().CounterValue("shuffle.spilled_runs");
+  Shuffle::Options opts;
+  opts.temp_dir = dir.path();
+  opts.num_partitions = 2;
+  opts.mapper_budget_bytes = 512;
+  Shuffle shuffle(opts);
+  auto mapper = shuffle.NewMapper();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(mapper->Add(i % 2, Key(i), Payload(i)));
+  }
+  ASSERT_OK(mapper->Seal());
+  EXPECT_GT(shuffle.stats().spilled_runs, 0u);
+  int64_t runs_after =
+      obs::MetricsRegistry::Get().CounterValue("shuffle.spilled_runs");
+  EXPECT_EQ(runs_after - runs_before,
+            static_cast<int64_t>(shuffle.stats().spilled_runs));
+}
+
+TEST(ShuffleTest, RunFilesRemovedOnDestruction) {
+  TempDir dir("shuffle4");
+  {
+    Shuffle::Options opts;
+    opts.temp_dir = dir.path();
+    opts.num_partitions = 1;
+    opts.mapper_budget_bytes = 256;
+    Shuffle shuffle(opts);
+    auto sealed = shuffle.NewMapper();
+    auto abandoned = shuffle.NewMapper();
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_OK(sealed->Add(0, Key(i), Payload(i)));
+      ASSERT_OK(abandoned->Add(0, Key(i), Payload(i)));
+    }
+    ASSERT_OK(sealed->Seal());
+    ASSERT_OK_AND_ASSIGN(auto names, ListDir(dir.path()));
+    EXPECT_GT(names.size(), 0u);
+    // `abandoned` is never sealed (a map task that bailed): its runs
+    // are removed by its own destructor, the sealed mapper's by the
+    // shuffle's.
+  }
+  ASSERT_OK_AND_ASSIGN(auto names, ListDir(dir.path()));
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(GroupIteratorTest, GroupsKeysAndSortsValuesCanonically) {
+  TempDir dir("shuffle5");
+  Shuffle::Options opts;
+  opts.temp_dir = dir.path();
+  opts.num_partitions = 1;
+  opts.mapper_budget_bytes = 128;  // groups straddle spilled runs
+  Shuffle shuffle(opts);
+  auto mapper = shuffle.NewMapper();
+  // 40 keys x 5 values, inserted in scrambled order.
+  for (int v = 4; v >= 0; --v) {
+    for (int k = 39; k >= 0; --k) {
+      ASSERT_OK(mapper->Add(0, Key(k), Payload(v * 1000 + k)));
+    }
+  }
+  ASSERT_OK(mapper->Seal());
+  ASSERT_OK_AND_ASSIGN(auto stream, shuffle.FinishPartition(0));
+  GroupIterator groups(stream.get());
+  Value key;
+  ValueList values;
+  int64_t expected_key = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(bool more, groups.Next(&key, &values));
+    if (!more) break;
+    EXPECT_EQ(key.i64(), expected_key);
+    ASSERT_EQ(values.size(), 5u);
+    // Values arrive in canonical (encoded-bytes) order, regardless of
+    // the scrambled insertion order above.
+    std::vector<std::string> expected_encoded;
+    for (int v = 0; v < 5; ++v) {
+      expected_encoded.push_back(Payload(v * 1000 + expected_key));
+    }
+    std::sort(expected_encoded.begin(), expected_encoded.end());
+    for (int v = 0; v < 5; ++v) {
+      EXPECT_EQ(Payload(values[v].i64()), expected_encoded[v]);
+    }
+    ++expected_key;
+  }
+  EXPECT_EQ(expected_key, 40);
+}
+
+}  // namespace
+}  // namespace manimal::exec
