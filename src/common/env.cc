@@ -8,6 +8,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/faulty_env.h"
+
 namespace fs = std::filesystem;
 
 namespace manimal {
@@ -21,12 +23,21 @@ Status ErrnoStatus(const char* op, const std::string& path) {
   return Status::IOError(msg);
 }
 
+// Fault-injection gate: no-op (one relaxed load + a thread-local
+// check) unless a FaultyEnv schedule is enabled and this thread is
+// armed. See common/faulty_env.h.
+inline Status MaybeFault(FaultOp op, const std::string& path) {
+  if (!FaultyEnv::Active()) return Status::OK();
+  return FaultyEnv::Get().MaybeInject(op, path);
+}
+
 }  // namespace
 
 // ---------- WritableFile ----------
 
 Result<std::unique_ptr<WritableFile>> WritableFile::Create(
     const std::string& path) {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kOpenWrite, path));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return ErrnoStatus("open for write", path);
   return std::unique_ptr<WritableFile>(new WritableFile(path, f));
@@ -39,6 +50,21 @@ WritableFile::~WritableFile() {
 Status WritableFile::Append(std::string_view data) {
   if (file_ == nullptr) return Status::IOError("file closed: " + path_);
   if (data.empty()) return Status::OK();
+  if (FaultyEnv::Active()) {
+    size_t persist_prefix = 0;
+    Status fault = FaultyEnv::Get().MaybeInjectWrite(
+        path_, data.size(), &persist_prefix);
+    if (!fault.ok()) {
+      // Short write: persist a torn prefix before failing, exactly as
+      // if the process died mid-write.
+      if (persist_prefix > 0) {
+        size_t n = std::fwrite(data.data(), 1, persist_prefix, file_);
+        bytes_written_ += n;
+        std::fflush(file_);
+      }
+      return fault;
+    }
+  }
   size_t n = std::fwrite(data.data(), 1, data.size(), file_);
   if (n != data.size()) return ErrnoStatus("write", path_);
   bytes_written_ += n;
@@ -47,14 +73,20 @@ Status WritableFile::Append(std::string_view data) {
 
 Status WritableFile::Flush() {
   if (file_ == nullptr) return Status::IOError("file closed: " + path_);
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kFlush, path_));
   if (std::fflush(file_) != 0) return ErrnoStatus("flush", path_);
   return Status::OK();
 }
 
 Status WritableFile::Close() {
   if (file_ == nullptr) return Status::OK();
+  // An injected close failure still releases the handle (the kernel
+  // may or may not have persisted buffered data — callers must treat
+  // the file as torn).
+  Status fault = MaybeFault(FaultOp::kClose, path_);
   int rc = std::fclose(file_);
   file_ = nullptr;
+  MANIMAL_RETURN_IF_ERROR(fault);
   if (rc != 0) return ErrnoStatus("close", path_);
   return Status::OK();
 }
@@ -63,6 +95,7 @@ Status WritableFile::Close() {
 
 Result<std::unique_ptr<SequentialFile>> SequentialFile::Open(
     const std::string& path) {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kOpenRead, path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return ErrnoStatus("open for read", path);
   return std::unique_ptr<SequentialFile>(new SequentialFile(path, f));
@@ -73,6 +106,7 @@ SequentialFile::~SequentialFile() {
 }
 
 Status SequentialFile::Read(size_t n, std::string* out) {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kRead, path_));
   out->resize(n);
   size_t got = std::fread(out->data(), 1, n, file_);
   out->resize(got);
@@ -92,6 +126,7 @@ Status SequentialFile::Skip(uint64_t n) {
 
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kOpenRead, path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return ErrnoStatus("open for read", path);
   if (std::fseek(f, 0, SEEK_END) != 0) {
@@ -113,6 +148,7 @@ RandomAccessFile::~RandomAccessFile() {
 
 Status RandomAccessFile::ReadAt(uint64_t offset, size_t n,
                                 std::string* out) const {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kRead, path_));
   if (offset + n > size_) {
     return Status::Corruption("ReadAt past EOF in " + path_);
   }
@@ -167,6 +203,17 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+Status RenameFile(const std::string& from, const std::string& to) {
+  MANIMAL_RETURN_IF_ERROR(MaybeFault(FaultOp::kRename, from));
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
 Status CreateDirIfMissing(const std::string& path) {
   std::error_code ec;
   fs::create_directories(path, ec);
@@ -213,6 +260,12 @@ int64_t EnvInt64(const char* name, int64_t default_value) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return default_value;
   return std::strtoll(v, nullptr, 10);
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtod(v, nullptr);
 }
 
 }  // namespace manimal

@@ -103,6 +103,10 @@ Result<std::string> ReadFileToString(const std::string& path);
 Result<uint64_t> GetFileSize(const std::string& path);
 bool FileExists(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
+// Atomically replaces `to` with `from` (same filesystem). The commit
+// step of every write-temp-then-rename protocol: a reader can only
+// ever observe the complete file at `to`, never a torn prefix.
+Status RenameFile(const std::string& from, const std::string& to);
 Status CreateDirIfMissing(const std::string& path);
 // Removes a directory tree. Refuses paths that do not contain
 // "manimal" as a safety rail for tests.
@@ -115,6 +119,9 @@ std::string MakeTempDir(const std::string& tag);
 
 // Reads an environment variable as int64 with a default.
 int64_t EnvInt64(const char* name, int64_t default_value);
+
+// Reads an environment variable as double with a default.
+double EnvDouble(const char* name, double default_value);
 
 }  // namespace manimal
 

@@ -39,6 +39,9 @@ exec::JobConfig ManimalSystem::MakeJobConfig(
   config.simulated_disk_bytes_per_sec =
       options_.simulated_disk_bytes_per_sec;
   config.sort_buffer_bytes = options_.sort_buffer_bytes;
+  config.max_task_attempts = options_.max_task_attempts;
+  config.retry_backoff_ms = options_.retry_backoff_ms;
+  config.enable_speculation = options_.enable_speculation;
   config.output_path = output_path;
   config.temp_dir = FreshTempDir("job");
   return config;

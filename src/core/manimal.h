@@ -45,6 +45,11 @@ class ManimalSystem {
     // See exec::JobConfig::simulated_disk_bytes_per_sec (0 disables).
     uint64_t simulated_disk_bytes_per_sec = 16u << 20;
     uint64_t sort_buffer_bytes = 32u << 20;
+    // Fault handling, forwarded into every job's JobConfig (see
+    // exec::JobConfig and docs/testing.md).
+    int max_task_attempts = 4;
+    double retry_backoff_ms = 1.0;
+    bool enable_speculation = true;
   };
 
   struct Submission {

@@ -87,9 +87,21 @@ Result<ManimalSystem::PipelineResult> ManimalSystem::RunPipeline(
         }
       }
     }
-    MANIMAL_ASSIGN_OR_RETURN(outcome.job,
-                             exec::RunJob(outcome.plan.descriptor,
-                                          config));
+    Result<exec::JobResult> job =
+        exec::RunJob(outcome.plan.descriptor, config);
+    if (!job.ok()) {
+      // Abort the pipeline cleanly: the failed job already removed
+      // its own partial output; drop the intermediates earlier stages
+      // left behind so a failed pipeline leaves no half-built state.
+      for (const PipelineStageOutcome& done : result.stages) {
+        if (!done.intermediate_path.empty()) {
+          (void)RemoveFileIfExists(done.intermediate_path);
+        }
+      }
+      (void)RemoveDirRecursively(inter_dir);
+      return job.status();
+    }
+    outcome.job = std::move(*job);
     current_input = output;
     result.stages.push_back(std::move(outcome));
   }

@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "analyzer/expr_eval.h"
 #include "common/check.h"
+#include "common/coding.h"
+#include "common/faulty_env.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/threadpool.h"
@@ -57,17 +64,21 @@ class ErrorLatch {
 };
 
 // Job output sink: a PairFile, or (pipeline mode) a typed SeqFile the
-// next MapReduce stage can consume. Internally synchronized: map-only
-// map tasks and reduce tasks stream their pairs straight in from
-// worker threads instead of materializing per-partition buffers.
+// next MapReduce stage can consume. The writer targets a temp sibling
+// of the output path; Finish() renames it into place, so a crashed or
+// aborted job never leaves a half-written file a consumer could read
+// as valid. Internally synchronized (assembly is single-threaded
+// today, but the writer keeps its lock so callers need not care).
 class OutputWriter {
  public:
   static Result<std::unique_ptr<OutputWriter>> Create(
       const JobConfig& config) {
     auto out = std::unique_ptr<OutputWriter>(new OutputWriter());
+    out->final_path_ = config.output_path;
+    out->temp_path_ = config.output_path + ".inprogress";
     if (!config.output_schema.has_value()) {
       MANIMAL_ASSIGN_OR_RETURN(out->pairs_,
-                               PairFileWriter::Create(config.output_path));
+                               PairFileWriter::Create(out->temp_path_));
       return out;
     }
     const Schema& declared = *config.output_schema;
@@ -101,7 +112,7 @@ class OutputWriter {
     out->declared_ = declared;
     MANIMAL_ASSIGN_OR_RETURN(
         out->records_,
-        columnar::SeqFileWriter::Create(config.output_path, meta));
+        columnar::SeqFileWriter::Create(out->temp_path_, meta));
     return out;
   }
 
@@ -110,22 +121,12 @@ class OutputWriter {
     return AppendLocked(key, value);
   }
 
-  // Fast path for map-only jobs, which already hold the pair encoded
-  // as EncodeValue(key)+EncodeValue(value) for byte accounting.
-  Status AppendEncoded(const Value& key, const Value& value,
-                       std::string_view encoded_pair) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pairs_ != nullptr) return pairs_->AppendEncoded(encoded_pair);
-    return AppendLocked(key, value);
-  }
-
-  // True when the output is a raw PairFile: emitters may then batch
-  // encoded pairs locally and flush whole chunks through a single
-  // lock acquisition instead of taking the mutex per record.
+  // True when the output is a raw PairFile: assembly may then move
+  // whole pre-encoded part payloads in without decoding.
   bool pair_encoded() const { return pairs_ != nullptr; }
 
   Status AppendEncodedChunk(std::string_view bytes, uint64_t num_pairs) {
-    if (bytes.empty()) return Status::OK();
+    if (bytes.empty() && num_pairs == 0) return Status::OK();
     std::lock_guard<std::mutex> lock(mu_);
     return pairs_->AppendEncodedChunk(bytes, num_pairs);
   }
@@ -135,11 +136,20 @@ class OutputWriter {
     return pairs_ != nullptr ? pairs_->num_pairs() : num_records_;
   }
 
+  // Seals the writer and commits the temp file to the output path.
   Result<uint64_t> Finish() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (pairs_ != nullptr) return pairs_->Finish();
-    return records_->Finish();
+    uint64_t total = 0;
+    if (pairs_ != nullptr) {
+      MANIMAL_ASSIGN_OR_RETURN(total, pairs_->Finish());
+    } else {
+      MANIMAL_ASSIGN_OR_RETURN(total, records_->Finish());
+    }
+    MANIMAL_RETURN_IF_ERROR(RenameFile(temp_path_, final_path_));
+    return total;
   }
+
+  const std::string& temp_path() const { return temp_path_; }
 
  private:
   OutputWriter() = default;
@@ -173,10 +183,719 @@ class OutputWriter {
   mutable std::mutex mu_;
   std::unique_ptr<PairFileWriter> pairs_;
   std::unique_ptr<columnar::SeqFileWriter> records_;
+  std::string final_path_;
+  std::string temp_path_;
   Schema declared_;
   std::vector<int> kept_fields_;
   uint64_t num_records_ = 0;
 };
+
+// One task attempt's private output file: self-describing Value-
+// encoded (key, value) pairs followed by a fixed64 pair count. The
+// attempt writes it at an attempt-unique path; committing the task
+// renames it to the canonical part path, and the engine concatenates
+// the committed parts (in task order) into the job output after the
+// phase barrier. This is what makes task outputs idempotent: a
+// retried or speculative duplicate attempt can never contribute
+// twice, and a torn attempt file is never visible at a canonical
+// path.
+class PartFile {
+ public:
+  static constexpr size_t kChunkBytes = 256u << 10;
+
+  static Result<std::unique_ptr<PartFile>> Create(
+      const std::string& path) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                             WritableFile::Create(path));
+    return std::unique_ptr<PartFile>(new PartFile(std::move(f)));
+  }
+
+  // The emit hot path encodes key/value bytes directly into buffer()
+  // (no intermediate copy) and then reports the pair.
+  std::string* buffer() { return &buf_; }
+  Status PairAdded() {
+    ++num_pairs_;
+    if (buf_.size() >= kChunkBytes) return FlushBuffer();
+    return Status::OK();
+  }
+
+  Status Finish() {
+    MANIMAL_RETURN_IF_ERROR(FlushBuffer());
+    std::string footer;
+    PutFixed64(&footer, num_pairs_);
+    MANIMAL_RETURN_IF_ERROR(file_->Append(footer));
+    return file_->Close();
+  }
+
+  uint64_t num_pairs() const { return num_pairs_; }
+  uint64_t payload_bytes() const { return payload_bytes_ + buf_.size(); }
+
+ private:
+  explicit PartFile(std::unique_ptr<WritableFile> f)
+      : file_(std::move(f)) {}
+
+  Status FlushBuffer() {
+    if (buf_.empty()) return Status::OK();
+    MANIMAL_RETURN_IF_ERROR(file_->Append(buf_));
+    payload_bytes_ += buf_.size();
+    buf_.clear();
+    return Status::OK();
+  }
+
+  std::unique_ptr<WritableFile> file_;
+  std::string buf_;
+  uint64_t num_pairs_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+struct PartData {
+  std::string bytes;  // concatenated encoded pairs
+  uint64_t num_pairs = 0;
+};
+
+Result<PartData> ReadPartFile(const std::string& path) {
+  MANIMAL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < 8) {
+    return Status::Corruption("task part file too short: " + path);
+  }
+  PartData part;
+  part.num_pairs = DecodeFixed64(data.data() + data.size() - 8);
+  data.resize(data.size() - 8);
+  if (part.num_pairs > data.size() / 2 + 1) {
+    return Status::Corruption("task part count mismatch in " + path);
+  }
+  part.bytes = std::move(data);
+  return part;
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs one job: input planning, the map phase (with per-task retry
+// chains and speculative duplicates), the shuffle barrier, the reduce
+// phase (with retry), part assembly, and the final output commit.
+class JobRunner {
+ public:
+  JobRunner(const ExecutionDescriptor& descriptor, JobConfig cfg)
+      : descriptor_(descriptor),
+        cfg_(std::move(cfg)),
+        program_(descriptor.program),
+        has_reduce_(descriptor.program.has_reduce()) {}
+
+  Result<JobResult> Run();
+
+ private:
+  // Per-task coordination between retry chains, speculative twins,
+  // and the speculation monitor.
+  struct TaskControl {
+    // The commit gate: exactly one attempt of one chain holds it
+    // while renaming/sealing; released again if that commit fails.
+    std::atomic<bool> committed{false};
+    // Some attempt committed successfully; all other chains stand down.
+    std::atomic<bool> done{false};
+    // The task reached a terminal state (success or budget
+    // exhaustion); used by the monitor's exit condition.
+    std::atomic<bool> resolved{false};
+    std::atomic<bool> speculated{false};
+    // Steady-clock start of the first chain (0 = not started yet).
+    std::atomic<int64_t> started_ns{0};
+  };
+
+  // The fallible work of one attempt returns a commit closure; the
+  // chain runs it only if this attempt wins the task's commit gate.
+  using CommitFn = std::function<Status()>;
+  using AttemptFn = std::function<Result<CommitFn>(int chain, int attempt)>;
+
+  Status Prepare();
+  Status RunMapPhase();
+  Status RunReducePhase();
+  Status AssembleOutput(char kind, int num_parts);
+  void RunChain(TaskControl* ctl, const AttemptFn& attempt_fn);
+  Result<CommitFn> MapAttempt(int split_index, int chain);
+  Result<CommitFn> ReduceAttempt(int partition, int chain);
+  void SubmitMapChain(ThreadPool* pool, int split_index, int chain);
+  void MonitorMapPhase(ThreadPool* pool);
+  void Backoff(int attempt) const;
+
+  std::string PartPath(char kind, int idx) const {
+    return cfg_.temp_dir + "/" + StrPrintf("part-%c%04d", kind, idx);
+  }
+  std::string AttemptPath(char kind, int idx, int chain) const {
+    return PartPath(kind, idx) + StrPrintf(".c%d.tmp", chain);
+  }
+
+  const ExecutionDescriptor& descriptor_;
+  JobConfig cfg_;
+  const mril::Program& program_;
+  const bool has_reduce_;
+
+  std::unique_ptr<InputPlan> plan_;
+  std::vector<int> field_remap_;
+  std::unique_ptr<Shuffle> shuffle_;
+  std::unique_ptr<OutputWriter> out_;
+  ErrorLatch errors_;
+
+  std::deque<TaskControl> map_tasks_;
+  std::deque<TaskControl> reduce_tasks_;
+  std::vector<uint64_t> partition_groups_;
+
+  // Completed map-chain durations feed the speculation threshold.
+  std::mutex durations_mu_;
+  std::vector<double> map_chain_seconds_;
+
+  // Wakes the speculation monitor when a map chain finishes, so the
+  // phase ends promptly without a tight polling loop stealing CPU
+  // from the workers.
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+
+  std::atomic<uint64_t> input_records_{0}, input_bytes_{0},
+      map_invocations_{0}, map_output_records_{0}, map_output_bytes_{0},
+      map_output_filtered_{0}, log_messages_{0};
+  std::atomic<uint64_t> task_retries_{0}, speculative_launches_{0},
+      tasks_failed_{0};
+
+  JobResult result_;
+};
+
+void JobRunner::Backoff(int attempt) const {
+  if (cfg_.retry_backoff_ms <= 0) return;
+  double ms = cfg_.retry_backoff_ms;
+  for (int i = 2; i < attempt; ++i) ms *= 2;
+  ms = std::min(ms, 100.0);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+}
+
+void JobRunner::RunChain(TaskControl* ctl, const AttemptFn& attempt_fn) {
+  auto& metrics = obs::MetricsRegistry::Get();
+  const int max_attempts = std::max(1, cfg_.max_task_attempts);
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (ctl->done.load(std::memory_order_acquire) || errors_.Failed()) {
+      return;
+    }
+    if (attempt > 1) {
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+      metrics.GetCounter("engine.task_retries")->Increment();
+      Backoff(attempt);
+    }
+    Result<CommitFn> commit = [&]() -> Result<CommitFn> {
+      // Faults are injected only inside armed scopes: everything a
+      // retry can recover from, nothing it can't.
+      ScopedFaultArming arm;
+      int chain = 0;  // chain id folded into attempt_fn by the caller
+      (void)chain;
+      return attempt_fn(0, attempt);
+    }();
+    if (!commit.ok()) {
+      last = commit.status();
+      if (last.IsIOError()) continue;  // transient: retry
+      break;                           // semantic failure: no retry
+    }
+    if (ctl->done.load(std::memory_order_acquire)) return;
+    if (ctl->committed.exchange(true, std::memory_order_acq_rel)) {
+      // A speculative twin holds (or completed) the commit; discard.
+      return;
+    }
+    Status commit_status;
+    {
+      ScopedFaultArming arm;
+      commit_status = (*commit)();
+    }
+    if (commit_status.ok()) {
+      ctl->done.store(true, std::memory_order_release);
+      ctl->resolved.store(true, std::memory_order_release);
+      return;
+    }
+    // Release the gate so the twin (if any) may commit instead.
+    ctl->committed.store(false, std::memory_order_release);
+    last = commit_status;
+    if (!last.IsIOError()) break;
+  }
+  if (!ctl->done.load(std::memory_order_acquire) &&
+      !ctl->resolved.exchange(true, std::memory_order_acq_rel)) {
+    tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.GetCounter("engine.tasks_failed")->Increment();
+    errors_.Set(last.ok() ? Status::Internal("task failed without status")
+                          : last);
+  }
+}
+
+Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
+                                                  int chain) {
+  // Everything an attempt produces lives here until the commit
+  // decision; an uncommitted attempt cleans up after itself (the
+  // unsealed Mapper removes its spill runs, the attempt part file is
+  // deleted).
+  struct AttemptState {
+    std::unique_ptr<Shuffle::Mapper> mapper;
+    std::unique_ptr<PartFile> part;
+    std::string attempt_path;
+    std::string canonical_path;
+    bool committed = false;
+    uint64_t records = 0;
+    uint64_t map_invocations = 0;
+    uint64_t output_records = 0;
+    uint64_t output_bytes = 0;
+    uint64_t output_filtered = 0;
+    uint64_t logs = 0;
+    ~AttemptState() {
+      if (!committed && !attempt_path.empty()) {
+        (void)RemoveFileIfExists(attempt_path);
+      }
+    }
+  };
+  auto state = std::make_shared<AttemptState>();
+
+  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
+                           plan_->OpenSplit(split_index));
+  if (has_reduce_) {
+    state->mapper = shuffle_->NewMapper();
+  } else {
+    state->attempt_path = AttemptPath('m', split_index, chain);
+    state->canonical_path = PartPath('m', split_index);
+    MANIMAL_ASSIGN_OR_RETURN(state->part,
+                             PartFile::Create(state->attempt_path));
+  }
+
+  mril::VmOptions vm_options;
+  vm_options.field_remap = field_remap_;
+  mril::VmInstance vm(&program_, vm_options);
+  vm.set_log_sink([state](const Value&) { ++state->logs; });
+
+  const int num_partitions = cfg_.num_partitions;
+  std::string key_scratch, value_scratch;
+  vm.set_emit_sink([&, state](const Value& k, const Value& v) -> Status {
+    // Appendix E: delete pairs the reduce provably discards.
+    if (descriptor_.reduce_key_filter.has_value()) {
+      for (const analyzer::SelectTerm& term :
+           descriptor_.reduce_key_filter->required.terms) {
+        MANIMAL_ASSIGN_OR_RETURN(
+            Value verdict,
+            analyzer::EvalExpr(term.expr, k, Value::Null()));
+        if (!verdict.is_bool()) {
+          return Status::Internal("non-boolean reduce filter term");
+        }
+        if (verdict.bool_value() != term.polarity) {
+          ++state->output_filtered;
+          return Status::OK();
+        }
+      }
+    }
+    ++state->output_records;
+    if (has_reduce_) {
+      key_scratch.clear();
+      MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(k, &key_scratch));
+      value_scratch.clear();
+      MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &value_scratch));
+      state->output_bytes += key_scratch.size() + value_scratch.size();
+      int p = static_cast<int>(k.Hash() % num_partitions);
+      // Lock-free: this attempt's private partition buffer.
+      return state->mapper->Add(p, key_scratch, value_scratch);
+    }
+    // Map-only: encode straight into the part file's chunk buffer.
+    std::string* buf = state->part->buffer();
+    const size_t before = buf->size();
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(k, buf));
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(v, buf));
+    state->output_bytes += buf->size() - before;
+    return state->part->PairAdded();
+  });
+
+  int64_t key = 0;
+  Value value;
+  while (true) {
+    MANIMAL_ASSIGN_OR_RETURN(bool more, split->Next(&key, &value));
+    if (!more) break;
+    if (errors_.Failed()) {
+      return Status::Internal("map task aborted: job already failed");
+    }
+    ++state->records;
+    MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
+  }
+  if (state->part != nullptr) {
+    MANIMAL_RETURN_IF_ERROR(state->part->Finish());
+  }
+  state->map_invocations = vm.map_invocations();
+  const uint64_t split_bytes = split->bytes_read();
+
+  return CommitFn([this, state, split_bytes]() -> Status {
+    if (state->part != nullptr) {
+      MANIMAL_RETURN_IF_ERROR(
+          RenameFile(state->attempt_path, state->canonical_path));
+    }
+    // Map/reduce barrier handoff: sorted runs + in-memory tails move
+    // to the partitions in one locked step. No IO happens here, so a
+    // claimed commit cannot fail past this point.
+    if (state->mapper != nullptr) {
+      MANIMAL_RETURN_IF_ERROR(state->mapper->Seal());
+    }
+    state->committed = true;
+    input_records_.fetch_add(state->records, std::memory_order_relaxed);
+    input_bytes_.fetch_add(split_bytes, std::memory_order_relaxed);
+    map_invocations_.fetch_add(state->map_invocations,
+                               std::memory_order_relaxed);
+    map_output_records_.fetch_add(state->output_records,
+                                  std::memory_order_relaxed);
+    map_output_bytes_.fetch_add(state->output_bytes,
+                                std::memory_order_relaxed);
+    map_output_filtered_.fetch_add(state->output_filtered,
+                                   std::memory_order_relaxed);
+    log_messages_.fetch_add(state->logs, std::memory_order_relaxed);
+    return Status::OK();
+  });
+}
+
+Result<JobRunner::CommitFn> JobRunner::ReduceAttempt(int partition,
+                                                     int chain) {
+  struct AttemptState {
+    std::unique_ptr<PartFile> part;
+    std::string attempt_path;
+    std::string canonical_path;
+    bool committed = false;
+    uint64_t groups = 0;
+    uint64_t logs = 0;
+    ~AttemptState() {
+      if (!committed && !attempt_path.empty()) {
+        (void)RemoveFileIfExists(attempt_path);
+      }
+    }
+  };
+  auto state = std::make_shared<AttemptState>();
+  state->attempt_path = AttemptPath('r', partition, chain);
+  state->canonical_path = PartPath('r', partition);
+
+  std::unique_ptr<index::SortedStream> stream;
+  {
+    obs::ScopedSpan merge_span("shuffle.merge", "exec");
+    MANIMAL_ASSIGN_OR_RETURN(stream, shuffle_->FinishPartition(partition));
+  }
+  MANIMAL_ASSIGN_OR_RETURN(state->part,
+                           PartFile::Create(state->attempt_path));
+
+  mril::VmInstance vm(&program_);
+  vm.set_log_sink([state](const Value&) { ++state->logs; });
+  vm.set_emit_sink([state](const Value& k, const Value& v) -> Status {
+    std::string* buf = state->part->buffer();
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(k, buf));
+    MANIMAL_RETURN_IF_ERROR(EncodeValue(v, buf));
+    return state->part->PairAdded();
+  });
+
+  GroupIterator groups(stream.get());
+  Value key;
+  ValueList values;
+  while (true) {
+    MANIMAL_ASSIGN_OR_RETURN(bool more, groups.Next(&key, &values));
+    if (!more) break;
+    if (errors_.Failed()) {
+      return Status::Internal("reduce task aborted: job already failed");
+    }
+    ++state->groups;
+    MANIMAL_RETURN_IF_ERROR(
+        vm.InvokeReduce(key, Value::List(std::move(values))));
+  }
+  MANIMAL_RETURN_IF_ERROR(state->part->Finish());
+
+  return CommitFn([this, state, partition]() -> Status {
+    MANIMAL_RETURN_IF_ERROR(
+        RenameFile(state->attempt_path, state->canonical_path));
+    state->committed = true;
+    // Winner-only plain write; read after the phase barrier.
+    partition_groups_[partition] = state->groups;
+    log_messages_.fetch_add(state->logs, std::memory_order_relaxed);
+    return Status::OK();
+  });
+}
+
+void JobRunner::SubmitMapChain(ThreadPool* pool, int split_index,
+                               int chain) {
+  pool->Submit([this, split_index, chain] {
+    TaskControl& ctl = map_tasks_[split_index];
+    if (ctl.done.load(std::memory_order_acquire) || errors_.Failed()) {
+      return;
+    }
+    obs::ScopedSpan task_span("map_task", "exec");
+    task_span.AddArg("split", std::to_string(split_index));
+    if (chain > 0) task_span.AddArg("speculative", "1");
+    int64_t zero = 0;
+    ctl.started_ns.compare_exchange_strong(zero, SteadyNowNanos(),
+                                           std::memory_order_relaxed);
+    Stopwatch chain_watch;
+    RunChain(&ctl, [this, split_index, chain](int, int) {
+      return MapAttempt(split_index, chain);
+    });
+    const double seconds = chain_watch.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(durations_mu_);
+      map_chain_seconds_.push_back(seconds);
+    }
+    auto& metrics = obs::MetricsRegistry::Get();
+    metrics.GetCounter("exec.map_tasks")->Increment();
+    metrics.GetHistogram("exec.map_task_seconds")->Record(seconds);
+    monitor_cv_.notify_all();
+  });
+}
+
+void JobRunner::MonitorMapPhase(ThreadPool* pool) {
+  const int num_tasks = plan_->num_splits();
+  auto& metrics = obs::MetricsRegistry::Get();
+  auto all_resolved = [&] {
+    for (const TaskControl& t : map_tasks_) {
+      if (!t.resolved.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+  // Poll coarsely: speculation decisions only need resolution at the
+  // scale of the minimum straggler threshold, and a fine-grained
+  // polling loop steals CPU from the map workers themselves. Chain
+  // completions notify monitor_cv_, so phase exit is still prompt.
+  const double poll_seconds = std::min(
+      0.05, std::max(0.001, cfg_.speculation_min_seconds / 8));
+  const auto poll = std::chrono::microseconds(
+      static_cast<int64_t>(poll_seconds * 1e6));
+  while (!all_resolved() && !errors_.Failed()) {
+    if (cfg_.enable_speculation && num_tasks >= 2) {
+      double threshold = -1;
+      {
+        std::lock_guard<std::mutex> lock(durations_mu_);
+        const size_t completed = map_chain_seconds_.size();
+        if (completed >= std::max<size_t>(2, num_tasks / 2)) {
+          // p95 of completed chain durations.
+          std::vector<double> sorted = map_chain_seconds_;
+          std::sort(sorted.begin(), sorted.end());
+          const double p95 =
+              sorted[std::min(sorted.size() - 1,
+                              static_cast<size_t>(0.95 * sorted.size()))];
+          threshold = std::max(cfg_.speculation_min_seconds,
+                               cfg_.speculation_factor * p95);
+        }
+      }
+      if (threshold >= 0) {
+        const int64_t now = SteadyNowNanos();
+        for (int i = 0; i < num_tasks; ++i) {
+          TaskControl& ctl = map_tasks_[i];
+          const int64_t started =
+              ctl.started_ns.load(std::memory_order_relaxed);
+          if (started == 0 ||
+              ctl.resolved.load(std::memory_order_acquire)) {
+            continue;
+          }
+          const double elapsed =
+              static_cast<double>(now - started) * 1e-9;
+          if (elapsed >= threshold &&
+              !ctl.speculated.exchange(true,
+                                       std::memory_order_acq_rel)) {
+            speculative_launches_.fetch_add(1,
+                                            std::memory_order_relaxed);
+            metrics.GetCounter("engine.speculative_launches")
+                ->Increment();
+            obs::TraceInstant("engine.speculative_launch", "exec",
+                              {{"split", std::to_string(i)}});
+            SubmitMapChain(pool, i, /*chain=*/1);
+          }
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lock(monitor_mu_);
+    monitor_cv_.wait_for(lock, poll, [&] {
+      return all_resolved() || errors_.Failed();
+    });
+  }
+}
+
+Status JobRunner::RunMapPhase() {
+  obs::ScopedSpan map_phase_span("job.map_phase", "exec");
+  const int num_tasks = plan_->num_splits();
+  for (int i = 0; i < num_tasks; ++i) map_tasks_.emplace_back();
+  ThreadPool pool(cfg_.map_parallelism);
+  for (int i = 0; i < num_tasks; ++i) {
+    SubmitMapChain(&pool, i, /*chain=*/0);
+  }
+  MonitorMapPhase(&pool);
+  pool.Wait();
+  return errors_.First();
+}
+
+Status JobRunner::RunReducePhase() {
+  obs::ScopedSpan reduce_phase_span("job.reduce_phase", "exec");
+  const int num_partitions = cfg_.num_partitions;
+  partition_groups_.assign(num_partitions, 0);
+  for (int p = 0; p < num_partitions; ++p) reduce_tasks_.emplace_back();
+  ThreadPool pool(cfg_.map_parallelism);
+  for (int p = 0; p < num_partitions; ++p) {
+    pool.Submit([this, p] {
+      TaskControl& ctl = reduce_tasks_[p];
+      obs::ScopedSpan task_span("reduce_task", "exec");
+      task_span.AddArg("partition", std::to_string(p));
+      Stopwatch task_watch;
+      RunChain(&ctl, [this, p](int, int) { return ReduceAttempt(p, 0); });
+      auto& metrics = obs::MetricsRegistry::Get();
+      metrics.GetCounter("exec.reduce_tasks")->Increment();
+      metrics.GetHistogram("exec.reduce_task_seconds")
+          ->Record(task_watch.ElapsedSeconds());
+    });
+  }
+  pool.Wait();
+  return errors_.First();
+}
+
+// Streams committed task parts, in task order, into the job output.
+Status JobRunner::AssembleOutput(char kind, int num_parts) {
+  obs::ScopedSpan span("job.assemble_output", "exec");
+  for (int i = 0; i < num_parts; ++i) {
+    const std::string path = PartPath(kind, i);
+    MANIMAL_ASSIGN_OR_RETURN(PartData part, ReadPartFile(path));
+    if (out_->pair_encoded()) {
+      MANIMAL_RETURN_IF_ERROR(
+          out_->AppendEncodedChunk(part.bytes, part.num_pairs));
+    } else {
+      std::string_view in = part.bytes;
+      Value k, v;
+      while (!in.empty()) {
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &k));
+        MANIMAL_RETURN_IF_ERROR(DecodeValue(&in, &v));
+        MANIMAL_RETURN_IF_ERROR(out_->Append(k, v));
+      }
+    }
+    (void)RemoveFileIfExists(path);
+  }
+  return Status::OK();
+}
+
+Status JobRunner::Prepare() {
+  MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program_));
+  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(cfg_.temp_dir));
+
+  result_.output_path = cfg_.output_path;
+  result_.applied_optimizations = descriptor_.applied;
+
+  {
+    obs::ScopedSpan plan_span("job.plan_input", "exec");
+    MANIMAL_ASSIGN_OR_RETURN(
+        plan_, PlanInput(descriptor_, cfg_.map_parallelism * 3));
+  }
+  result_.counters.input_file_bytes = plan_->total_input_bytes();
+
+  // Self-describing projected inputs carry their own remap.
+  field_remap_ = descriptor_.field_remap.empty()
+                     ? plan_->DerivedFieldRemap()
+                     : descriptor_.field_remap;
+
+  if (has_reduce_) {
+    Shuffle::Options shuffle_opts;
+    shuffle_opts.temp_dir = cfg_.temp_dir;
+    shuffle_opts.num_partitions = cfg_.num_partitions;
+    // The sort budget is shared by the concurrently-running mappers
+    // (floored so degenerate configs still buffer something useful).
+    shuffle_opts.mapper_budget_bytes = std::max<uint64_t>(
+        64u << 10, cfg_.sort_buffer_bytes / cfg_.map_parallelism);
+    shuffle_ = std::make_unique<Shuffle>(std::move(shuffle_opts));
+  }
+  MANIMAL_ASSIGN_OR_RETURN(out_, OutputWriter::Create(cfg_));
+  return Status::OK();
+}
+
+Result<JobResult> JobRunner::Run() {
+  obs::MetricsRegistry::Get().GetCounter("exec.jobs")->Increment();
+  // Pre-register the fault-handling counters so they are visible in
+  // DumpMetricsJson() even for an entirely fault-free process.
+  obs::MetricsRegistry::Get().GetCounter("engine.task_retries");
+  obs::MetricsRegistry::Get().GetCounter("engine.speculative_launches");
+  obs::MetricsRegistry::Get().GetCounter("engine.tasks_failed");
+  obs::ScopedSpan job_span("job.run", "exec");
+  job_span.AddArg("access_path", AccessPathName(descriptor_.access_path));
+  job_span.AddArg("program", program_.name);
+  Stopwatch total_watch;
+  Stopwatch plan_watch;
+
+  MANIMAL_RETURN_IF_ERROR(Prepare());
+
+  // ---------------- map phase ----------------
+  result_.phase_breakdown["plan"].seconds = plan_watch.ElapsedSeconds();
+  Stopwatch map_watch;
+  MANIMAL_RETURN_IF_ERROR(RunMapPhase());
+  result_.map_seconds = map_watch.ElapsedSeconds();
+  result_.phase_breakdown["map"].seconds = result_.map_seconds;
+
+  // ---------------- reduce / output phase ----------------
+  Stopwatch reduce_watch;
+  uint64_t reduce_groups_total = 0;
+  if (has_reduce_) {
+    MANIMAL_RETURN_IF_ERROR(RunReducePhase());
+    for (uint64_t groups : partition_groups_) {
+      reduce_groups_total += groups;
+    }
+    const Shuffle::Stats shuffle_stats = shuffle_->stats();
+    result_.counters.shuffle_spilled_runs = shuffle_stats.spilled_runs;
+    result_.counters.shuffle_spilled_bytes = shuffle_stats.spilled_bytes;
+    MANIMAL_RETURN_IF_ERROR(AssembleOutput('r', cfg_.num_partitions));
+  } else {
+    MANIMAL_RETURN_IF_ERROR(AssembleOutput('m', plan_->num_splits()));
+  }
+
+  result_.counters.output_records = out_->num_outputs();
+  MANIMAL_ASSIGN_OR_RETURN(result_.counters.output_bytes, out_->Finish());
+  result_.reduce_seconds = reduce_watch.ElapsedSeconds();
+  result_.phase_breakdown["reduce"].seconds = result_.reduce_seconds;
+
+  result_.counters.input_records = input_records_.load();
+  result_.counters.input_bytes = input_bytes_.load();
+  result_.counters.map_invocations = map_invocations_.load();
+  result_.counters.map_output_records = map_output_records_.load();
+  result_.counters.map_output_bytes = map_output_bytes_.load();
+  result_.counters.map_output_filtered = map_output_filtered_.load();
+  result_.counters.log_messages = log_messages_.load();
+  result_.counters.reduce_groups = reduce_groups_total;
+  result_.counters.task_retries = task_retries_.load();
+  result_.counters.speculative_launches = speculative_launches_.load();
+  result_.counters.tasks_failed = tasks_failed_.load();
+
+  result_.phase_breakdown["map"].bytes =
+      result_.counters.input_bytes + result_.counters.map_output_bytes;
+  result_.phase_breakdown["reduce"].bytes =
+      result_.counters.map_output_bytes + result_.counters.output_bytes;
+
+  result_.wall_seconds = total_watch.ElapsedSeconds();
+  if (cfg_.simulated_disk_bytes_per_sec > 0) {
+    uint64_t bytes_moved = result_.counters.input_bytes +
+                           result_.counters.map_output_bytes +
+                           result_.counters.output_bytes;
+    double aggregate_rate =
+        static_cast<double>(cfg_.simulated_disk_bytes_per_sec) *
+        cfg_.map_parallelism;
+    result_.simulated_io_seconds =
+        static_cast<double>(bytes_moved) / aggregate_rate;
+  }
+  result_.reported_seconds = result_.wall_seconds +
+                             cfg_.simulated_startup_seconds +
+                             result_.simulated_io_seconds;
+  // Rewrite the cumulative trace after every job so MANIMAL_TRACE
+  // output exists even when the process exits abnormally later.
+  if (obs::Tracer::Get().enabled()) {
+    obs::Tracer::Get().WriteIfConfigured();
+  }
+  return std::move(result_);
+}
+
+// Clean job abort: remove the in-progress output and any task part
+// files (committed or attempt-level) so an aborted job leaves nothing
+// a rerun or a consumer could mistake for valid output. Shuffle run
+// files are removed by the Shuffle destructor.
+void CleanupPartialOutputs(const JobConfig& cfg) {
+  (void)RemoveFileIfExists(cfg.output_path + ".inprogress");
+  auto names = ListDir(cfg.temp_dir);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    if (name.rfind("part-", 0) == 0) {
+      (void)RemoveFileIfExists(cfg.temp_dir + "/" + name);
+    }
+  }
+}
 
 }  // namespace
 
@@ -191,312 +910,9 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   cfg.map_parallelism = std::max(1, cfg.map_parallelism);
   cfg.num_partitions = std::max(1, cfg.num_partitions);
 
-  const mril::Program& program = descriptor.program;
-  MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program));
-  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(cfg.temp_dir));
-
-  JobResult result;
-  result.output_path = cfg.output_path;
-  result.applied_optimizations = descriptor.applied;
-  obs::MetricsRegistry::Get().GetCounter("exec.jobs")->Increment();
-  obs::ScopedSpan job_span("job.run", "exec");
-  job_span.AddArg("access_path", AccessPathName(descriptor.access_path));
-  job_span.AddArg("program", program.name);
-  Stopwatch total_watch;
-  Stopwatch plan_watch;
-
-  std::unique_ptr<InputPlan> plan;
-  {
-    obs::ScopedSpan plan_span("job.plan_input", "exec");
-    MANIMAL_ASSIGN_OR_RETURN(
-        plan, PlanInput(descriptor, cfg.map_parallelism * 3));
-  }
-  result.counters.input_file_bytes = plan->total_input_bytes();
-
-  // Self-describing projected inputs carry their own remap.
-  const std::vector<int> field_remap =
-      descriptor.field_remap.empty() ? plan->DerivedFieldRemap()
-                                     : descriptor.field_remap;
-
-  const bool has_reduce = program.has_reduce();
-  const int num_partitions = cfg.num_partitions;
-
-  std::unique_ptr<Shuffle> shuffle;
-  if (has_reduce) {
-    Shuffle::Options shuffle_opts;
-    shuffle_opts.temp_dir = cfg.temp_dir;
-    shuffle_opts.num_partitions = num_partitions;
-    // The sort budget is shared by the concurrently-running mappers
-    // (floored so degenerate configs still buffer something useful).
-    shuffle_opts.mapper_budget_bytes = std::max<uint64_t>(
-        64u << 10, cfg.sort_buffer_bytes / cfg.map_parallelism);
-    shuffle = std::make_unique<Shuffle>(std::move(shuffle_opts));
-  }
-
-  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<OutputWriter> out,
-                           OutputWriter::Create(cfg));
-
-  ErrorLatch errors;
-  std::atomic<uint64_t> input_records{0}, input_bytes{0},
-      map_invocations{0}, map_output_records{0}, map_output_bytes{0},
-      map_output_filtered{0}, log_messages{0};
-
-  // ---------------- map phase ----------------
-  result.phase_breakdown["plan"].seconds = plan_watch.ElapsedSeconds();
-  Stopwatch map_watch;
-  {
-    obs::ScopedSpan map_phase_span("job.map_phase", "exec");
-    ThreadPool pool(cfg.map_parallelism);
-    for (int i = 0; i < plan->num_splits(); ++i) {
-      pool.Submit([&, i] {
-        if (errors.Failed()) return;
-        obs::ScopedSpan task_span("map_task", "exec");
-        task_span.AddArg("split", std::to_string(i));
-        Stopwatch task_watch;
-        auto run = [&]() -> Status {
-          MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
-                                   plan->OpenSplit(i));
-          std::unique_ptr<Shuffle::Mapper> mapper =
-              has_reduce ? shuffle->NewMapper() : nullptr;
-          mril::VmOptions vm_options;
-          vm_options.field_remap = field_remap;
-          mril::VmInstance vm(&program, vm_options);
-          vm.set_log_sink([&log_messages](const Value&) {
-            log_messages.fetch_add(1, std::memory_order_relaxed);
-          });
-          // Per-task emit state: scratch encode buffers are reused
-          // across records, counters accumulate locally and flush to
-          // the shared atomics once at task end, and map-only
-          // PairFile output batches into chunks so the writer mutex
-          // is taken per block instead of per record.
-          constexpr size_t kOutputChunkBytes = 256u << 10;
-          std::string key_scratch, value_scratch;
-          std::string out_chunk;
-          uint64_t out_chunk_pairs = 0;
-          uint64_t task_output_records = 0, task_output_bytes = 0;
-          uint64_t task_output_filtered = 0;
-          const bool batch_output = !has_reduce && out->pair_encoded();
-          vm.set_emit_sink([&](const Value& k, const Value& v) -> Status {
-            // Appendix E: delete pairs the reduce provably discards.
-            if (descriptor.reduce_key_filter.has_value()) {
-              for (const analyzer::SelectTerm& term :
-                   descriptor.reduce_key_filter->required.terms) {
-                MANIMAL_ASSIGN_OR_RETURN(
-                    Value verdict,
-                    analyzer::EvalExpr(term.expr, k, Value::Null()));
-                if (!verdict.is_bool()) {
-                  return Status::Internal(
-                      "non-boolean reduce filter term");
-                }
-                if (verdict.bool_value() != term.polarity) {
-                  ++task_output_filtered;
-                  return Status::OK();
-                }
-              }
-            }
-            ++task_output_records;
-            if (has_reduce) {
-              key_scratch.clear();
-              MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(k, &key_scratch));
-              value_scratch.clear();
-              MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &value_scratch));
-              task_output_bytes +=
-                  key_scratch.size() + value_scratch.size();
-              int p = static_cast<int>(k.Hash() % num_partitions);
-              // Lock-free: this task's private partition buffer.
-              return mapper->Add(p, key_scratch, value_scratch);
-            }
-            if (batch_output) {
-              const size_t before = out_chunk.size();
-              MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_chunk));
-              MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &out_chunk));
-              task_output_bytes += out_chunk.size() - before;
-              ++out_chunk_pairs;
-              if (out_chunk.size() >= kOutputChunkBytes) {
-                MANIMAL_RETURN_IF_ERROR(
-                    out->AppendEncodedChunk(out_chunk, out_chunk_pairs));
-                out_chunk.clear();
-                out_chunk_pairs = 0;
-              }
-              return Status::OK();
-            }
-            // Map-only typed (pipeline) output: per-record append.
-            key_scratch.clear();
-            MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &key_scratch));
-            MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &key_scratch));
-            task_output_bytes += key_scratch.size();
-            return out->AppendEncoded(k, v, key_scratch);
-          });
-
-          int64_t key = 0;
-          Value value;
-          uint64_t records = 0;
-          while (true) {
-            MANIMAL_ASSIGN_OR_RETURN(bool more, split->Next(&key, &value));
-            if (!more) break;
-            if (errors.Failed()) return Status::OK();
-            ++records;
-            MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
-          }
-          MANIMAL_RETURN_IF_ERROR(
-              out->AppendEncodedChunk(out_chunk, out_chunk_pairs));
-          map_output_records.fetch_add(task_output_records,
-                                      std::memory_order_relaxed);
-          map_output_bytes.fetch_add(task_output_bytes,
-                                     std::memory_order_relaxed);
-          map_output_filtered.fetch_add(task_output_filtered,
-                                        std::memory_order_relaxed);
-          input_records.fetch_add(records, std::memory_order_relaxed);
-          input_bytes.fetch_add(split->bytes_read(),
-                                std::memory_order_relaxed);
-          map_invocations.fetch_add(vm.map_invocations(),
-                                    std::memory_order_relaxed);
-          // Map/reduce barrier handoff: sorted runs + in-memory tails
-          // move to the partitions in one locked step.
-          if (mapper != nullptr) MANIMAL_RETURN_IF_ERROR(mapper->Seal());
-          return Status::OK();
-        };
-        Status st = run();
-        if (!st.ok()) errors.Set(st);
-        auto& metrics = obs::MetricsRegistry::Get();
-        metrics.GetCounter("exec.map_tasks")->Increment();
-        metrics.GetHistogram("exec.map_task_seconds")
-            ->Record(task_watch.ElapsedSeconds());
-      });
-    }
-    pool.Wait();
-  }
-  MANIMAL_RETURN_IF_ERROR(errors.First());
-  result.map_seconds = map_watch.ElapsedSeconds();
-  result.phase_breakdown["map"].seconds = result.map_seconds;
-
-  // ---------------- reduce / output phase ----------------
-  Stopwatch reduce_watch;
-  uint64_t reduce_groups_total = 0;
-
-  if (has_reduce) {
-    // Reduce partitions in parallel; each task iterates groups off
-    // its merged stream and streams output pairs straight into the
-    // (internally synchronized) writer — no per-partition buffering.
-    std::vector<uint64_t> partition_groups(num_partitions, 0);
-    {
-      obs::ScopedSpan reduce_phase_span("job.reduce_phase", "exec");
-      ThreadPool pool(cfg.map_parallelism);
-      for (int p = 0; p < num_partitions; ++p) {
-        pool.Submit([&, p] {
-          if (errors.Failed()) return;
-          obs::ScopedSpan task_span("reduce_task", "exec");
-          task_span.AddArg("partition", std::to_string(p));
-          Stopwatch task_watch;
-          auto run = [&]() -> Status {
-            std::unique_ptr<index::SortedStream> stream;
-            {
-              obs::ScopedSpan merge_span("shuffle.merge", "exec");
-              MANIMAL_ASSIGN_OR_RETURN(stream,
-                                       shuffle->FinishPartition(p));
-            }
-            mril::VmInstance vm(&program);
-            vm.set_log_sink([&log_messages](const Value&) {
-              log_messages.fetch_add(1, std::memory_order_relaxed);
-            });
-            // PairFile output: batch encoded pairs per task and flush
-            // block-sized chunks through one lock acquisition; typed
-            // (pipeline) output appends per record.
-            constexpr size_t kOutputChunkBytes = 256u << 10;
-            std::string out_chunk;
-            uint64_t out_chunk_pairs = 0;
-            if (out->pair_encoded()) {
-              vm.set_emit_sink(
-                  [&](const Value& k, const Value& v) -> Status {
-                    MANIMAL_RETURN_IF_ERROR(EncodeValue(k, &out_chunk));
-                    MANIMAL_RETURN_IF_ERROR(EncodeValue(v, &out_chunk));
-                    ++out_chunk_pairs;
-                    if (out_chunk.size() >= kOutputChunkBytes) {
-                      MANIMAL_RETURN_IF_ERROR(out->AppendEncodedChunk(
-                          out_chunk, out_chunk_pairs));
-                      out_chunk.clear();
-                      out_chunk_pairs = 0;
-                    }
-                    return Status::OK();
-                  });
-            } else {
-              vm.set_emit_sink(
-                  [&out](const Value& k, const Value& v) -> Status {
-                    return out->Append(k, v);
-                  });
-            }
-
-            GroupIterator groups(stream.get());
-            Value key;
-            ValueList values;
-            while (true) {
-              MANIMAL_ASSIGN_OR_RETURN(bool more,
-                                       groups.Next(&key, &values));
-              if (!more) break;
-              if (errors.Failed()) return Status::OK();
-              ++partition_groups[p];
-              MANIMAL_RETURN_IF_ERROR(
-                  vm.InvokeReduce(key, Value::List(std::move(values))));
-            }
-            return out->AppendEncodedChunk(out_chunk, out_chunk_pairs);
-          };
-          Status st = run();
-          if (!st.ok()) errors.Set(st);
-          auto& metrics = obs::MetricsRegistry::Get();
-          metrics.GetCounter("exec.reduce_tasks")->Increment();
-          metrics.GetHistogram("exec.reduce_task_seconds")
-              ->Record(task_watch.ElapsedSeconds());
-        });
-      }
-      pool.Wait();
-    }
-    MANIMAL_RETURN_IF_ERROR(errors.First());
-    for (int p = 0; p < num_partitions; ++p) {
-      reduce_groups_total += partition_groups[p];
-    }
-    const Shuffle::Stats shuffle_stats = shuffle->stats();
-    result.counters.shuffle_spilled_runs = shuffle_stats.spilled_runs;
-    result.counters.shuffle_spilled_bytes = shuffle_stats.spilled_bytes;
-  }
-
-  result.counters.output_records = out->num_outputs();
-  MANIMAL_ASSIGN_OR_RETURN(result.counters.output_bytes, out->Finish());
-  result.reduce_seconds = reduce_watch.ElapsedSeconds();
-  result.phase_breakdown["reduce"].seconds = result.reduce_seconds;
-
-  result.counters.input_records = input_records.load();
-  result.counters.input_bytes = input_bytes.load();
-  result.counters.map_invocations = map_invocations.load();
-  result.counters.map_output_records = map_output_records.load();
-  result.counters.map_output_bytes = map_output_bytes.load();
-  result.counters.map_output_filtered = map_output_filtered.load();
-  result.counters.log_messages = log_messages.load();
-  result.counters.reduce_groups = reduce_groups_total;
-
-  result.phase_breakdown["map"].bytes =
-      result.counters.input_bytes + result.counters.map_output_bytes;
-  result.phase_breakdown["reduce"].bytes =
-      result.counters.map_output_bytes + result.counters.output_bytes;
-
-  result.wall_seconds = total_watch.ElapsedSeconds();
-  if (cfg.simulated_disk_bytes_per_sec > 0) {
-    uint64_t bytes_moved = result.counters.input_bytes +
-                           result.counters.map_output_bytes +
-                           result.counters.output_bytes;
-    double aggregate_rate =
-        static_cast<double>(cfg.simulated_disk_bytes_per_sec) *
-        cfg.map_parallelism;
-    result.simulated_io_seconds =
-        static_cast<double>(bytes_moved) / aggregate_rate;
-  }
-  result.reported_seconds = result.wall_seconds +
-                            cfg.simulated_startup_seconds +
-                            result.simulated_io_seconds;
-  // Rewrite the cumulative trace after every job so MANIMAL_TRACE
-  // output exists even when the process exits abnormally later.
-  if (obs::Tracer::Get().enabled()) {
-    obs::Tracer::Get().WriteIfConfigured();
-  }
+  JobRunner runner(descriptor, cfg);
+  Result<JobResult> result = runner.Run();
+  if (!result.ok()) CleanupPartialOutputs(cfg);
   return result;
 }
 

@@ -58,6 +58,26 @@ struct JobConfig {
   // running map tasks; each map task buffers its partitioned output
   // privately and spills sorted runs when its share fills.
   uint64_t sort_buffer_bytes = 32u << 20;
+
+  // ---- fault handling (docs/testing.md) ----
+  // Task-level retry budget: each map/reduce task is attempted at
+  // most this many times per execution chain; transient IO failures
+  // (StatusCode::kIOError, including injected faults) retry with
+  // exponential backoff, everything else fails the job immediately.
+  int max_task_attempts = 4;
+  // Base backoff between attempts: base * 2^(attempt-1), capped at
+  // 100 ms. Zero disables sleeping (tests).
+  double retry_backoff_ms = 1.0;
+  // Speculative re-execution of straggler map tasks: once at least
+  // half the map tasks finished, any still-running task whose elapsed
+  // time exceeds max(speculation_min_seconds, speculation_factor *
+  // p95(completed task seconds)) is re-launched as a duplicate
+  // execution chain; the first chain to finish commits, the loser's
+  // work is discarded (commit is an atomic per-task gate, so output
+  // is unaffected).
+  bool enable_speculation = true;
+  double speculation_factor = 3.0;
+  double speculation_min_seconds = 0.25;
 };
 
 struct JobCounters {
@@ -75,6 +95,13 @@ struct JobCounters {
   uint64_t log_messages = 0;
   uint64_t shuffle_spilled_runs = 0;
   uint64_t shuffle_spilled_bytes = 0;
+  // Fault handling: attempts beyond each task's first, speculative
+  // duplicate chains launched, and tasks that exhausted their retry
+  // budget (also published as the engine.task_retries /
+  // engine.speculative_launches / engine.tasks_failed counters).
+  uint64_t task_retries = 0;
+  uint64_t speculative_launches = 0;
+  uint64_t tasks_failed = 0;
 };
 
 // One named phase of a job's wall time, with the bytes that phase

@@ -146,6 +146,9 @@ Result<IndexBuildResult> BuildIndexArtifact(
     sort_opts.metric_label = "index_sort";
     index::ExternalSorter sorter(sort_opts);
 
+    // Artifacts are written to a temp sibling and renamed into place
+    // once complete, so a crashed build never leaves a torn artifact
+    // at a path the catalog could later trust.
     std::unique_ptr<columnar::SeqFileWriter> sibling;
     std::string sibling_path;
     if (spec.projection && !spec.clustered) {
@@ -156,7 +159,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
       meta.field_map = kept;
       meta.has_key_slot = true;
       MANIMAL_ASSIGN_OR_RETURN(
-          sibling, columnar::SeqFileWriter::Create(sibling_path, meta));
+          sibling, columnar::SeqFileWriter::Create(
+                       sibling_path + ".inprogress", meta));
     }
 
     MANIMAL_ASSIGN_OR_RETURN(columnar::SeqFileReader::RecordStream stream,
@@ -204,6 +208,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
       result.entry.base_path = "";
     } else if (sibling != nullptr) {
       MANIMAL_ASSIGN_OR_RETURN(sibling_bytes, sibling->Finish());
+      MANIMAL_RETURN_IF_ERROR(
+          RenameFile(sibling_path + ".inprogress", sibling_path));
       result.entry.base_path = sibling_path;
     } else {
       result.entry.base_path = input_path;
@@ -211,8 +217,9 @@ Result<IndexBuildResult> BuildIndexArtifact(
 
     const std::string artifact_path =
         artifact_dir + "/btree-" + tag + ".idx";
-    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<index::BTreeBuilder> builder,
-                             index::BTreeBuilder::Create(artifact_path));
+    MANIMAL_ASSIGN_OR_RETURN(
+        std::unique_ptr<index::BTreeBuilder> builder,
+        index::BTreeBuilder::Create(artifact_path + ".inprogress"));
     MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<index::SortedStream> sorted,
                              sorter.Finish());
     while (sorted->Valid()) {
@@ -221,6 +228,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
       MANIMAL_RETURN_IF_ERROR(sorted->Next());
     }
     MANIMAL_ASSIGN_OR_RETURN(uint64_t bytes, builder->Finish());
+    MANIMAL_RETURN_IF_ERROR(
+        RenameFile(artifact_path + ".inprogress", artifact_path));
     result.entry.artifact_path = artifact_path;
     result.entry.artifact_bytes = bytes + sibling_bytes;
   } else {
@@ -244,7 +253,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
         artifact_dir + "/seq-" + tag + ".msq";
     MANIMAL_ASSIGN_OR_RETURN(
         std::unique_ptr<columnar::SeqFileWriter> writer,
-        columnar::SeqFileWriter::Create(artifact_path, meta));
+        columnar::SeqFileWriter::Create(artifact_path + ".inprogress",
+                                        meta));
     if (spec.dictionary) writer->set_dict_builder(&dict_builder);
 
     MANIMAL_ASSIGN_OR_RETURN(columnar::SeqFileReader::RecordStream stream,
@@ -259,8 +269,12 @@ Result<IndexBuildResult> BuildIndexArtifact(
       ++result.records;
     }
     MANIMAL_ASSIGN_OR_RETURN(uint64_t bytes, writer->Finish());
+    MANIMAL_RETURN_IF_ERROR(
+        RenameFile(artifact_path + ".inprogress", artifact_path));
     if (spec.dictionary) {
-      MANIMAL_RETURN_IF_ERROR(dict_builder.Save(dict_path));
+      MANIMAL_RETURN_IF_ERROR(dict_builder.Save(dict_path + ".inprogress"));
+      MANIMAL_RETURN_IF_ERROR(
+          RenameFile(dict_path + ".inprogress", dict_path));
       MANIMAL_ASSIGN_OR_RETURN(uint64_t dict_bytes,
                                GetFileSize(dict_path));
       bytes += dict_bytes;

@@ -140,19 +140,27 @@ void Shuffle::OnSpill(uint64_t run_bytes) {
 Result<std::unique_ptr<index::SortedStream>> Shuffle::FinishPartition(
     int p) {
   MANIMAL_CHECK(p >= 0 && p < static_cast<int>(partitions_.size()));
+  // The partition's runs stay owned by the Shuffle (runs on disk, in
+  // -memory tails borrowed by the merge stream), so a failed reduce
+  // task can call FinishPartition again and re-merge from scratch.
+  // All mappers must have sealed before the first call, which is what
+  // keeps the borrowed pointers stable.
   std::vector<std::string> run_paths;
-  std::vector<index::MemoryRun> memory_runs;
+  std::vector<const index::MemoryRun*> memory_runs;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    PartitionState& state = partitions_[p];
+    const PartitionState& state = partitions_[p];
     run_paths = state.run_paths;  // copy: dtor still removes the files
-    memory_runs = std::move(state.memory_runs);
-    state.memory_runs.clear();
+    memory_runs.reserve(state.memory_runs.size());
+    for (const index::MemoryRun& run : state.memory_runs) {
+      memory_runs.push_back(&run);
+    }
   }
   obs::MetricsRegistry::Get()
       .GetHistogram(options_.metric_label + ".merge_fan_in")
       ->Record(static_cast<double>(run_paths.size() + memory_runs.size()));
-  return index::MergeSortedRuns(run_paths, std::move(memory_runs));
+  return index::MergeSortedRunsBorrowed(run_paths,
+                                        std::move(memory_runs));
 }
 
 Shuffle::Stats Shuffle::stats() const {

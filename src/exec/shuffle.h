@@ -96,8 +96,9 @@ class Shuffle {
   std::unique_ptr<Mapper> NewMapper();
 
   // Heap-merges every run and in-memory tail sealed into partition
-  // `p`. Call after all mappers sealed, once per partition; the
-  // Shuffle must outlive the stream.
+  // `p`. Call after all mappers sealed; the Shuffle must outlive the
+  // stream. Re-callable: the partition's runs stay owned by the
+  // Shuffle, so a retried reduce task simply merges again.
   Result<std::unique_ptr<index::SortedStream>> FinishPartition(int p);
 
   Stats stats() const;

@@ -108,25 +108,26 @@ class RunReader {
   bool valid_ = false;
 };
 
-// Cursor over one in-memory sorted run.
+// Cursor over one in-memory sorted run (borrowed: the run outlives
+// the cursor — owned either by the MergeStream or by the caller).
 class MemoryRunCursor {
  public:
-  explicit MemoryRunCursor(MemoryRun run) : run_(std::move(run)) {}
+  explicit MemoryRunCursor(const MemoryRun* run) : run_(run) {}
 
-  bool Valid() const { return pos_ < run_.entries.size(); }
+  bool Valid() const { return pos_ < run_->entries.size(); }
   std::string_view key() const {
-    const MemoryRun::Entry& e = run_.entries[pos_];
-    return std::string_view(run_.arena.data() + e.key_offset, e.key_len);
+    const MemoryRun::Entry& e = run_->entries[pos_];
+    return std::string_view(run_->arena.data() + e.key_offset, e.key_len);
   }
   std::string_view payload() const {
-    const MemoryRun::Entry& e = run_.entries[pos_];
-    return std::string_view(run_.arena.data() + e.payload_offset,
+    const MemoryRun::Entry& e = run_->entries[pos_];
+    return std::string_view(run_->arena.data() + e.payload_offset,
                             e.payload_len);
   }
   void Next() { ++pos_; }
 
  private:
-  MemoryRun run_;
+  const MemoryRun* run_;
   size_t pos_ = 0;
 };
 
@@ -141,11 +142,16 @@ class MemoryRunCursor {
 class MergeStream : public SortedStream {
  public:
   MergeStream(std::vector<std::unique_ptr<RunReader>> runs,
-              std::vector<MemoryRun> memory_runs)
-      : runs_(std::move(runs)) {
-    memory_.reserve(memory_runs.size());
-    for (MemoryRun& run : memory_runs) {
-      memory_.emplace_back(std::move(run));
+              std::vector<MemoryRun> owned_memory_runs,
+              std::vector<const MemoryRun*> borrowed_memory_runs)
+      : runs_(std::move(runs)),
+        owned_memory_(std::move(owned_memory_runs)) {
+    memory_.reserve(owned_memory_.size() + borrowed_memory_runs.size());
+    for (const MemoryRun& run : owned_memory_) {
+      memory_.emplace_back(&run);
+    }
+    for (const MemoryRun* run : borrowed_memory_runs) {
+      memory_.emplace_back(run);
     }
     const size_t n = runs_.size() + memory_.size();
     keys_.resize(n);
@@ -223,11 +229,28 @@ class MergeStream : public SortedStream {
   }
 
   std::vector<std::unique_ptr<RunReader>> runs_;
+  std::vector<MemoryRun> owned_memory_;
   std::vector<MemoryRunCursor> memory_;
   // Current key per source, refreshed when that source advances.
   std::vector<std::string_view> keys_;
   std::vector<size_t> heap_;
 };
+
+Result<std::unique_ptr<SortedStream>> OpenMergeStream(
+    const std::vector<std::string>& run_paths,
+    std::vector<MemoryRun> owned_memory_runs,
+    std::vector<const MemoryRun*> borrowed_memory_runs) {
+  std::vector<std::unique_ptr<RunReader>> runs;
+  runs.reserve(run_paths.size());
+  for (const std::string& path : run_paths) {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> r,
+                             RunReader::Open(path));
+    runs.push_back(std::move(r));
+  }
+  return std::unique_ptr<SortedStream>(
+      new MergeStream(std::move(runs), std::move(owned_memory_runs),
+                      std::move(borrowed_memory_runs)));
+}
 
 }  // namespace
 
@@ -255,26 +278,40 @@ void SpillBuffer::SortEntries() {
 
 Result<uint64_t> SpillBuffer::SpillToFile(const std::string& path) {
   SortEntries();
-  MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
-                           WritableFile::Create(path));
-  // Batch the encoded entries into block-sized writes.
-  constexpr size_t kWriteBlockBytes = 256u << 10;
-  std::string buf;
-  buf.reserve(std::min<size_t>(kWriteBlockBytes + 1024,
-                               arena_.size() + 10 * entries_.size()));
-  for (const MemoryRun::Entry& e : entries_) {
-    PutVarint32(&buf, e.key_len);
-    buf.append(arena_.data() + e.key_offset, e.key_len);
-    PutVarint32(&buf, e.payload_len);
-    buf.append(arena_.data() + e.payload_offset, e.payload_len);
-    if (buf.size() >= kWriteBlockBytes) {
-      MANIMAL_RETURN_IF_ERROR(f->Append(buf));
-      buf.clear();
+  // Write-temp-then-rename commit: the run becomes visible at `path`
+  // only as a complete file. A crash (or injected fault) at any point
+  // before the rename leaves at most an orphaned .tmp that the next
+  // attempt overwrites.
+  const std::string tmp_path = path + ".tmp";
+  auto write_run = [&]() -> Result<uint64_t> {
+    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                             WritableFile::Create(tmp_path));
+    // Batch the encoded entries into block-sized writes.
+    constexpr size_t kWriteBlockBytes = 256u << 10;
+    std::string buf;
+    buf.reserve(std::min<size_t>(kWriteBlockBytes + 1024,
+                                 arena_.size() + 10 * entries_.size()));
+    for (const MemoryRun::Entry& e : entries_) {
+      PutVarint32(&buf, e.key_len);
+      buf.append(arena_.data() + e.key_offset, e.key_len);
+      PutVarint32(&buf, e.payload_len);
+      buf.append(arena_.data() + e.payload_offset, e.payload_len);
+      if (buf.size() >= kWriteBlockBytes) {
+        MANIMAL_RETURN_IF_ERROR(f->Append(buf));
+        buf.clear();
+      }
     }
+    if (!buf.empty()) MANIMAL_RETURN_IF_ERROR(f->Append(buf));
+    const uint64_t run_bytes = f->bytes_written();
+    MANIMAL_RETURN_IF_ERROR(f->Close());
+    MANIMAL_RETURN_IF_ERROR(RenameFile(tmp_path, path));
+    return run_bytes;
+  };
+  Result<uint64_t> run_bytes = write_run();
+  if (!run_bytes.ok()) {
+    (void)RemoveFileIfExists(tmp_path);
+    return run_bytes;
   }
-  if (!buf.empty()) MANIMAL_RETURN_IF_ERROR(f->Append(buf));
-  const uint64_t run_bytes = f->bytes_written();
-  MANIMAL_RETURN_IF_ERROR(f->Close());
   entries_.clear();
   arena_.clear();
   return run_bytes;
@@ -295,15 +332,13 @@ MemoryRun SpillBuffer::TakeSortedRun() {
 Result<std::unique_ptr<SortedStream>> MergeSortedRuns(
     const std::vector<std::string>& run_paths,
     std::vector<MemoryRun> memory_runs) {
-  std::vector<std::unique_ptr<RunReader>> runs;
-  runs.reserve(run_paths.size());
-  for (const std::string& path : run_paths) {
-    MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> r,
-                             RunReader::Open(path));
-    runs.push_back(std::move(r));
-  }
-  return std::unique_ptr<SortedStream>(
-      new MergeStream(std::move(runs), std::move(memory_runs)));
+  return OpenMergeStream(run_paths, std::move(memory_runs), {});
+}
+
+Result<std::unique_ptr<SortedStream>> MergeSortedRunsBorrowed(
+    const std::vector<std::string>& run_paths,
+    std::vector<const MemoryRun*> memory_runs) {
+  return OpenMergeStream(run_paths, {}, std::move(memory_runs));
 }
 
 // ---------------- ExternalSorter ----------------

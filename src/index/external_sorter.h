@@ -68,7 +68,10 @@ class SpillBuffer {
 
   // Sorts the buffered entries and writes them as a run file
   // (varint-length-prefixed key/payload pairs), clearing the buffer.
-  // Returns the file's byte size.
+  // Returns the file's byte size. The run is written to a sibling
+  // temp file and renamed into place, so `path` either holds a
+  // complete run or does not exist — a task killed (or fault-injected)
+  // mid-spill can never leave a torn run a later merge reads as valid.
   Result<uint64_t> SpillToFile(const std::string& path);
 
   // Sorts the buffered entries and moves them out as an in-memory
@@ -91,6 +94,15 @@ class SpillBuffer {
 Result<std::unique_ptr<SortedStream>> MergeSortedRuns(
     const std::vector<std::string>& run_paths,
     std::vector<MemoryRun> memory_runs);
+
+// As MergeSortedRuns, but borrows the in-memory runs instead of
+// consuming them: the caller keeps them alive (and unmodified) until
+// the stream is destroyed, and may merge the same runs again later.
+// This is what makes a failed reduce task retryable — the shuffle
+// retains each partition's memory runs and can re-merge on demand.
+Result<std::unique_ptr<SortedStream>> MergeSortedRunsBorrowed(
+    const std::vector<std::string>& run_paths,
+    std::vector<const MemoryRun*> memory_runs);
 
 class ExternalSorter {
  public:

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/coding.h"
+#include "common/faulty_env.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "common/threadpool.h"
@@ -336,6 +337,124 @@ TEST(StatusTest, ResultHoldsValueOrStatus) {
   Result<int> err_result = Status::Internal("boom");
   EXPECT_FALSE(err_result.ok());
   EXPECT_EQ(err_result.status().code(), StatusCode::kInternal);
+}
+
+// ---------------- fault injection plumbing ----------------
+
+TEST(FaultyEnvTest, DisabledAndUnarmedInjectNothing) {
+  // Disabled entirely.
+  EXPECT_FALSE(FaultyEnv::Active());
+  EXPECT_OK(FaultyEnv::Get().MaybeInject(FaultOp::kWrite, "/x"));
+  // Enabled but this thread never armed: still inert.
+  FaultyEnv::Config config;
+  config.rate = 1.0;
+  ScopedFaultInjection inject(config);
+  EXPECT_FALSE(FaultyEnv::Active());
+  EXPECT_EQ(FaultyEnv::Get().stats().evaluated, 0u);
+}
+
+TEST(FaultyEnvTest, ScheduleIsDeterministicForASeed) {
+  auto decisions = [](uint64_t seed) {
+    FaultyEnv::Config config;
+    config.seed = seed;
+    config.rate = 0.3;
+    ScopedFaultInjection inject(config);
+    ScopedFaultArming arm;
+    std::string out;
+    for (int i = 0; i < 64; ++i) {
+      out += FaultyEnv::Get()
+                     .MaybeInject(FaultOp::kWrite, "/some/file")
+                     .ok()
+                 ? '.'
+                 : 'X';
+    }
+    return out;
+  };
+  const std::string a = decisions(7);
+  EXPECT_EQ(a, decisions(7));       // same seed: same schedule
+  EXPECT_NE(a, decisions(8));       // different seed: different one
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultyEnvTest, FailNthFiresExactlyOnce) {
+  FaultyEnv::Config config;
+  config.fail_nth = 3;
+  ScopedFaultInjection inject(config);
+  ScopedFaultArming arm;
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    Status s = FaultyEnv::Get().MaybeInject(FaultOp::kRead, "/f");
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsIOError());
+      EXPECT_EQ(i, 2);  // the third evaluation
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(FaultyEnv::Get().stats().injected, 1u);
+  EXPECT_EQ(FaultyEnv::Get().stats().evaluated, 10u);
+}
+
+TEST(FaultyEnvTest, ShortWritePersistsAPrefix) {
+  FaultyEnv::Config config;
+  config.rate = 1.0;
+  config.seed = 11;
+  ScopedFaultInjection inject(config);
+  ScopedFaultArming arm;
+  size_t prefix = 999;
+  Status s = FaultyEnv::Get().MaybeInjectWrite("/f", 100, &prefix);
+  ASSERT_FALSE(s.ok());
+  EXPECT_LT(prefix, 100u);  // a torn write never persists everything
+}
+
+TEST(FaultyEnvTest, ArmingNestsAndRestores) {
+  FaultyEnv::Config config;
+  config.rate = 0;
+  ScopedFaultInjection inject(config);
+  EXPECT_FALSE(FaultyEnv::Active());
+  {
+    ScopedFaultArming outer;
+    EXPECT_TRUE(FaultyEnv::Active());
+    {
+      ScopedFaultArming inner;
+      EXPECT_TRUE(FaultyEnv::Active());
+    }
+    EXPECT_TRUE(FaultyEnv::Active());
+  }
+  EXPECT_FALSE(FaultyEnv::Active());
+}
+
+TEST(FaultyEnvTest, ConfigFromEnvOverridesDefaults) {
+  FaultyEnv::Config defaults;
+  defaults.seed = 1;
+  defaults.rate = 0.5;
+  setenv("MANIMAL_FAULT_SEED", "42", 1);
+  setenv("MANIMAL_FAULT_RATE", "0.25", 1);
+  FaultyEnv::Config config = FaultyEnv::ConfigFromEnv(defaults);
+  unsetenv("MANIMAL_FAULT_SEED");
+  unsetenv("MANIMAL_FAULT_RATE");
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_DOUBLE_EQ(config.rate, 0.25);
+}
+
+TEST(FaultyEnvTest, RealIoFailsUnderInjectionAndRecovers) {
+  testing::TempDir dir("faultyenv");
+  const std::string path = dir.file("f");
+  {
+    FaultyEnv::Config config;
+    config.rate = 1.0;
+    ScopedFaultInjection inject(config);
+    ScopedFaultArming arm;
+    auto file = WritableFile::Create(path);
+    EXPECT_FALSE(file.ok());  // open itself is a fault site
+  }
+  // Injection gone: the same call succeeds.
+  ASSERT_OK_AND_ASSIGN(auto file, WritableFile::Create(path));
+  ASSERT_OK(file->Append("hello"));
+  ASSERT_OK(file->Close());
+  ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(path));
+  EXPECT_EQ(data, "hello");
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+// The differential plan-equivalence harness (docs/testing.md): seeded
+// random MRIL programs are executed through the naive full-scan
+// baseline AND through every optimizer-selected plan (each synthesized
+// index artifact gets its own fresh catalog so the optimizer actually
+// picks it), and the outputs must be byte-identical as sorted pair
+// multisets — with and without fault injection. A mismatch means some
+// optimization changed program semantics; a job failure under
+// injection means task retry failed to mask a fault.
+//
+// Reproduce a failure locally with the seed from the test name /
+// failure message, e.g.:
+//   MANIMAL_FAULT_SEED=3 ctest -R DifferentialFault --output-on-failure
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/index_gen.h"
+#include "common/faulty_env.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "mril/verifier.h"
+#include "tests/mril_gen.h"
+#include "tests/test_util.h"
+#include "workloads/datagen.h"
+
+namespace manimal {
+namespace {
+
+using testing::GeneratedProgram;
+using testing::TempDir;
+
+constexpr int64_t kRankRange = 1000;
+
+// Shared input file: generating WebPages once keeps the harness fast.
+class DifferentialHarness : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("differential");
+    workloads::WebPagesOptions gen;
+    gen.num_pages = 1500;
+    gen.content_len = 48;
+    gen.rank_range = kRankRange;
+    ASSERT_OK(
+        workloads::GenerateWebPages(input_path(), gen).status());
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+  static std::string input_path() { return dir_->file("pages.msq"); }
+
+  static core::ManimalSystem::Options SystemOptions(
+      const std::string& workspace) {
+    core::ManimalSystem::Options options;
+    options.workspace_dir = workspace;
+    options.map_parallelism = 2;
+    options.num_partitions = 2;
+    options.simulated_startup_seconds = 0;
+    options.simulated_disk_bytes_per_sec = 0;
+    // Under injection a task may need many attempts before it sees a
+    // fault-free window; backoff off keeps the harness fast.
+    options.max_task_attempts = 16;
+    options.retry_backoff_ms = 0;
+    return options;
+  }
+
+  // Runs `seed`'s generated program through the baseline and through
+  // one plan per synthesized index artifact, asserting byte-identical
+  // canonical output each time. Returns the number of optimizer plans
+  // exercised (excluding the baseline).
+  void RunSeed(uint64_t seed, const TempDir& scratch) {
+    GeneratedProgram gen =
+        testing::GenerateWebPagesProgram(seed, kRankRange);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " shape:" +
+                 gen.description);
+    ASSERT_OK(mril::VerifyProgram(gen.program));
+
+    const std::string tag = "s" + std::to_string(seed);
+    // Naive full scan: the ground truth.
+    std::vector<std::string> canonical;
+    {
+      ASSERT_OK_AND_ASSIGN(
+          auto system, core::ManimalSystem::Open(SystemOptions(
+                           scratch.file(tag + "-ws-baseline"))));
+      core::ManimalSystem::Submission job;
+      job.program = gen.program;
+      job.input_path = input_path();
+      job.output_path = scratch.file(tag + "-baseline.prs");
+      ASSERT_OK(system->RunBaseline(job).status());
+      ASSERT_OK_AND_ASSIGN(canonical,
+                           exec::ReadCanonicalPairs(job.output_path));
+    }
+
+    // Plan 0: the optimizer over an empty catalog (map-side rewrites
+    // only). Plans 1..N: one per synthesized index artifact, each in
+    // a fresh workspace so the optimizer considers exactly that
+    // artifact.
+    ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(gen.program));
+    std::vector<analyzer::IndexGenProgram> specs =
+        analyzer::SynthesizeIndexPrograms(gen.program, report);
+    for (size_t plan = 0; plan <= specs.size(); ++plan) {
+      SCOPED_TRACE("plan " + std::to_string(plan) + " of " +
+                   std::to_string(specs.size()));
+      const std::string plan_tag = tag + "-p" + std::to_string(plan);
+      ASSERT_OK_AND_ASSIGN(
+          auto system, core::ManimalSystem::Open(SystemOptions(
+                           scratch.file(plan_tag + "-ws"))));
+      if (plan > 0) {
+        ASSERT_OK(
+            system->BuildIndex(specs[plan - 1], input_path()).status());
+      }
+      core::ManimalSystem::Submission job;
+      job.program = gen.program;
+      job.input_path = input_path();
+      job.output_path = scratch.file(plan_tag + ".prs");
+      ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+      ASSERT_OK_AND_ASSIGN(auto pairs,
+                           exec::ReadCanonicalPairs(job.output_path));
+      EXPECT_EQ(pairs, canonical)
+          << "plan '" << outcome.plan.explanation
+          << "' changed the output multiset";
+    }
+  }
+
+  static TempDir* dir_;
+};
+
+TempDir* DifferentialHarness::dir_ = nullptr;
+
+TEST_F(DifferentialHarness, PlansMatchBaseline) {
+  TempDir scratch("diff-plain");
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RunSeed(seed, scratch);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(DifferentialHarness, PlansMatchBaselineUnderFaultInjection) {
+  // Defaults overridable via MANIMAL_FAULT_SEED / MANIMAL_FAULT_RATE
+  // (the CI fault matrix sweeps the seed).
+  FaultyEnv::Config defaults;
+  defaults.seed = 1;
+  defaults.rate = 0.02;
+  const FaultyEnv::Config config = FaultyEnv::ConfigFromEnv(defaults);
+  ASSERT_GT(config.rate, 0.0);
+
+  TempDir scratch("diff-fault");
+  {
+    ScopedFaultInjection inject(config);
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RunSeed(seed, scratch);
+      if (::testing::Test::HasFatalFailure()) break;
+    }
+    // The schedule must have actually fired: a passing run with zero
+    // injected faults would prove nothing.
+    const FaultyEnv::Stats stats = FaultyEnv::Get().stats();
+    EXPECT_GT(stats.evaluated, 0u);
+    EXPECT_GT(stats.injected, 0u)
+        << "fault schedule never fired; raise MANIMAL_FAULT_RATE";
+  }
+
+  // The retries that masked those faults are visible in telemetry.
+  const std::string metrics = core::ManimalSystem::DumpMetricsJson();
+  EXPECT_NE(metrics.find("engine.task_retries"), std::string::npos);
+  EXPECT_NE(metrics.find("engine.tasks_failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manimal

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analyzer/analyzer.h"
 #include "columnar/seqfile.h"
 #include "common/random.h"
@@ -209,6 +211,98 @@ TEST(DecoderFuzz, RandomBytesNeverCrashDecodeValue) {
     (void)DecodeOrderedKey(bytes, &k);
   }
 }
+
+// ---------------- regression corpus mutation fuzz ----------------
+//
+// tests/corpus/ holds known-good assembler programs; random byte
+// mutations of them must either be rejected with a clean Status or
+// assemble into a verified program that executes without UB. The
+// corpus path is baked in by CMake so the tests run from any cwd.
+
+#ifndef MANIMAL_TEST_CORPUS_DIR
+#define MANIMAL_TEST_CORPUS_DIR "tests/corpus"
+#endif
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> paths;
+  auto names = ListDir(MANIMAL_TEST_CORPUS_DIR);
+  if (!names.ok()) return paths;
+  for (const std::string& name : *names) {
+    if (name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".mril") == 0) {
+      paths.push_back(std::string(MANIMAL_TEST_CORPUS_DIR) + "/" + name);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void RunProgramOnSampleRow(const mril::Program& p) {
+  mril::VmOptions options;
+  options.max_steps_per_invocation = 100000;
+  mril::VmInstance vm(&p, options);
+  vm.set_emit_sink(
+      [](const Value&, const Value&) { return Status::OK(); });
+  Value row = Value::List(
+      {Value::Str("http://www.page42.com/"), Value::I64(77),
+       Value::Str("lorem 42 ipsum")});
+  (void)vm.InvokeMap(Value::I64(0), row);  // any Status; no crash
+}
+
+TEST(CorpusFuzz, CorpusProgramsAssembleVerifyAndRun) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_GE(files.size(), 4u)
+      << "corpus missing at " << MANIMAL_TEST_CORPUS_DIR;
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(path));
+    ASSERT_OK_AND_ASSIGN(mril::Program program,
+                         mril::AssembleProgram(text));
+    EXPECT_OK(mril::VerifyProgram(program));
+    RunProgramOnSampleRow(program);
+  }
+}
+
+class CorpusMutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusMutationFuzz, MutatedCorpusRejectsCleanlyOrRuns) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  Rng rng(GetParam() * 7919 + 17);
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    ASSERT_OK_AND_ASSIGN(std::string original, ReadFileToString(path));
+    for (int trial = 0; trial < 120; ++trial) {
+      std::string mutated = original;
+      switch (rng.Uniform(3)) {
+        case 0:  // flip a few bytes
+          for (int k = 0; k < 1 + static_cast<int>(rng.Uniform(4));
+               ++k) {
+            mutated[rng.Uniform(mutated.size())] =
+                static_cast<char>(rng.Uniform(256));
+          }
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.Uniform(mutated.size()));
+          break;
+        default: {  // splice a random slice over a random position
+          size_t src = rng.Uniform(mutated.size());
+          size_t len = rng.Uniform(32);
+          size_t dst = rng.Uniform(mutated.size());
+          mutated.insert(dst, mutated.substr(src, len));
+          break;
+        }
+      }
+      auto result = mril::AssembleProgram(mutated);  // must not crash
+      if (!result.ok()) continue;  // clean rejection
+      EXPECT_OK(mril::VerifyProgram(*result));
+      RunProgramOnSampleRow(*result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusMutationFuzz,
+                         ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace manimal

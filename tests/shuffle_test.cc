@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/faulty_env.h"
 #include "common/random.h"
 #include "obs/metrics.h"
 #include "serde/key_codec.h"
@@ -207,6 +208,199 @@ TEST(GroupIteratorTest, GroupsKeysAndSortsValuesCanonically) {
     ++expected_key;
   }
   EXPECT_EQ(expected_key, 40);
+}
+
+// ---------------- fault injection at every spill/merge/seal site ----
+
+// Drains a merged partition stream into (key, payload) pairs.
+Result<std::vector<std::pair<std::string, std::string>>> Collect(
+    Shuffle* shuffle, int partition) {
+  MANIMAL_ASSIGN_OR_RETURN(auto stream,
+                           shuffle->FinishPartition(partition));
+  std::vector<std::pair<std::string, std::string>> out;
+  while (stream->Valid()) {
+    out.emplace_back(std::string(stream->key()),
+                     std::string(stream->payload()));
+    MANIMAL_RETURN_IF_ERROR(stream->Next());
+  }
+  return out;
+}
+
+TEST(ShuffleFaultTest, SpillFaultLeavesBufferIntactAndNoTornRun) {
+  // Sweep every IO operation of one spill (open, block writes, close,
+  // rename): each must leave the buffer intact and the target path
+  // absent, so the caller can simply spill again.
+  TempDir dir("shuffle-fault1");
+  auto fill = [] {
+    index::SpillBuffer buffer;
+    for (int i = 0; i < 300; ++i) {
+      buffer.Add(Key(i % 37), Payload(i));
+    }
+    return buffer;
+  };
+
+  // Calibrate the number of armed operations in one clean spill.
+  uint64_t num_sites = 0;
+  {
+    index::SpillBuffer buffer = fill();
+    FaultyEnv::Config count_only;
+    count_only.rate = 0;
+    ScopedFaultInjection inject(count_only);
+    ScopedFaultArming arm;
+    ASSERT_OK(buffer.SpillToFile(dir.file("calibrate.run")).status());
+    num_sites = FaultyEnv::Get().stats().evaluated;
+  }
+  ASSERT_GT(num_sites, 0u);
+
+  for (uint64_t nth = 1; nth <= num_sites; ++nth) {
+    SCOPED_TRACE("injection site " + std::to_string(nth));
+    index::SpillBuffer buffer = fill();
+    const uint64_t entries = buffer.num_entries();
+    const std::string path =
+        dir.file("run-" + std::to_string(nth) + ".sort");
+    {
+      FaultyEnv::Config config;
+      config.fail_nth = nth;
+      ScopedFaultInjection inject(config);
+      ScopedFaultArming arm;
+      auto result = buffer.SpillToFile(path);
+      ASSERT_FALSE(result.ok());
+      EXPECT_TRUE(result.status().IsIOError())
+          << result.status().ToString();
+      EXPECT_EQ(FaultyEnv::Get().stats().injected, 1u);
+    }
+    // The failed spill is invisible: buffer untouched, no run file,
+    // no temp sibling.
+    EXPECT_EQ(buffer.num_entries(), entries);
+    EXPECT_FALSE(FileExists(path));
+    EXPECT_FALSE(FileExists(path + ".tmp"));
+    // Retrying the identical spill succeeds and yields a sorted run.
+    ASSERT_OK(buffer.SpillToFile(path).status());
+    ASSERT_OK_AND_ASSIGN(
+        auto stream, index::MergeSortedRuns({path}, {}));
+    uint64_t read = 0;
+    std::string prev;
+    while (stream->Valid()) {
+      EXPECT_LE(prev, std::string(stream->key()));
+      prev = stream->key();
+      ++read;
+      ASSERT_OK(stream->Next());
+    }
+    EXPECT_EQ(read, entries);
+  }
+}
+
+TEST(ShuffleFaultTest, MapperRetryAfterSpillFaultMatchesFaultFree) {
+  // The engine's map-task retry in miniature: a fault anywhere in a
+  // mapper's feed (spills happen mid-Add) abandons the mapper — its
+  // destructor removes its runs — and a fresh mapper replays the same
+  // pairs. The merged partition must equal the fault-free run.
+  TempDir dir("shuffle-fault2");
+  auto make_options = [&](const std::string& sub) {
+    Shuffle::Options opts;
+    opts.temp_dir = dir.file(sub);
+    EXPECT_OK(CreateDirIfMissing(opts.temp_dir));
+    opts.num_partitions = 2;
+    opts.mapper_budget_bytes = 1 << 10;  // force frequent spills
+    return opts;
+  };
+  auto feed = [](Shuffle::Mapper* mapper) -> Status {
+    for (int i = 0; i < 800; ++i) {
+      MANIMAL_RETURN_IF_ERROR(
+          mapper->Add(i % 2, Key(i % 53), Payload(i)));
+    }
+    return Status::OK();
+  };
+
+  // Fault-free reference.
+  std::vector<std::pair<std::string, std::string>> expect[2];
+  {
+    Shuffle shuffle(make_options("ref"));
+    auto mapper = shuffle.NewMapper();
+    ASSERT_OK(feed(mapper.get()));
+    ASSERT_OK(mapper->Seal());
+    ASSERT_GT(shuffle.stats().spilled_runs, 0u);
+    for (int p = 0; p < 2; ++p) {
+      ASSERT_OK_AND_ASSIGN(expect[p], Collect(&shuffle, p));
+    }
+  }
+
+  // Calibrate armed operations during one clean feed.
+  uint64_t num_sites = 0;
+  {
+    Shuffle shuffle(make_options("calibrate"));
+    FaultyEnv::Config count_only;
+    count_only.rate = 0;
+    ScopedFaultInjection inject(count_only);
+    ScopedFaultArming arm;
+    auto mapper = shuffle.NewMapper();
+    ASSERT_OK(feed(mapper.get()));
+    ASSERT_OK(mapper->Seal());
+    num_sites = FaultyEnv::Get().stats().evaluated;
+  }
+  ASSERT_GT(num_sites, 0u);
+
+  const uint64_t step = std::max<uint64_t>(1, num_sites / 20);
+  for (uint64_t nth = 1; nth <= num_sites; nth += step) {
+    SCOPED_TRACE("injection site " + std::to_string(nth));
+    Shuffle shuffle(make_options("site-" + std::to_string(nth)));
+    {
+      FaultyEnv::Config config;
+      config.fail_nth = nth;
+      ScopedFaultInjection inject(config);
+      ScopedFaultArming arm;
+      auto mapper = shuffle.NewMapper();
+      Status fed = feed(mapper.get());
+      if (!fed.ok()) {
+        ASSERT_TRUE(fed.IsIOError()) << fed.ToString();
+        mapper.reset();  // abandoned attempt cleans its runs
+        mapper = shuffle.NewMapper();
+        ASSERT_OK(feed(mapper.get()));  // the single fault already fired
+      }
+      ASSERT_OK(mapper->Seal());
+    }
+    for (int p = 0; p < 2; ++p) {
+      ASSERT_OK_AND_ASSIGN(auto got, Collect(&shuffle, p));
+      EXPECT_EQ(got, expect[p]) << "partition " << p;
+    }
+  }
+}
+
+TEST(ShuffleFaultTest, FinishPartitionIsRecallableAfterMergeFault) {
+  // A reduce-task retry in miniature: the first merge dies on an
+  // injected read fault; calling FinishPartition again re-merges the
+  // same runs (they stay owned by the Shuffle) and streams everything.
+  TempDir dir("shuffle-fault3");
+  Shuffle::Options opts;
+  opts.temp_dir = dir.path();
+  opts.num_partitions = 1;
+  opts.mapper_budget_bytes = 1 << 10;  // force on-disk runs
+  Shuffle shuffle(opts);
+  auto mapper = shuffle.NewMapper();
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_OK(mapper->Add(0, Key(i % 53), Payload(i)));
+  }
+  ASSERT_OK(mapper->Seal());
+  ASSERT_GT(shuffle.stats().spilled_runs, 0u);
+
+  {
+    FaultyEnv::Config config;
+    config.rate = 1.0;  // the first armed read fails immediately
+    ScopedFaultInjection inject(config);
+    ScopedFaultArming arm;
+    auto attempt = [&]() -> Status {
+      return Collect(&shuffle, 0).status();
+    }();
+    ASSERT_FALSE(attempt.ok());
+    ASSERT_TRUE(attempt.IsIOError()) << attempt.ToString();
+    EXPECT_GT(FaultyEnv::Get().stats().injected, 0u);
+  }
+
+  ASSERT_OK_AND_ASSIGN(auto got, Collect(&shuffle, 0));
+  EXPECT_EQ(got.size(), 800u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].first, got[i].first);
+  }
 }
 
 }  // namespace
