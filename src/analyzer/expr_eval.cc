@@ -37,7 +37,9 @@ Result<Value> EvalOp(Opcode op, const std::vector<Value>& args) {
   const Value& b = args[1];
   switch (op) {
     case Opcode::kAdd:
-      if (a.is_str() && b.is_str()) return Value::Str(a.str() + b.str());
+      if (a.is_str() && b.is_str()) {
+        return Value::Str(std::string(a.str()) + std::string(b.str()));
+      }
       [[fallthrough]];
     case Opcode::kSub:
     case Opcode::kMul:
@@ -159,7 +161,7 @@ Result<Value> EvalExpr(const ExprRef& expr, const Value& key,
         args.push_back(std::move(v));
       }
       Value out;
-      MANIMAL_RETURN_IF_ERROR(expr->builtin->fn(args, &out));
+      MANIMAL_RETURN_IF_ERROR(expr->builtin->fn(args.data(), &out));
       return out;
     }
   }

@@ -329,10 +329,11 @@ Result<SeqFileReader::RecordStream> SeqFileReader::Scan(
 
 Status SeqFileReader::DecodeStored(std::string_view* in,
                                    std::vector<int64_t>* delta_prev,
-                                   Record* out) const {
+                                   Record* out,
+                                   bool borrow_strings) const {
   out->clear();
   if (meta_.stored_schema.opaque()) {
-    return DecodeRecord(meta_.stored_schema, in, out);
+    return DecodeRecord(meta_.stored_schema, in, out, borrow_strings);
   }
   out->reserve(meta_.stored_schema.num_fields());
   size_t delta_index = 0;
@@ -368,7 +369,8 @@ Status SeqFileReader::DecodeStored(std::string_view* in,
       case FieldType::kStr: {
         std::string_view s2;
         MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(in, &s2));
-        out->push_back(Value::Str(std::string(s2)));
+        out->push_back(borrow_strings ? Value::Borrowed(s2)
+                                      : Value::Str(s2));
         break;
       }
       case FieldType::kBool: {
@@ -420,7 +422,8 @@ Result<bool> SeqFileReader::RecordStream::Next(int64_t* key,
   ++next_ordinal_;
   ++record_in_block_;
   MANIMAL_RETURN_IF_ERROR(
-      reader_->DecodeStored(&cursor_, &delta_prev_, record));
+      reader_->DecodeStored(&cursor_, &delta_prev_, record,
+                            borrow_strings_));
   --remaining_;
   return true;
 }

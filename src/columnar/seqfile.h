@@ -159,6 +159,14 @@ class SeqFileReader
 
     uint64_t bytes_read() const { return bytes_read_; }
 
+    // Opt-in zero-copy decode: str fields in records returned by
+    // Next() become Value::Borrowed views into the stream's block
+    // buffer instead of heap copies. The views stay valid until the
+    // next Next() call (which may replace the buffer when it crosses a
+    // block boundary), so the caller must finish with — or ToOwned() —
+    // each record before advancing. Off by default.
+    void set_borrow_strings(bool b) { borrow_strings_ = b; }
+
     // Position of the record most recently returned by Next() —
     // the locator an index can later resolve via BlockAccessor.
     uint64_t current_block() const { return next_block_ - 1; }
@@ -187,6 +195,7 @@ class SeqFileReader
     std::vector<int64_t> delta_prev_;
     uint64_t bytes_read_ = 0;
     int64_t next_ordinal_ = 0;  // synthesized key counter
+    bool borrow_strings_ = false;
   };
 
   // Opens a dedicated file handle for the stream (thread safe across
@@ -233,9 +242,12 @@ class SeqFileReader
 
   Status Init(const std::string& path);
 
-  // Decodes one stored record from *in.
+  // Decodes one stored record from *in. With `borrow_strings`, str
+  // fields are views into *in's backing buffer (see RecordStream::
+  // set_borrow_strings for the lifetime contract).
   Status DecodeStored(std::string_view* in,
-                      std::vector<int64_t>* delta_prev, Record* out) const;
+                      std::vector<int64_t>* delta_prev, Record* out,
+                      bool borrow_strings = false) const;
 
   std::string path_;
   SeqFileMeta meta_;

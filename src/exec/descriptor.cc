@@ -56,9 +56,25 @@ class SeqScanSplit : public InputSplit {
  public:
   SeqScanSplit(columnar::SeqFileReader::RecordStream stream,
                const columnar::SeqFileMeta* meta)
-      : stream_(std::move(stream)), meta_(meta) {}
+      : stream_(std::move(stream)), meta_(meta) {
+    // The map engine consumes each record before advancing (the
+    // InputSplit::Next contract), so str fields can be served as
+    // zero-copy views into the stream's block buffer.
+    stream_.set_borrow_strings(true);
+  }
 
   Result<bool> Next(int64_t* key, Value* value) override {
+    // Steady-state fast path: the engine hands back the same Value each
+    // iteration. When it still holds the previous record's list and
+    // nothing else kept a reference (the VM promotes anything that
+    // escapes, and clears its stack/locals per invocation), decode
+    // straight into that storage — per record this costs zero heap
+    // allocations instead of a fresh shared list + vector.
+    if (!meta_->stored_schema.opaque() && value->has_unique_list()) {
+      MANIMAL_ASSIGN_OR_RETURN(bool more,
+                               stream_.Next(key, &value->mutable_list()));
+      return more;
+    }
     Record record;
     MANIMAL_ASSIGN_OR_RETURN(bool more, stream_.Next(key, &record));
     if (!more) return false;

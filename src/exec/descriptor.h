@@ -75,6 +75,14 @@ class InputSplit {
 
   // Fills *key / *value; false at end. `value` is the runtime record
   // (list value) or opaque blob (str value).
+  //
+  // Lifetime: string content inside *value may be *borrowed* from the
+  // split's current decode buffer — valid only until the next call to
+  // Next() on this split (or the split's destruction). A caller that
+  // retains values across records must ToOwned() them first; the map
+  // engine consumes each record with one VM invocation before
+  // advancing, and the VM promotes anything that escapes the record
+  // (emits, logs, member stores).
   virtual Result<bool> Next(int64_t* key, Value* value) = 0;
 
   virtual uint64_t bytes_read() const = 0;

@@ -516,6 +516,10 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     }
     ++state->records;
     MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
+    if (cfg_.debug_map_record_sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          cfg_.debug_map_record_sleep_ms));
+    }
   }
   if (state->part != nullptr) {
     MANIMAL_RETURN_IF_ERROR(state->part->Finish());

@@ -78,6 +78,11 @@ struct JobConfig {
   bool enable_speculation = true;
   double speculation_factor = 3.0;
   double speculation_min_seconds = 0.25;
+  // Test-only: sleep this long after each map record, simulating slow
+  // user code so straggler-dependent behavior (speculation) can be
+  // exercised deterministically regardless of how fast the VM and the
+  // scan path are. Zero (production) never sleeps.
+  double debug_map_record_sleep_ms = 0.0;
 };
 
 struct JobCounters {

@@ -15,7 +15,6 @@
 #ifndef MANIMAL_MRIL_BUILTINS_H_
 #define MANIMAL_MRIL_BUILTINS_H_
 
-#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,8 +24,12 @@
 
 namespace manimal::mril {
 
-using BuiltinFn =
-    std::function<Status(const std::vector<Value>& args, Value* result)>;
+// Builtins receive their arguments as a raw span (`args[0..arity)`)
+// so the VM can pass a slice of its operand stack directly — no
+// per-call vector. A plain function pointer (every builtin is a
+// captureless lambda) keeps the call a single indirect jump.
+// `result` never aliases `args`.
+using BuiltinFn = Status (*)(const Value* args, Value* result);
 
 struct Builtin {
   int id;
@@ -57,12 +60,26 @@ class BuiltinRegistry {
   std::vector<Builtin> builtins_;
 };
 
+// Invalidates the thread's memoized-scan state for *borrowed* string
+// arguments (currently the str.word_at sequential-tokenization memo).
+// Borrowed strings are identified only by (pointer, length), which is
+// unambiguous while their backing buffers are live but can collide
+// once a buffer is reclaimed and reused. The VM calls this at every
+// invocation entry — the same boundary at which it resets the arena
+// and record buffers may be recycled — so a memo never outlives the
+// buffers that vouch for its key. Owned strings are keyed by
+// shared_ptr identity (with a keepalive reference) and need no
+// invalidation.
+void InvalidateBorrowedStringMemos();
+
 // A mutable string->Value map object, reachable from MRIL code through
 // kHandle values (the Java Hashtable stand-in).
 class HashtableObject : public ObjectHandle {
  public:
   std::string TypeName() const override { return "hashtable"; }
 
+  // Stored key/value are promoted with ToOwned(): the table outlives
+  // the record whose buffer a borrowed argument may point into.
   void Put(const Value& key, const Value& value);
   bool Contains(const Value& key) const;
   Value Get(const Value& key) const;  // Null if absent

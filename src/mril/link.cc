@@ -1,0 +1,377 @@
+#include "mril/link.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace manimal::mril {
+
+namespace {
+
+constexpr std::string_view kLOpNames[] = {
+#define MANIMAL_LOP_NAME(name) #name,
+    MANIMAL_LOP_LIST(MANIMAL_LOP_NAME)
+#undef MANIMAL_LOP_NAME
+};
+
+Status LinkErr(const Function& fn, int pc, const std::string& msg) {
+  return Status::InvalidArgument(StrPrintf(
+      "link %s@%d: %s", fn.name.c_str(), pc, msg.c_str()));
+}
+
+LOp CmpBrOp(Opcode cmp) {
+  switch (cmp) {
+    case Opcode::kCmpLt:
+      return LOp::kCmpLtBr;
+    case Opcode::kCmpLe:
+      return LOp::kCmpLeBr;
+    case Opcode::kCmpGt:
+      return LOp::kCmpGtBr;
+    case Opcode::kCmpGe:
+      return LOp::kCmpGeBr;
+    case Opcode::kCmpEq:
+      return LOp::kCmpEqBr;
+    case Opcode::kCmpNe:
+      return LOp::kCmpNeBr;
+    default:
+      return LOp::kFellOffEnd;  // not a comparison; never asked
+  }
+}
+
+// Straight Opcode -> LOp renames (everything except kNop, get_field
+// resolution, and the fusion pairs handled inline below).
+LOp PlainLOp(Opcode op) {
+  switch (op) {
+    case Opcode::kLoadConst:
+      return LOp::kLoadConst;
+    case Opcode::kLoadParam:
+      return LOp::kLoadParam;
+    case Opcode::kLoadLocal:
+      return LOp::kLoadLocal;
+    case Opcode::kStoreLocal:
+      return LOp::kStoreLocal;
+    case Opcode::kLoadMember:
+      return LOp::kLoadMember;
+    case Opcode::kStoreMember:
+      return LOp::kStoreMember;
+    case Opcode::kGetField:
+      return LOp::kGetField;
+    case Opcode::kDup:
+      return LOp::kDup;
+    case Opcode::kPop:
+      return LOp::kPop;
+    case Opcode::kSwap:
+      return LOp::kSwap;
+    case Opcode::kAdd:
+      return LOp::kAdd;
+    case Opcode::kSub:
+      return LOp::kSub;
+    case Opcode::kMul:
+      return LOp::kMul;
+    case Opcode::kDiv:
+      return LOp::kDiv;
+    case Opcode::kMod:
+      return LOp::kMod;
+    case Opcode::kNeg:
+      return LOp::kNeg;
+    case Opcode::kCmpLt:
+      return LOp::kCmpLt;
+    case Opcode::kCmpLe:
+      return LOp::kCmpLe;
+    case Opcode::kCmpGt:
+      return LOp::kCmpGt;
+    case Opcode::kCmpGe:
+      return LOp::kCmpGe;
+    case Opcode::kCmpEq:
+      return LOp::kCmpEq;
+    case Opcode::kCmpNe:
+      return LOp::kCmpNe;
+    case Opcode::kAnd:
+      return LOp::kAnd;
+    case Opcode::kOr:
+      return LOp::kOr;
+    case Opcode::kNot:
+      return LOp::kNot;
+    case Opcode::kJmp:
+      return LOp::kJmp;
+    case Opcode::kJmpIfTrue:
+      return LOp::kJmpIfTrue;
+    case Opcode::kJmpIfFalse:
+      return LOp::kJmpIfFalse;
+    case Opcode::kCall:
+      return LOp::kCall;
+    case Opcode::kEmit:
+      return LOp::kEmit;
+    case Opcode::kLog:
+      return LOp::kLog;
+    case Opcode::kReturn:
+      return LOp::kReturn;
+    case Opcode::kNop:
+      return LOp::kFellOffEnd;  // dropped; never asked
+  }
+  return LOp::kFellOffEnd;
+}
+
+Result<LinkedFunction> LinkFunction(const Program& program,
+                                    const Function& fn, bool is_map,
+                                    const LinkOptions& options) {
+  const int n = static_cast<int>(fn.code.size());
+  const bool remap =
+      is_map && !options.field_remap.empty();
+  const BuiltinRegistry& registry = BuiltinRegistry::Get();
+
+  // Which old pcs are jump targets (fusing across one would let a
+  // branch land in the middle of a superinstruction).
+  std::vector<char> is_target(n + 1, 0);
+  for (const Instruction& inst : fn.code) {
+    if (!IsBranch(inst.op)) continue;
+    if (inst.operand >= 0 && inst.operand <= n) is_target[inst.operand] = 1;
+  }
+
+  LinkedFunction out;
+  out.source = &fn;
+  out.num_locals = fn.num_locals;
+  out.code.reserve(n + 1);
+
+  // old pc -> linked index, for branch patching. Dropped/fused old pcs
+  // map to the linked instruction that replaces them.
+  std::vector<int32_t> old2new(n + 1, 0);
+
+  for (int pc = 0; pc < n; ++pc) {
+    const Instruction& inst = fn.code[pc];
+    old2new[pc] = static_cast<int32_t>(out.code.size());
+    LInsn li;
+    li.a = inst.operand;
+
+    switch (inst.op) {
+      case Opcode::kNop:
+        continue;  // dropped; old2new already points at the successor
+      case Opcode::kLoadConst: {
+        if (inst.operand < 0 ||
+            inst.operand >= static_cast<int>(program.constants.size())) {
+          return LinkErr(fn, pc, "constant index out of range");
+        }
+        li.op = LOp::kLoadConst;
+        li.constant = &program.constants[inst.operand];
+        break;
+      }
+      case Opcode::kLoadParam: {
+        if (inst.operand < 0 || inst.operand >= fn.num_params) {
+          return LinkErr(fn, pc, "param index out of range");
+        }
+        // LoadParam p; GetField f  ->  kLoadParamField — only when the
+        // GetField survives remap resolution as a plain field read.
+        if (options.enable_superinstructions && pc + 1 < n &&
+            fn.code[pc + 1].op == Opcode::kGetField &&
+            !is_target[pc + 1]) {
+          int idx = fn.code[pc + 1].operand;
+          bool plain = true;
+          if (remap) {
+            if (idx < 0 ||
+                idx >= static_cast<int>(options.field_remap.size()) ||
+                options.field_remap[idx] < 0) {
+              plain = false;
+            } else {
+              idx = options.field_remap[idx];
+            }
+          }
+          if (plain && idx >= 0) {
+            li.op = LOp::kLoadParamField;
+            li.b = idx;
+            out.code.push_back(li);
+            old2new[pc + 1] = old2new[pc];
+            ++out.num_fused;
+            ++pc;
+            continue;
+          }
+        }
+        li.op = LOp::kLoadParam;
+        break;
+      }
+      case Opcode::kLoadLocal:
+      case Opcode::kStoreLocal: {
+        if (inst.operand < 0 || inst.operand >= fn.num_locals) {
+          return LinkErr(fn, pc, "local index out of range");
+        }
+        li.op = PlainLOp(inst.op);
+        break;
+      }
+      case Opcode::kLoadMember:
+      case Opcode::kStoreMember: {
+        if (inst.operand < 0 ||
+            inst.operand >= static_cast<int>(program.members.size())) {
+          return LinkErr(fn, pc, "member index out of range");
+        }
+        li.op = PlainLOp(inst.op);
+        break;
+      }
+      case Opcode::kGetField: {
+        li.op = LOp::kGetField;
+        if (remap) {
+          int idx = inst.operand;
+          if (idx < 0 ||
+              idx >= static_cast<int>(options.field_remap.size())) {
+            li.op = LOp::kGetFieldBadRemap;  // Internal error if run
+          } else if (options.field_remap[idx] < 0) {
+            li.op = LOp::kGetFieldNull;  // projected away: observe null
+          } else {
+            li.a = options.field_remap[idx];
+          }
+        }
+        break;
+      }
+      case Opcode::kCmpLt:
+      case Opcode::kCmpLe:
+      case Opcode::kCmpGt:
+      case Opcode::kCmpGe:
+      case Opcode::kCmpEq:
+      case Opcode::kCmpNe: {
+        // Cmp; JmpIfTrue/False t  ->  kCmp??Br(t, sense)
+        if (options.enable_superinstructions && pc + 1 < n &&
+            IsConditionalBranch(fn.code[pc + 1].op) && !is_target[pc + 1]) {
+          li.op = CmpBrOp(inst.op);
+          li.a = fn.code[pc + 1].operand;  // old target; patched below
+          li.b = fn.code[pc + 1].op == Opcode::kJmpIfTrue ? 1 : 0;
+          out.code.push_back(li);
+          old2new[pc + 1] = old2new[pc];
+          ++out.num_fused;
+          ++pc;
+          continue;
+        }
+        li.op = PlainLOp(inst.op);
+        break;
+      }
+      case Opcode::kCall: {
+        const Builtin* b = registry.FindById(inst.operand);
+        if (b == nullptr) return LinkErr(fn, pc, "unknown builtin id");
+        li.op = LOp::kCall;
+        li.a = b->arity;
+        li.b = inst.operand;
+        li.builtin = b;
+        break;
+      }
+      default:
+        li.op = PlainLOp(inst.op);
+        break;
+    }
+    out.code.push_back(li);
+  }
+  old2new[n] = static_cast<int32_t>(out.code.size());
+
+  LInsn sentinel;
+  sentinel.op = LOp::kFellOffEnd;
+  out.code.push_back(sentinel);
+  const int32_t end = static_cast<int32_t>(out.code.size() - 1);
+
+  // Patch branch targets old pc -> linked index. Out-of-range targets
+  // (possible only in unverified programs) route to the sentinel,
+  // which reports the same error falling off the end does.
+  for (LInsn& li : out.code) {
+    switch (li.op) {
+      case LOp::kJmp:
+      case LOp::kJmpIfTrue:
+      case LOp::kJmpIfFalse:
+      case LOp::kCmpLtBr:
+      case LOp::kCmpLeBr:
+      case LOp::kCmpGtBr:
+      case LOp::kCmpGeBr:
+      case LOp::kCmpEqBr:
+      case LOp::kCmpNeBr:
+        li.a = (li.a >= 0 && li.a <= n) ? old2new[li.a] : end;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Operand-stack high-water mark, by the same worklist dataflow the
+  // verifier runs (depth is a function of pc; unreachable code is
+  // tolerated — it links but never executes, so its depth is moot).
+  // Anything inconsistent is rejected instead of trusted: the
+  // interpreter indexes a flat buffer sized by this bound.
+  std::vector<int> depth_at(n, -1);
+  std::vector<int> worklist;
+  if (n > 0) {
+    depth_at[0] = 0;
+    worklist.push_back(0);
+  }
+  int max_depth = 0;
+  while (!worklist.empty()) {
+    int pc = worklist.back();
+    worklist.pop_back();
+    const Instruction& inst = fn.code[pc];
+    const OpcodeInfo& info = GetOpcodeInfo(inst.op);
+    int pops = info.pops;
+    if (inst.op == Opcode::kCall) {
+      pops = registry.FindById(inst.operand)->arity;
+    }
+    int depth = depth_at[pc];
+    if (depth < pops) return LinkErr(fn, pc, "stack underflow");
+    int after = depth - pops + info.pushes;
+    max_depth = std::max(max_depth, after);
+
+    auto propagate = [&](int target, int d) -> Status {
+      if (target < 0 || target >= n) {
+        // Verified programs can't; the linked branch already routes to
+        // the sentinel, so just skip the edge.
+        return Status::OK();
+      }
+      if (depth_at[target] == -1) {
+        depth_at[target] = d;
+        worklist.push_back(target);
+        return Status::OK();
+      }
+      if (depth_at[target] != d) {
+        return LinkErr(fn, target, "inconsistent stack depth");
+      }
+      return Status::OK();
+    };
+
+    switch (inst.op) {
+      case Opcode::kReturn:
+        if (after != 0) return LinkErr(fn, pc, "return with non-empty stack");
+        break;
+      case Opcode::kJmp:
+        if (after != 0) return LinkErr(fn, pc, "jump with non-empty stack");
+        MANIMAL_RETURN_IF_ERROR(propagate(inst.operand, 0));
+        break;
+      case Opcode::kJmpIfTrue:
+      case Opcode::kJmpIfFalse:
+        if (after != 0) return LinkErr(fn, pc, "jump with non-empty stack");
+        MANIMAL_RETURN_IF_ERROR(propagate(inst.operand, 0));
+        MANIMAL_RETURN_IF_ERROR(propagate(pc + 1, 0));
+        break;
+      default:
+        MANIMAL_RETURN_IF_ERROR(propagate(pc + 1, after));
+        break;
+    }
+  }
+  out.max_stack = max_depth;
+  return out;
+}
+
+}  // namespace
+
+std::string_view LOpName(LOp op) {
+  int i = static_cast<int>(op);
+  if (i < 0 || i >= kNumLOps) return "?";
+  return kLOpNames[i];
+}
+
+Result<LinkedProgram> Link(const Program& program,
+                           const LinkOptions& options) {
+  LinkedProgram out;
+  out.program = &program;
+  MANIMAL_ASSIGN_OR_RETURN(
+      out.map_fn,
+      LinkFunction(program, program.map_fn, /*is_map=*/true, options));
+  if (program.reduce_fn.has_value()) {
+    out.has_reduce = true;
+    MANIMAL_ASSIGN_OR_RETURN(
+        out.reduce_fn, LinkFunction(program, *program.reduce_fn,
+                                    /*is_map=*/false, options));
+  }
+  return out;
+}
+
+}  // namespace manimal::mril

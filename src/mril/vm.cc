@@ -1,5 +1,9 @@
 #include "mril/vm.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
 #include "common/check.h"
 #include "common/strings.h"
 #include "mril/builtins.h"
@@ -14,20 +18,25 @@ Status TypeError(const char* op, const Value& a) {
                                            ValueKindName(a.kind())));
 }
 
-Status TypeError2(const char* op, const Value& a, const Value& b) {
+Status TypeError2(std::string_view op, const Value& a, const Value& b) {
   return Status::InvalidArgument(
-      StrPrintf("%s: bad operand kinds %s, %s", op,
+      StrPrintf("%.*s: bad operand kinds %s, %s",
+                static_cast<int>(op.size()), op.data(),
                 ValueKindName(a.kind()), ValueKindName(b.kind())));
 }
 
-Status Arith(Opcode op, const Value& a, const Value& b, Value* out) {
+// Arithmetic off the all-i64 fast path: doubles, mixed numerics,
+// string concatenation (kAdd), and the div/mod zero checks. Concat
+// results are arena-backed views (inline when short) — the per-record
+// reset reclaims them without freeing.
+Status ArithSlow(Opcode op, const Value& a, const Value& b, Value* out,
+                 ValueArena* arena) {
   if (op == Opcode::kAdd && a.is_str() && b.is_str()) {
-    *out = Value::Str(a.str() + b.str());
+    *out = Value::Borrowed(arena->Concat(a.str(), b.str()));
     return Status::OK();
   }
   if (!a.is_numeric() || !b.is_numeric()) {
-    std::string name(GetOpcodeInfo(op).mnemonic);
-    return TypeError2(name.c_str(), a, b);
+    return TypeError2(GetOpcodeInfo(op).mnemonic, a, b);
   }
   if (a.is_i64() && b.is_i64()) {
     int64_t x = a.i64(), y = b.i64();
@@ -80,14 +89,15 @@ Status Arith(Opcode op, const Value& a, const Value& b, Value* out) {
   }
 }
 
-Status Compare(Opcode op, const Value& a, const Value& b, Value* out) {
+// Comparison off the all-i64 fast path.
+Status CompareSlow(Opcode op, const Value& a, const Value& b, bool* out) {
   // Equality works across kinds; ordering needs comparable kinds.
   if (op == Opcode::kCmpEq) {
-    *out = Value::Bool(a == b);
+    *out = (a == b);
     return Status::OK();
   }
   if (op == Opcode::kCmpNe) {
-    *out = Value::Bool(!(a == b));
+    *out = !(a == b);
     return Status::OK();
   }
   bool comparable = (a.is_numeric() && b.is_numeric()) ||
@@ -97,20 +107,61 @@ Status Compare(Opcode op, const Value& a, const Value& b, Value* out) {
   int c = a.Compare(b);
   switch (op) {
     case Opcode::kCmpLt:
-      *out = Value::Bool(c < 0);
+      *out = c < 0;
       return Status::OK();
     case Opcode::kCmpLe:
-      *out = Value::Bool(c <= 0);
+      *out = c <= 0;
       return Status::OK();
     case Opcode::kCmpGt:
-      *out = Value::Bool(c > 0);
+      *out = c > 0;
       return Status::OK();
     case Opcode::kCmpGe:
-      *out = Value::Bool(c >= 0);
+      *out = c >= 0;
       return Status::OK();
     default:
       MANIMAL_UNREACHABLE();
   }
+}
+
+// Registry counter pointers, resolved once per process so VmInstance
+// teardown is plain pointer arithmetic — no name concat, no registry
+// lock — on the per-task flush.
+struct VmCounters {
+  obs::Counter* instructions;
+  obs::Counter* invocations;
+  std::vector<obs::Counter*> builtin;  // indexed by builtin id
+};
+
+const VmCounters& GetVmCounters() {
+  static const VmCounters* counters = [] {
+    auto* c = new VmCounters();
+    auto& metrics = obs::MetricsRegistry::Get();
+    c->instructions = metrics.GetCounter("mril.instructions");
+    c->invocations = metrics.GetCounter("mril.invocations");
+    const BuiltinRegistry& registry = BuiltinRegistry::Get();
+    c->builtin.reserve(registry.size());
+    for (const Builtin& b : registry.all()) {
+      c->builtin.push_back(metrics.GetCounter("mril.builtin." + b.name));
+    }
+    return c;
+  }();
+  return *counters;
+}
+
+VmDispatch ResolveDispatch(VmDispatch requested) {
+  if (requested == VmDispatch::kAuto) {
+    if (const char* env = std::getenv("MANIMAL_VM_DISPATCH")) {
+      std::string_view v(env);
+      if (v == "switch") {
+        requested = VmDispatch::kSwitch;
+      } else if (v == "threaded") {
+        requested = VmDispatch::kThreaded;
+      }
+    }
+  }
+  if (!ThreadedDispatchAvailable()) return VmDispatch::kSwitch;
+  return requested == VmDispatch::kSwitch ? VmDispatch::kSwitch
+                                          : VmDispatch::kThreaded;
 }
 
 }  // namespace
@@ -118,7 +169,24 @@ Status Compare(Opcode op, const Value& a, const Value& b, Value* out) {
 VmInstance::VmInstance(const Program* program, VmOptions options)
     : program_(program),
       options_(std::move(options)),
+      dispatch_(ResolveDispatch(options_.dispatch)),
       builtin_calls_(BuiltinRegistry::Get().size(), 0) {
+  LinkOptions link_options;
+  link_options.field_remap = options_.field_remap;
+  Result<LinkedProgram> linked = Link(*program, link_options);
+  if (linked.ok()) {
+    linked_ = std::move(*linked);
+    int max_stack = linked_.map_fn.max_stack;
+    int num_locals = linked_.map_fn.num_locals;
+    if (linked_.has_reduce) {
+      max_stack = std::max(max_stack, linked_.reduce_fn.max_stack);
+      num_locals = std::max(num_locals, linked_.reduce_fn.num_locals);
+    }
+    stack_.resize(max_stack);
+    locals_.resize(num_locals);
+  } else {
+    link_status_ = linked.status();
+  }
   ResetMembers();
 }
 
@@ -127,17 +195,12 @@ VmInstance::~VmInstance() {
       reduce_invocations_ == 0) {
     return;
   }
-  auto& metrics = obs::MetricsRegistry::Get();
-  metrics.GetCounter("mril.instructions")->Add(total_steps_);
-  metrics.GetCounter("mril.invocations")
-      ->Add(map_invocations_ + reduce_invocations_);
-  const BuiltinRegistry& registry = BuiltinRegistry::Get();
+  const VmCounters& counters = GetVmCounters();
+  counters.instructions->Add(total_steps_);
+  counters.invocations->Add(map_invocations_ + reduce_invocations_);
   for (size_t id = 0; id < builtin_calls_.size(); ++id) {
     if (builtin_calls_[id] == 0) continue;
-    const Builtin* b = registry.FindById(static_cast<int>(id));
-    if (b == nullptr) continue;
-    metrics.GetCounter("mril.builtin." + b->name)
-        ->Add(builtin_calls_[id]);
+    counters.builtin[id]->Add(builtin_calls_[id]);
   }
 }
 
@@ -151,7 +214,7 @@ void VmInstance::ResetMembers() {
 
 Status VmInstance::InvokeMap(const Value& key, const Value& value) {
   ++map_invocations_;
-  return Invoke(program_->map_fn, key, value);
+  return Invoke(linked_.map_fn, key, value);
 }
 
 Status VmInstance::InvokeReduce(const Value& key, const Value& values) {
@@ -159,194 +222,39 @@ Status VmInstance::InvokeReduce(const Value& key, const Value& values) {
     return Status::InvalidArgument("program has no reduce()");
   }
   ++reduce_invocations_;
-  return Invoke(*program_->reduce_fn, key, values);
+  return Invoke(linked_.reduce_fn, key, values);
 }
 
-Status VmInstance::Invoke(const Function& fn, const Value& p0,
+Status VmInstance::Invoke(const LinkedFunction& fn, const Value& p0,
                           const Value& p1) {
-  const Value params[2] = {p0, p1};
-  std::vector<Value> locals(fn.num_locals);
-  std::vector<Value> stack;
-  stack.reserve(16);
-  const BuiltinRegistry& registry = BuiltinRegistry::Get();
-  const bool is_map = (&fn == &program_->map_fn);
-
-  int64_t steps = 0;
-  int pc = 0;
-  const int n = static_cast<int>(fn.code.size());
-
-  auto pop = [&stack]() {
-    Value v = std::move(stack.back());
-    stack.pop_back();
-    return v;
-  };
-
-  while (pc < n) {
-    if (++steps > options_.max_steps_per_invocation) {
-      return Status::Internal(
-          StrPrintf("%s: exceeded %lld steps (infinite loop?)",
-                    fn.name.c_str(),
-                    static_cast<long long>(options_.max_steps_per_invocation)));
-    }
-    const Instruction& inst = fn.code[pc];
-    switch (inst.op) {
-      case Opcode::kNop:
-        break;
-      case Opcode::kLoadConst:
-        stack.push_back(program_->constants[inst.operand]);
-        break;
-      case Opcode::kLoadParam:
-        stack.push_back(params[inst.operand]);
-        break;
-      case Opcode::kLoadLocal:
-        stack.push_back(locals[inst.operand]);
-        break;
-      case Opcode::kStoreLocal:
-        locals[inst.operand] = pop();
-        break;
-      case Opcode::kLoadMember:
-        stack.push_back(members_[inst.operand]);
-        break;
-      case Opcode::kStoreMember:
-        members_[inst.operand] = pop();
-        break;
-      case Opcode::kGetField: {
-        Value rec = pop();
-        if (!rec.is_list()) return TypeError("get_field", rec);
-        int idx = inst.operand;
-        if (is_map && !options_.field_remap.empty()) {
-          if (idx < 0 ||
-              idx >= static_cast<int>(options_.field_remap.size())) {
-            return Status::Internal(StrPrintf(
-                "get_field %d outside the field remap", idx));
-          }
-          if (options_.field_remap[idx] < 0) {
-            // The field was projected away. The analyzer only removes
-            // fields whose every output-relevant use is absent, so
-            // this read can feed nothing but debug logging — which the
-            // paper explicitly allows optimization to perturb
-            // (§2.2/Appendix C). Observe null.
-            stack.push_back(Value::Null());
-            break;
-          }
-          idx = options_.field_remap[idx];
-        }
-        if (idx < 0 || static_cast<size_t>(idx) >= rec.list().size()) {
-          return Status::InvalidArgument(
-              StrPrintf("get_field %d out of range (%zu fields)", idx,
-                        rec.list().size()));
-        }
-        stack.push_back(rec.list()[idx]);
-        break;
-      }
-      case Opcode::kDup:
-        stack.push_back(stack.back());
-        break;
-      case Opcode::kPop:
-        stack.pop_back();
-        break;
-      case Opcode::kSwap:
-        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
-        break;
-      case Opcode::kAdd:
-      case Opcode::kSub:
-      case Opcode::kMul:
-      case Opcode::kDiv:
-      case Opcode::kMod: {
-        Value b = pop();
-        Value a = pop();
-        Value out;
-        MANIMAL_RETURN_IF_ERROR(Arith(inst.op, a, b, &out));
-        stack.push_back(std::move(out));
-        break;
-      }
-      case Opcode::kNeg: {
-        Value a = pop();
-        if (a.is_i64()) {
-          stack.push_back(Value::I64(-a.i64()));
-        } else if (a.is_f64()) {
-          stack.push_back(Value::F64(-a.f64()));
-        } else {
-          return TypeError("neg", a);
-        }
-        break;
-      }
-      case Opcode::kCmpLt:
-      case Opcode::kCmpLe:
-      case Opcode::kCmpGt:
-      case Opcode::kCmpGe:
-      case Opcode::kCmpEq:
-      case Opcode::kCmpNe: {
-        Value b = pop();
-        Value a = pop();
-        Value out;
-        MANIMAL_RETURN_IF_ERROR(Compare(inst.op, a, b, &out));
-        stack.push_back(std::move(out));
-        break;
-      }
-      case Opcode::kAnd:
-      case Opcode::kOr: {
-        Value b = pop();
-        Value a = pop();
-        if (!a.is_bool() || !b.is_bool()) {
-          return TypeError2("and/or", a, b);
-        }
-        bool r = inst.op == Opcode::kAnd
-                     ? (a.bool_value() && b.bool_value())
-                     : (a.bool_value() || b.bool_value());
-        stack.push_back(Value::Bool(r));
-        break;
-      }
-      case Opcode::kNot: {
-        Value a = pop();
-        if (!a.is_bool()) return TypeError("not", a);
-        stack.push_back(Value::Bool(!a.bool_value()));
-        break;
-      }
-      case Opcode::kJmp:
-        pc = inst.operand;
-        continue;
-      case Opcode::kJmpIfTrue:
-      case Opcode::kJmpIfFalse: {
-        Value c = pop();
-        if (!c.is_bool()) return TypeError("branch condition", c);
-        bool taken = (inst.op == Opcode::kJmpIfTrue) == c.bool_value();
-        if (taken) {
-          pc = inst.operand;
-          continue;
-        }
-        break;
-      }
-      case Opcode::kCall: {
-        const Builtin* b = registry.FindById(inst.operand);
-        MANIMAL_CHECK(b != nullptr);  // verifier guarantees
-        ++builtin_calls_[inst.operand];
-        std::vector<Value> args(b->arity);
-        for (int i = b->arity - 1; i >= 0; --i) args[i] = pop();
-        Value result;
-        MANIMAL_RETURN_IF_ERROR(b->fn(args, &result));
-        stack.push_back(std::move(result));
-        break;
-      }
-      case Opcode::kEmit: {
-        Value value = pop();
-        Value key = pop();
-        if (emit_) MANIMAL_RETURN_IF_ERROR(emit_(key, value));
-        break;
-      }
-      case Opcode::kLog: {
-        Value v = pop();
-        if (log_) log_(v);
-        break;
-      }
-      case Opcode::kReturn:
-        total_steps_ += steps;
-        return Status::OK();
-    }
-    ++pc;
-  }
-  total_steps_ += steps;
-  return Status::Internal(fn.name + ": fell off end of bytecode");
+  MANIMAL_RETURN_IF_ERROR(link_status_);
+  // Reclaim the previous invocation's string temporaries. Safe because
+  // the loop clears its stack and locals on exit: nothing that could
+  // point into the arena survives between invocations except members
+  // and emitted/logged values, which are promoted to owned storage.
+  arena_.Reset();
+  // Borrowed-string buffers (the arena just reset, the caller's record
+  // buffer) may be recycled across invocations; kill any builtin memo
+  // keyed on their addresses.
+  InvalidateBorrowedStringMemos();
+  const Value* params[2] = {&p0, &p1};
+#if MANIMAL_VM_THREADED_DISPATCH
+  if (dispatch_ == VmDispatch::kThreaded) return RunThreaded(fn, params);
+#endif
+  return RunSwitch(fn, params);
 }
+
+// The interpreter loop bodies. vm_loop.inc defines one member function
+// per inclusion; both backends share the handler source text, so they
+// cannot drift apart semantically.
+#if MANIMAL_VM_THREADED_DISPATCH
+#define VM_LOOP_NAME RunThreaded
+#define VM_LOOP_THREADED 1
+#include "mril/vm_loop.inc"
+#endif
+
+#define VM_LOOP_NAME RunSwitch
+#define VM_LOOP_THREADED 0
+#include "mril/vm_loop.inc"
 
 }  // namespace manimal::mril

@@ -5,6 +5,16 @@
 // variables (persisting across map() invocations within a task, which
 // is what makes Figure 2's numMapsRun pattern observable), the emit
 // sink, the log sink, and step limits.
+//
+// Construction links the program (see mril/link.h) into a resolved
+// instruction stream, and each invocation executes that stream with
+// direct-threaded (computed-goto) dispatch where the compiler supports
+// it, or a portable switch loop otherwise. Operand stack and locals
+// live in flat buffers sized once from the link step's exact
+// high-water marks, and string temporaries (concats) go into a
+// per-instance ValueArena that is reset — not freed — at each
+// invocation entry, so the per-record hot path performs no heap
+// allocation. See docs/mril.md "VM internals".
 
 #ifndef MANIMAL_MRIL_VM_H_
 #define MANIMAL_MRIL_VM_H_
@@ -15,19 +25,40 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mril/link.h"
 #include "mril/program.h"
+
+// Computed-goto dispatch needs the GNU labels-as-values extension;
+// define MANIMAL_VM_SWITCH_DISPATCH (cmake -DMANIMAL_VM_SWITCH_DISPATCH=ON)
+// to force the portable switch loop even where the extension exists.
+#if !defined(MANIMAL_VM_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MANIMAL_VM_THREADED_DISPATCH 1
+#else
+#define MANIMAL_VM_THREADED_DISPATCH 0
+#endif
 
 namespace manimal::mril {
 
-// Receives (key, value) pairs emitted by user code.
+// Receives (key, value) pairs emitted by user code. The VM promotes
+// borrowed strings with EnsureOwned() before calling the sink, so a
+// sink may retain the Values.
 using EmitSink = std::function<Status(const Value& key, const Value& value)>;
 
-// Receives values passed to the `log` side-effect instruction.
+// Receives values passed to the `log` side-effect instruction
+// (promoted like emits).
 using LogSink = std::function<void(const Value& value)>;
+
+enum class VmDispatch {
+  kAuto,      // threaded where available, else switch
+  kThreaded,  // computed-goto (falls back to switch if unavailable)
+  kSwitch,    // portable switch loop
+};
 
 struct VmOptions {
   // Abort an invocation after this many executed instructions (guards
-  // against accidental infinite loops in user code).
+  // against accidental infinite loops in user code). Counted in
+  // *linked* instructions: a fused superinstruction is one step.
   int64_t max_steps_per_invocation = 50'000'000;
 
   // When set (non-empty), get_field indexes on the map value parameter
@@ -35,25 +66,37 @@ struct VmOptions {
   // is the slot of that field in the runtime (projected) record, or -1
   // if the field was projected away. The optimizer only projects away
   // fields it proved the program never reads, so a -1 access is an
-  // internal error.
+  // internal error. Folded into the instruction stream at link time.
   std::vector<int> field_remap;
+
+  // Dispatch backend. The MANIMAL_VM_DISPATCH environment variable
+  // ("threaded" / "switch") overrides kAuto at construction.
+  VmDispatch dispatch = VmDispatch::kAuto;
 };
+
+// True when this build can execute with computed-goto dispatch.
+constexpr bool ThreadedDispatchAvailable() {
+  return MANIMAL_VM_THREADED_DISPATCH != 0;
+}
 
 class VmInstance {
  public:
-  // The program must have passed VerifyProgram.
+  // The program must have passed VerifyProgram. (Programs that
+  // violate verifier invariants fail to link; Invoke* then returns
+  // the link error instead of executing.)
   VmInstance(const Program* program, VmOptions options = {});
 
   // Flushes accumulated telemetry ("mril.instructions",
   // "mril.invocations", "mril.builtin.<name>" counters) to the
-  // metrics registry.
+  // metrics registry through pointers cached once per process.
   ~VmInstance();
 
   void set_emit_sink(EmitSink sink) { emit_ = std::move(sink); }
   void set_log_sink(LogSink sink) { log_ = std::move(sink); }
 
   // Runs map(key, value). `value` is the deserialized record (a list
-  // value) or the opaque blob (a str value).
+  // value) or the opaque blob (a str value). Borrowed strings inside
+  // `value` must stay valid for the duration of the call only.
   Status InvokeMap(const Value& key, const Value& value);
 
   // Runs reduce(key, values).
@@ -66,14 +109,35 @@ class VmInstance {
   int64_t total_steps() const { return total_steps_; }
   int64_t map_invocations() const { return map_invocations_; }
 
+  // Introspection for tests/telemetry.
+  const LinkedProgram& linked() const { return linked_; }
+  const Status& link_status() const { return link_status_; }
+  // Which backend Invoke* actually uses after resolving kAuto, the
+  // env override, and build availability.
+  VmDispatch effective_dispatch() const { return dispatch_; }
+
  private:
-  Status Invoke(const Function& fn, const Value& p0, const Value& p1);
+  Status Invoke(const LinkedFunction& fn, const Value& p0, const Value& p1);
+
+  // The interpreter loop, generated twice from vm_loop.inc.
+#if MANIMAL_VM_THREADED_DISPATCH
+  Status RunThreaded(const LinkedFunction& fn, const Value* const* params);
+#endif
+  Status RunSwitch(const LinkedFunction& fn, const Value* const* params);
 
   const Program* program_;
   VmOptions options_;
+  LinkedProgram linked_;
+  Status link_status_;
+  VmDispatch dispatch_ = VmDispatch::kSwitch;
   std::vector<Value> members_;
   EmitSink emit_;
   LogSink log_;
+  // Flat invocation state, sized once at construction from the linked
+  // functions' exact stack/locals bounds and reused across records.
+  std::vector<Value> stack_;
+  std::vector<Value> locals_;
+  ValueArena arena_;
   int64_t total_steps_ = 0;
   int64_t map_invocations_ = 0;
   int64_t reduce_invocations_ = 0;

@@ -33,12 +33,13 @@ Status EncodeRecord(const Schema& schema, const Record& record,
 }
 
 Status DecodeRecord(const Schema& schema, std::string_view* input,
-                    Record* record) {
+                    Record* record, bool borrow_strings) {
   record->clear();
   if (schema.opaque()) {
     std::string_view blob;
     MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(input, &blob));
-    record->push_back(Value::Str(std::string(blob)));
+    record->push_back(borrow_strings ? Value::Borrowed(blob)
+                                     : Value::Str(blob));
     return Status::OK();
   }
   record->reserve(schema.num_fields());
@@ -59,7 +60,8 @@ Status DecodeRecord(const Schema& schema, std::string_view* input,
       case FieldType::kStr: {
         std::string_view s;
         MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
-        record->push_back(Value::Str(std::string(s)));
+        record->push_back(borrow_strings ? Value::Borrowed(s)
+                                         : Value::Str(s));
         break;
       }
       case FieldType::kBool: {

@@ -27,8 +27,14 @@ Status EncodeRecord(const Schema& schema, const Record& record,
                     std::string* dst);
 
 // Consumes one record from the front of *input.
+//
+// With `borrow_strings`, decoded str fields are Value::Borrowed views
+// into *input's backing buffer instead of copies: zero-copy, but the
+// caller must guarantee the buffer outlives every use of the record
+// (the seq-file scan path hands such records to exactly one VM
+// invocation per record — see docs/mril.md "VM internals").
 Status DecodeRecord(const Schema& schema, std::string_view* input,
-                    Record* record);
+                    Record* record, bool borrow_strings = false);
 
 // Encodes/decodes a single standalone Value (used for shuffle pairs,
 // whose key/value types are not schema-bound). Lists of scalars are

@@ -1,5 +1,6 @@
 #include "serde/value.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -28,49 +29,140 @@ const char* ValueKindName(ValueKind kind) {
   return "?";
 }
 
-ValueKind Value::kind() const {
-  return static_cast<ValueKind>(rep_.index());
+void Value::CopyRefcounted(const Value& other) {
+  switch (tag_) {
+    case Tag::kOwnedStr:
+      new (&rep_.owned) std::shared_ptr<std::string>(other.rep_.owned);
+      break;
+    case Tag::kList:
+      new (&rep_.list) std::shared_ptr<ValueList>(other.rep_.list);
+      break;
+    case Tag::kHandle:
+      new (&rep_.handle) std::shared_ptr<ObjectHandle>(other.rep_.handle);
+      break;
+    default:
+      MANIMAL_CHECK(false);
+  }
+}
+
+void Value::DestroyRefcounted() {
+  switch (tag_) {
+    case Tag::kOwnedStr:
+      rep_.owned.~shared_ptr();
+      break;
+    case Tag::kList:
+      rep_.list.~shared_ptr();
+      break;
+    case Tag::kHandle:
+      rep_.handle.~shared_ptr();
+      break;
+    default:
+      MANIMAL_CHECK(false);
+  }
+}
+
+void Value::AssignSlow(const Value& other) {
+  // Copy-then-destroy so self-referential assignments (e.g. from an
+  // element of this value's own list) stay safe.
+  Value copy(other);
+  if (!is_trivial_tag(tag_)) DestroyRefcounted();
+  tag_ = copy.tag_;
+  CopyRepBytes(&rep_, &copy.rep_);
+  copy.tag_ = Tag::kNull;
 }
 
 bool Value::bool_value() const {
   MANIMAL_CHECK(is_bool());
-  return std::get<bool>(rep_);
+  return rep_.b;
 }
 
 int64_t Value::i64() const {
   MANIMAL_CHECK(is_i64());
-  return std::get<int64_t>(rep_);
+  return rep_.i;
 }
 
 double Value::f64() const {
   MANIMAL_CHECK(is_f64());
-  return std::get<double>(rep_);
+  return rep_.d;
 }
 
-const std::string& Value::str() const {
-  MANIMAL_CHECK(is_str());
-  return *std::get<std::shared_ptr<std::string>>(rep_);
+std::string_view Value::str() const {
+  switch (tag_) {
+    case Tag::kInlineStr:
+      return rep_.inl.view();
+    case Tag::kViewStr:
+      return {rep_.view.data, rep_.view.size};
+    case Tag::kOwnedStr:
+      return *rep_.owned;
+    default:
+      MANIMAL_CHECK(is_str());
+      return {};
+  }
 }
 
 const ValueList& Value::list() const {
   MANIMAL_CHECK(is_list());
-  return *std::get<std::shared_ptr<ValueList>>(rep_);
+  return *rep_.list;
 }
 
 ValueList& Value::mutable_list() {
   MANIMAL_CHECK(is_list());
-  return *std::get<std::shared_ptr<ValueList>>(rep_);
+  return *rep_.list;
+}
+
+bool Value::has_unique_list() const {
+  if (!is_list()) return false;
+  return rep_.list.use_count() == 1;
 }
 
 const std::shared_ptr<ObjectHandle>& Value::handle() const {
   MANIMAL_CHECK(is_handle());
-  return std::get<std::shared_ptr<ObjectHandle>>(rep_);
+  return rep_.handle;
 }
 
 double Value::AsF64() const {
   if (is_i64()) return static_cast<double>(i64());
   MANIMAL_CHECK(is_f64());
   return f64();
+}
+
+bool Value::HasBorrowedStr() const {
+  if (is_borrowed_str()) return true;
+  if (is_list()) {
+    for (const Value& v : list()) {
+      if (v.HasBorrowedStr()) return true;
+    }
+  }
+  return false;
+}
+
+void Value::EnsureOwned() {
+  if (tag_ == Tag::kViewStr) {
+    // Borrowed strings longer than the inline cap (short borrows are
+    // stored inline at construction).
+    auto owned = std::make_shared<std::string>(
+        std::string_view(rep_.view.data, rep_.view.size));
+    tag_ = Tag::kOwnedStr;
+    new (&rep_.owned) std::shared_ptr<std::string>(std::move(owned));
+    return;
+  }
+  if (is_list() && HasBorrowedStr()) {
+    // Rebuild rather than mutate: the list storage may be shared, and
+    // other holders must not observe the rewrite.
+    ValueList owned;
+    const ValueList& items = list();
+    owned.reserve(items.size());
+    for (const Value& v : items) owned.push_back(v.ToOwned());
+    rep_.list = std::make_shared<ValueList>(std::move(owned));
+  }
+}
+
+Value SubstrValue(const Value& base, size_t pos, size_t len) {
+  std::string_view s = base.str();
+  pos = std::min(pos, s.size());
+  std::string_view sub = s.substr(pos, len);
+  if (base.is_borrowed_str()) return Value::Borrowed(sub);
+  return Value::Str(sub);
 }
 
 namespace {
@@ -117,10 +209,10 @@ int Value::Compare(const Value& other) const {
       if (is_i64() && other.is_i64()) return Cmp3(i64(), other.i64());
       return Cmp3(AsF64(), other.AsF64());
     }
-    case ValueKind::kStr:
-      return str().compare(other.str()) < 0
-                 ? -1
-                 : (str() == other.str() ? 0 : 1);
+    case ValueKind::kStr: {
+      int c = str().compare(other.str());
+      return c < 0 ? -1 : (c == 0 ? 0 : 1);
+    }
     case ValueKind::kList: {
       const auto& a = list();
       const auto& b = other.list();
@@ -194,7 +286,7 @@ std::string Value::ToString() const {
     case ValueKind::kF64:
       return StrPrintf("f64:%.17g", f64());
     case ValueKind::kStr:
-      return "str:\"" + str() + "\"";
+      return "str:\"" + std::string(str()) + "\"";
     case ValueKind::kList: {
       std::string out = "list:[";
       const auto& items = list();
@@ -209,6 +301,37 @@ std::string Value::ToString() const {
       return "handle:" + handle()->TypeName();
   }
   return "?";
+}
+
+char* ValueArena::Alloc(size_t n) {
+  if (n == 0) {
+    static char dummy;
+    return &dummy;
+  }
+  while (block_ < blocks_.size()) {
+    if (block_bytes_[block_] - used_ >= n) {
+      char* p = blocks_[block_].get() + used_;
+      used_ += n;
+      return p;
+    }
+    ++block_;
+    used_ = 0;
+  }
+  size_t want = std::max(n, kMinBlockBytes);
+  if (!block_bytes_.empty()) {
+    want = std::max(want, block_bytes_.back() * 2);
+  }
+  blocks_.push_back(std::make_unique<char[]>(want));
+  block_bytes_.push_back(want);
+  block_ = blocks_.size() - 1;
+  used_ = n;
+  return blocks_[block_].get();
+}
+
+size_t ValueArena::allocated_bytes() const {
+  size_t total = 0;
+  for (size_t b : block_bytes_) total += b;
+  return total;
 }
 
 }  // namespace manimal

@@ -2,15 +2,37 @@
 // machine, the shuffle, and the storage codecs: null, bool, int64,
 // double, string, a list (reduce-side grouped values), or an opaque
 // object handle (e.g. a Hashtable created by user code).
+//
+// Strings have three storage classes, invisible to kind():
+//   inline    short strings (<= kInlineStrCap bytes) stored directly in
+//             the Value — copying is a memcpy, never a heap allocation.
+//   owned     longer strings in shared (refcounted) heap storage.
+//   borrowed  a string_view into memory the Value does NOT own: a
+//             decoded record's backing block, or a ValueArena. Copying
+//             is trivial. The creator of a borrowed Value is
+//             responsible for the backing buffer outliving every use;
+//             anything that retains a Value past its backing buffer's
+//             lifetime must call ToOwned()/EnsureOwned() first (the VM
+//             does this for member stores, emits, and logs — see
+//             docs/mril.md "VM internals").
+//
+// Representation: a hand-rolled tagged union, not std::variant. The
+// interpreter's hot path is Value copies and moves; with the tag
+// ordering below every non-refcounted representation (null, bool, i64,
+// f64, inline string, borrowed view) copies as one 24-byte memcpy and
+// a tag store, and *moves are bitwise relocations for every tag* —
+// shared_ptr is trivially relocatable, so a move memcpys the bits and
+// retags the source as null (no refcount traffic, no destructor).
 
 #ifndef MANIMAL_SERDE_VALUE_H_
 #define MANIMAL_SERDE_VALUE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <variant>
 #include <vector>
 
 namespace manimal {
@@ -30,6 +52,10 @@ const char* ValueKindName(ValueKind kind);
 class Value;
 using ValueList = std::vector<Value>;
 
+// Largest string stored inline in a Value (chosen so the whole Value
+// stays within 32 bytes).
+inline constexpr size_t kInlineStrCap = 22;
+
 // Base for runtime-only objects referenced by kHandle values (the MRIL
 // builtin library defines concrete subclasses, e.g. HashtableObject).
 class ObjectHandle {
@@ -40,44 +66,167 @@ class ObjectHandle {
 
 class Value {
  public:
-  Value() : rep_(std::monostate{}) {}
+  Value() : tag_(Tag::kNull) {}
+
+  Value(const Value& other) : tag_(other.tag_) {
+    if (is_trivial_tag(tag_)) {
+      CopyRepBytes(&rep_, &other.rep_);
+    } else {
+      CopyRefcounted(other);
+    }
+  }
+
+  // Moves relocate: shared_ptr's bits are memcpy-safe to move as long
+  // as exactly one of source/destination remains live, which retagging
+  // the source as null guarantees.
+  Value(Value&& other) noexcept : tag_(other.tag_) {
+    CopyRepBytes(&rep_, &other.rep_);
+    other.tag_ = Tag::kNull;
+  }
+
+  Value& operator=(const Value& other) {
+    if (this == &other) return *this;
+    if (is_trivial_tag(tag_) && is_trivial_tag(other.tag_)) {
+      tag_ = other.tag_;
+      CopyRepBytes(&rep_, &other.rep_);
+      return *this;
+    }
+    AssignSlow(other);
+    return *this;
+  }
+
+  Value& operator=(Value&& other) noexcept {
+    if (this == &other) return *this;
+    if (!is_trivial_tag(tag_)) DestroyRefcounted();
+    tag_ = other.tag_;
+    CopyRepBytes(&rep_, &other.rep_);
+    other.tag_ = Tag::kNull;
+    return *this;
+  }
+
+  ~Value() {
+    if (!is_trivial_tag(tag_)) DestroyRefcounted();
+  }
 
   static Value Null() { return Value(); }
-  static Value Bool(bool b) { return Value(Rep(b)); }
-  static Value I64(int64_t v) { return Value(Rep(v)); }
-  static Value F64(double v) { return Value(Rep(v)); }
-  static Value Str(std::string s) {
-    return Value(Rep(std::make_shared<std::string>(std::move(s))));
+  static Value Bool(bool b) {
+    Value v(Tag::kBool);
+    v.rep_.b = b;
+    return v;
   }
+  static Value I64(int64_t x) {
+    Value v(Tag::kI64);
+    v.rep_.i = x;
+    return v;
+  }
+  static Value F64(double d) {
+    Value v(Tag::kF64);
+    v.rep_.d = d;
+    return v;
+  }
+
+  // Copies `s` into the Value (inline when short, shared heap storage
+  // otherwise).
+  static Value Str(std::string_view s) {
+    if (s.size() <= kInlineStrCap) return InlineValue(s);
+    Value v(Tag::kOwnedStr);
+    new (&v.rep_.owned) std::shared_ptr<std::string>(
+        std::make_shared<std::string>(s));
+    return v;
+  }
+  static Value Str(const char* s) { return Str(std::string_view(s)); }
+  static Value Str(std::string&& s) {
+    if (s.size() <= kInlineStrCap) return InlineValue(s);
+    Value v(Tag::kOwnedStr);
+    new (&v.rep_.owned) std::shared_ptr<std::string>(
+        std::make_shared<std::string>(std::move(s)));
+    return v;
+  }
+
+  // Zero-copy view of caller-owned bytes; see the lifetime contract in
+  // the file comment. Short borrows are stored inline outright — an
+  // inline copy costs the same as a view and can never dangle.
+  static Value Borrowed(std::string_view s) {
+    if (s.size() <= kInlineStrCap) return InlineValue(s);
+    Value v(Tag::kViewStr);
+    v.rep_.view.data = s.data();
+    v.rep_.view.size = s.size();
+    return v;
+  }
+
   static Value List(ValueList items) {
-    return Value(Rep(std::make_shared<ValueList>(std::move(items))));
+    Value v(Tag::kList);
+    new (&v.rep_.list) std::shared_ptr<ValueList>(
+        std::make_shared<ValueList>(std::move(items)));
+    return v;
   }
   static Value Handle(std::shared_ptr<ObjectHandle> h) {
-    return Value(Rep(std::move(h)));
+    Value v(Tag::kHandle);
+    new (&v.rep_.handle) std::shared_ptr<ObjectHandle>(std::move(h));
+    return v;
   }
 
-  ValueKind kind() const;
+  ValueKind kind() const { return kKindByTag[static_cast<int>(tag_)]; }
 
-  bool is_null() const { return kind() == ValueKind::kNull; }
-  bool is_bool() const { return kind() == ValueKind::kBool; }
-  bool is_i64() const { return kind() == ValueKind::kI64; }
-  bool is_f64() const { return kind() == ValueKind::kF64; }
-  bool is_str() const { return kind() == ValueKind::kStr; }
-  bool is_list() const { return kind() == ValueKind::kList; }
-  bool is_handle() const { return kind() == ValueKind::kHandle; }
+  bool is_null() const { return tag_ == Tag::kNull; }
+  bool is_bool() const { return tag_ == Tag::kBool; }
+  bool is_i64() const { return tag_ == Tag::kI64; }
+  bool is_f64() const { return tag_ == Tag::kF64; }
+  bool is_str() const {
+    return tag_ == Tag::kInlineStr || tag_ == Tag::kViewStr ||
+           tag_ == Tag::kOwnedStr;
+  }
+  bool is_list() const { return tag_ == Tag::kList; }
+  bool is_handle() const { return tag_ == Tag::kHandle; }
   bool is_numeric() const { return is_i64() || is_f64(); }
+
+  // True only for the borrowed storage class (inline and owned strings
+  // are self-contained).
+  bool is_borrowed_str() const { return tag_ == Tag::kViewStr; }
 
   // Accessors; preconditions on kind are checked.
   bool bool_value() const;
   int64_t i64() const;
   double f64() const;
-  const std::string& str() const;
+  // Branch-free probes for the interpreter hot path: non-null iff the
+  // value holds that exact representation.
+  const bool* if_bool() const {
+    return tag_ == Tag::kBool ? &rep_.b : nullptr;
+  }
+  const int64_t* if_i64() const {
+    return tag_ == Tag::kI64 ? &rep_.i : nullptr;
+  }
+  const double* if_f64() const {
+    return tag_ == Tag::kF64 ? &rep_.d : nullptr;
+  }
+  // Non-null iff the string is in shared heap storage (the owned
+  // class). Identity of the pointee is stable for the string's
+  // lifetime, which memoizing builtins key on.
+  const std::shared_ptr<std::string>* if_owned_str() const {
+    return tag_ == Tag::kOwnedStr ? &rep_.owned : nullptr;
+  }
+  std::string_view str() const;
   const ValueList& list() const;
   ValueList& mutable_list();
+  // True when this list Value is the sole owner of its storage (safe
+  // to mutate in place for reuse).
+  bool has_unique_list() const;
   const std::shared_ptr<ObjectHandle>& handle() const;
 
   // Numeric value as double (i64 or f64).
   double AsF64() const;
+
+  // Rewrites any borrowed string content (including inside lists,
+  // transitively) into self-contained storage. No-op — and no
+  // allocation — when nothing is borrowed.
+  void EnsureOwned();
+  Value ToOwned() const {
+    Value v = *this;
+    v.EnsureOwned();
+    return v;
+  }
+  // True if this value (transitively) contains borrowed strings.
+  bool HasBorrowedStr() const;
 
   // Total order across values: first by kind rank, then by value.
   // Numeric kinds (i64/f64) compare by numeric value so mixed-type
@@ -94,14 +243,126 @@ class Value {
   std::string ToString() const;
 
  private:
-  using Rep = std::variant<std::monostate, bool, int64_t, double,
-                           std::shared_ptr<std::string>,
-                           std::shared_ptr<ValueList>,
-                           std::shared_ptr<ObjectHandle>>;
+  // Tag order is load-bearing: everything <= kViewStr has a trivially
+  // copyable representation (copy = memcpy, destroy = no-op);
+  // everything above holds one shared_ptr.
+  enum class Tag : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kI64 = 2,
+    kF64 = 3,
+    kInlineStr = 4,
+    kViewStr = 5,
+    kOwnedStr = 6,
+    kList = 7,
+    kHandle = 8,
+  };
 
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  static constexpr bool is_trivial_tag(Tag t) { return t <= Tag::kViewStr; }
 
+  struct InlineStr {
+    uint8_t len;
+    char buf[kInlineStrCap];
+    std::string_view view() const { return {buf, len}; }
+  };
+
+  struct ViewStr {  // borrowed string_view, stored as raw fields
+    const char* data;
+    size_t size;
+  };
+
+  union Rep {
+    Rep() {}   // members are activated/destroyed by Value
+    ~Rep() {}
+    bool b;
+    int64_t i;
+    double d;
+    InlineStr inl;
+    ViewStr view;
+    std::shared_ptr<std::string> owned;
+    std::shared_ptr<ValueList> list;
+    std::shared_ptr<ObjectHandle> handle;
+  };
+
+  // Raw byte copy of the union, used both for trivial-tag copies and
+  // for relocating the refcounted tags on move. The void* casts are
+  // deliberate: Rep has non-trivial members, but every call site
+  // guarantees the destination holds no live non-trivial member.
+  static void CopyRepBytes(Rep* dst, const Rep* src) {
+    std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                sizeof(Rep));
+  }
+
+  static constexpr ValueKind kKindByTag[] = {
+      ValueKind::kNull, ValueKind::kBool, ValueKind::kI64,
+      ValueKind::kF64,  ValueKind::kStr,  ValueKind::kStr,
+      ValueKind::kStr,  ValueKind::kList, ValueKind::kHandle};
+
+  explicit Value(Tag tag) : tag_(tag) {}
+
+  static Value InlineValue(std::string_view s) {
+    Value v(Tag::kInlineStr);
+    v.rep_.inl.len = static_cast<uint8_t>(s.size());
+    if (!s.empty()) std::memcpy(v.rep_.inl.buf, s.data(), s.size());
+    return v;
+  }
+
+  // Cold paths for the refcounted tags, out of line.
+  void CopyRefcounted(const Value& other);
+  void DestroyRefcounted();
+  void AssignSlow(const Value& other);
+
+  Tag tag_;
   Rep rep_;
+};
+
+// Derives a substring Value from `base` (which must be a str). When
+// `base` is borrowed the result is a borrowed view into the same
+// backing buffer (zero-copy, same lifetime); otherwise the substring
+// is copied. The MRIL substring builtins route through this so that
+// record-backed strings are sliced without allocating.
+Value SubstrValue(const Value& base, size_t pos, size_t len);
+
+// Bump allocator backing borrowed string Values whose lifetime is one
+// record / one VM invocation. Reset() invalidates every allocation
+// made since the previous Reset() but retains the underlying blocks,
+// so steady-state per-record use never touches the heap.
+class ValueArena {
+ public:
+  ValueArena() = default;
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  // Uninitialized bytes, valid until Reset().
+  char* Alloc(size_t n);
+
+  std::string_view Copy(std::string_view s) {
+    char* p = Alloc(s.size());
+    if (!s.empty()) std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  std::string_view Concat(std::string_view a, std::string_view b) {
+    char* p = Alloc(a.size() + b.size());
+    if (!a.empty()) std::memcpy(p, a.data(), a.size());
+    if (!b.empty()) std::memcpy(p + a.size(), b.data(), b.size());
+    return {p, a.size() + b.size()};
+  }
+
+  void Reset() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  size_t allocated_bytes() const;
+
+ private:
+  static constexpr size_t kMinBlockBytes = 4096;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<size_t> block_bytes_;
+  size_t block_ = 0;  // index of the block Alloc is filling
+  size_t used_ = 0;   // bytes used within blocks_[block_]
 };
 
 }  // namespace manimal

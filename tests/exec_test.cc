@@ -734,10 +734,11 @@ TEST_F(EngineTest, SpeculationLaunchesDuplicatesWithoutChangingOutput) {
   ASSERT_OK_AND_ASSIGN(auto canonical,
                        ReadCanonicalPairs(clean.output_path));
 
-  // The monitor polls on a wall-clock cadence, so whether a given run
-  // catches a task mid-flight is timing-dependent; a few runs make at
-  // least one launch effectively certain. Output correctness is
-  // asserted on every run regardless.
+  // The monitor polls on a wall-clock cadence, so it must catch a task
+  // mid-flight; the per-record debug sleep stretches each task far
+  // beyond the poll interval, which makes a launch deterministic
+  // rather than a race against how fast the scan + VM happen to be.
+  // Output correctness is asserted on every run regardless.
   uint64_t launches = 0;
   for (int attempt = 0; attempt < 5 && launches == 0; ++attempt) {
     JobConfig config =
@@ -746,6 +747,7 @@ TEST_F(EngineTest, SpeculationLaunchesDuplicatesWithoutChangingOutput) {
     config.enable_speculation = true;
     config.speculation_factor = 0;
     config.speculation_min_seconds = 0;
+    config.debug_map_record_sleep_ms = 1.0;
     ASSERT_OK_AND_ASSIGN(JobResult result,
                          RunJob(Baseline(program), config));
     launches += result.counters.speculative_launches;

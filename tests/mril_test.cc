@@ -80,7 +80,7 @@ TEST(BuiltinTest, StringOps) {
   auto call = [](const char* name, std::vector<Value> args) {
     const Builtin* b = BuiltinRegistry::Get().FindByName(name);
     Value out;
-    Status st = b->fn(args, &out);
+    Status st = b->fn(args.data(), &out);
     EXPECT_TRUE(st.ok()) << name << ": " << st.ToString();
     return out;
   };
@@ -111,11 +111,17 @@ TEST(BuiltinTest, StringOps) {
             "h.com");
 }
 
+namespace {
+Status CallBuiltin(const Builtin* b, std::vector<Value> args, Value* out) {
+  return b->fn(args.data(), out);
+}
+}  // namespace
+
 TEST(BuiltinTest, PatternMatches) {
   auto matches = [](const char* s, const char* pat) {
     const Builtin* b = BuiltinRegistry::Get().FindByName("pattern.matches");
     Value out;
-    EXPECT_OK(b->fn({Value::Str(s), Value::Str(pat)}, &out));
+    EXPECT_OK(CallBuiltin(b, {Value::Str(s), Value::Str(pat)}, &out));
     return out.bool_value();
   };
   EXPECT_TRUE(matches("hello", "hello"));
@@ -130,23 +136,24 @@ TEST(BuiltinTest, PatternMatches) {
 TEST(BuiltinTest, Hashtable) {
   const BuiltinRegistry& reg = BuiltinRegistry::Get();
   Value ht;
-  ASSERT_OK(reg.FindByName("ht.new")->fn({}, &ht));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.new"), {}, &ht));
   Value out;
-  ASSERT_OK(reg.FindByName("ht.contains")->fn({ht, Value::Str("k")},
-                                              &out));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.contains"),
+                        {ht, Value::Str("k")}, &out));
   EXPECT_FALSE(out.bool_value());
-  ASSERT_OK(reg.FindByName("ht.put")->fn(
-      {ht, Value::Str("k"), Value::I64(7)}, &out));
-  ASSERT_OK(reg.FindByName("ht.contains")->fn({ht, Value::Str("k")},
-                                              &out));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.put"),
+                        {ht, Value::Str("k"), Value::I64(7)}, &out));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.contains"),
+                        {ht, Value::Str("k")}, &out));
   EXPECT_TRUE(out.bool_value());
-  ASSERT_OK(reg.FindByName("ht.get")->fn({ht, Value::Str("k")}, &out));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.get"), {ht, Value::Str("k")}, &out));
   EXPECT_EQ(out.i64(), 7);
-  ASSERT_OK(reg.FindByName("ht.size")->fn({ht}, &out));
+  ASSERT_OK(CallBuiltin(reg.FindByName("ht.size"), {ht}, &out));
   EXPECT_EQ(out.i64(), 1);
   // Type confusion is rejected.
   EXPECT_FALSE(
-      reg.FindByName("ht.get")->fn({Value::I64(1), Value::I64(2)}, &out)
+      CallBuiltin(reg.FindByName("ht.get"), {Value::I64(1), Value::I64(2)},
+                  &out)
           .ok());
 }
 

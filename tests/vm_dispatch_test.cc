@@ -1,0 +1,448 @@
+// Dispatch-backend differential tests plus unit coverage for the VM
+// hot-path machinery: the threaded and switch interpreter backends
+// must be observationally identical (same emits, same logs, same step
+// counts, same error statuses) on every corpus program and on a seeded
+// fuzz corpus; Value's three string storage classes (inline, owned,
+// borrowed) must be interchangeable wherever kind() == kStr; and the
+// str.word_at sequential-scan memo must survive buffer reuse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "mril/assembler.h"
+#include "mril/builtins.h"
+#include "mril/verifier.h"
+#include "mril/vm.h"
+#include "serde/value.h"
+#include "tests/mril_gen.h"
+#include "tests/test_util.h"
+
+#ifndef MANIMAL_TEST_CORPUS_DIR
+#define MANIMAL_TEST_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace manimal {
+namespace {
+
+using mril::VmDispatch;
+using mril::VmInstance;
+using mril::VmOptions;
+
+// ---------------------------------------------------------------
+// Differential harness: run a program's map (and reduce, when
+// present) over a deterministic input set under one backend and
+// record everything observable.
+
+struct RunTrace {
+  std::vector<std::string> emits;     // "key -> value", in order
+  std::vector<std::string> logs;
+  std::vector<std::string> statuses;  // one per invocation
+  int64_t steps = 0;
+};
+
+bool operator==(const RunTrace& a, const RunTrace& b) {
+  return a.emits == b.emits && a.logs == b.logs &&
+         a.statuses == b.statuses && a.steps == b.steps;
+}
+
+// WebPages-shaped records (url STR, rank I64, content STR) — the
+// schema shared by the corpus programs and the mril_gen generator.
+std::vector<Value> MakeWebPagesRecords(uint64_t seed, int count,
+                                       int64_t rank_range) {
+  Rng rng(seed);
+  std::vector<Value> records;
+  records.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string url = StrPrintf("http://site-%03d.example.com/page/%d",
+                                static_cast<int>(rng.Uniform(50)), i);
+    std::string content;
+    int words = 1 + static_cast<int>(rng.Uniform(24));
+    for (int w = 0; w < words; ++w) {
+      static const char* kWords[] = {"lorem", "ipsum",  "dolor",
+                                     "sit",   "amet",   "manimal",
+                                     "index", "mapred", "x"};
+      content += kWords[rng.Uniform(9)];
+      content += (w + 1 < words) ? " " : "";
+    }
+    records.push_back(Value::List(
+        {Value::Str(std::move(url)),
+         Value::I64(static_cast<int64_t>(rng.Uniform(rank_range))),
+         Value::Str(std::move(content))}));
+  }
+  return records;
+}
+
+RunTrace RunUnderDispatch(const mril::Program& program,
+                          const std::vector<Value>& records,
+                          VmDispatch dispatch) {
+  RunTrace trace;
+  VmOptions options;
+  options.dispatch = dispatch;
+  options.max_steps_per_invocation = 2'000'000;
+  VmInstance vm(&program, options);
+  // The traces must come from the backends they claim to.
+  EXPECT_EQ(vm.effective_dispatch(), dispatch);
+
+  std::vector<std::pair<Value, Value>> emitted;
+  vm.set_emit_sink([&](const Value& k, const Value& v) {
+    trace.emits.push_back(k.ToString() + " -> " + v.ToString());
+    emitted.emplace_back(k.ToOwned(), v.ToOwned());
+    return Status::OK();
+  });
+  vm.set_log_sink([&](const Value& msg) {
+    trace.logs.push_back(msg.ToString());
+  });
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    Status s = vm.InvokeMap(Value::I64(static_cast<int64_t>(i)),
+                            records[i]);
+    trace.statuses.push_back(s.ToString());
+  }
+
+  if (program.has_reduce()) {
+    // Group map output by key (first-seen order) and reduce each
+    // group, capturing reduce-side emits into the same trace.
+    std::vector<std::pair<Value, ValueList>> groups;
+    std::map<std::string, size_t> index;
+    for (auto& [k, v] : emitted) {
+      auto [it, inserted] = index.emplace(k.ToString(), groups.size());
+      if (inserted) groups.emplace_back(k, ValueList{});
+      groups[it->second].second.push_back(std::move(v));
+    }
+    for (auto& [key, values] : groups) {
+      Status s = vm.InvokeReduce(key, Value::List(std::move(values)));
+      trace.statuses.push_back(s.ToString());
+    }
+  }
+  trace.steps = vm.total_steps();
+  return trace;
+}
+
+void ExpectBackendsAgree(const mril::Program& program,
+                         const std::vector<Value>& records) {
+  RunTrace sw = RunUnderDispatch(program, records, VmDispatch::kSwitch);
+  RunTrace th = RunUnderDispatch(program, records, VmDispatch::kThreaded);
+  EXPECT_EQ(sw.emits, th.emits);
+  EXPECT_EQ(sw.logs, th.logs);
+  EXPECT_EQ(sw.statuses, th.statuses);
+  EXPECT_EQ(sw.steps, th.steps);
+}
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> paths;
+  auto names = ListDir(MANIMAL_TEST_CORPUS_DIR);
+  if (!names.ok()) return paths;
+  for (const std::string& name : *names) {
+    if (name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".mril") == 0) {
+      paths.push_back(std::string(MANIMAL_TEST_CORPUS_DIR) + "/" + name);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(VmDispatchDifferential, CorpusProgramsAgreeAcrossBackends) {
+  if (!mril::ThreadedDispatchAvailable()) {
+    GTEST_SKIP() << "threaded dispatch not compiled in";
+  }
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_GE(files.size(), 4u)
+      << "corpus missing at " << MANIMAL_TEST_CORPUS_DIR;
+  std::vector<Value> records = MakeWebPagesRecords(/*seed=*/7, 128,
+                                                   /*rank_range=*/100);
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(path));
+    ASSERT_OK_AND_ASSIGN(mril::Program program,
+                         mril::AssembleProgram(text));
+    ASSERT_OK(mril::VerifyProgram(program));
+    ExpectBackendsAgree(program, records);
+  }
+}
+
+class VmDispatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmDispatchFuzz, GeneratedProgramsAgreeAcrossBackends) {
+  if (!mril::ThreadedDispatchAvailable()) {
+    GTEST_SKIP() << "threaded dispatch not compiled in";
+  }
+  constexpr int64_t kRankRange = 1000;
+  std::vector<Value> records = MakeWebPagesRecords(
+      /*seed=*/99, 64, kRankRange);
+  for (int i = 0; i < 40; ++i) {
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 1000 + i;
+    testing::GeneratedProgram gen =
+        testing::GenerateWebPagesProgram(seed, kRankRange);
+    SCOPED_TRACE(StrPrintf("seed %llu, shape: %s",
+                           static_cast<unsigned long long>(seed),
+                           gen.description.c_str()));
+    ExpectBackendsAgree(gen.program, records);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmDispatchFuzz, ::testing::Range(0, 5));
+
+// Borrowed record strings must behave identically too: the same
+// program over the same bytes, with str fields decoded as views into
+// an external buffer, must produce byte-identical traces.
+TEST(VmDispatchDifferential, BorrowedRecordStringsAgreeAcrossBackends) {
+  if (!mril::ThreadedDispatchAvailable()) {
+    GTEST_SKIP() << "threaded dispatch not compiled in";
+  }
+  // Backing store outliving every invocation (the engine guarantees
+  // this by consuming each record before advancing the split).
+  std::vector<std::string> backing;
+  std::vector<Value> records;
+  Rng rng(1234);
+  for (int i = 0; i < 64; ++i) {
+    backing.push_back(StrPrintf("http://borrowed.example.com/%d/%d", i,
+                                static_cast<int>(rng.Uniform(1000))));
+    backing.push_back(
+        "lorem ipsum manimal lorem dolor sit amet content row " +
+        std::to_string(i));
+  }
+  for (int i = 0; i < 64; ++i) {
+    records.push_back(Value::List({Value::Borrowed(backing[2 * i]),
+                                   Value::I64(i * 13 % 97),
+                                   Value::Borrowed(backing[2 * i + 1])}));
+  }
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(path));
+    ASSERT_OK_AND_ASSIGN(mril::Program program,
+                         mril::AssembleProgram(text));
+    ExpectBackendsAgree(program, records);
+  }
+}
+
+// ---------------------------------------------------------------
+// Value storage classes.
+
+TEST(ValueStorage, ShortStringsAreInlineNotBorrowed) {
+  std::string s(kInlineStrCap, 'x');
+  Value inline_copy = Value::Str(s);
+  Value inline_borrow = Value::Borrowed(s);
+  EXPECT_TRUE(inline_copy.is_str());
+  EXPECT_FALSE(inline_copy.is_borrowed_str());
+  // Short borrows are stored inline outright — same cost, can't
+  // dangle.
+  EXPECT_FALSE(inline_borrow.is_borrowed_str());
+  EXPECT_EQ(inline_copy.str(), s);
+  EXPECT_EQ(inline_borrow.str(), s);
+  EXPECT_EQ(inline_copy.if_owned_str(), nullptr);
+}
+
+TEST(ValueStorage, LongStringsAreOwnedOrBorrowed) {
+  std::string s(kInlineStrCap + 1, 'y');
+  Value owned = Value::Str(s);
+  Value borrowed = Value::Borrowed(s);
+  EXPECT_FALSE(owned.is_borrowed_str());
+  ASSERT_NE(owned.if_owned_str(), nullptr);
+  EXPECT_TRUE(borrowed.is_borrowed_str());
+  // The borrow really is zero-copy: it points into the source buffer.
+  EXPECT_EQ(borrowed.str().data(), s.data());
+  EXPECT_EQ(owned.str(), borrowed.str());
+}
+
+TEST(ValueStorage, ToOwnedDetachesFromBackingBuffer) {
+  std::string s(40, 'z');
+  Value v = Value::Borrowed(s);
+  v.EnsureOwned();
+  EXPECT_FALSE(v.is_borrowed_str());
+  EXPECT_NE(v.str().data(), s.data());
+  EXPECT_EQ(v.str(), s);
+  // Destroying the backing buffer must not matter now.
+  s.assign(40, '!');
+  EXPECT_EQ(v.str(), std::string(40, 'z'));
+}
+
+TEST(ValueStorage, EnsureOwnedRebuildsListWithoutMutatingSharers) {
+  std::string s(40, 'q');
+  Value list = Value::List({Value::Borrowed(s), Value::I64(1)});
+  Value alias = list;  // shares the ValueList storage
+  EXPECT_TRUE(list.HasBorrowedStr());
+  list.EnsureOwned();
+  EXPECT_FALSE(list.HasBorrowedStr());
+  // The other holder still sees the borrowed original.
+  EXPECT_TRUE(alias.HasBorrowedStr());
+  EXPECT_EQ(list.list()[0].str(), alias.list()[0].str());
+}
+
+TEST(ValueStorage, HasUniqueListTracksSharing) {
+  Value list = Value::List({Value::I64(1)});
+  EXPECT_TRUE(list.has_unique_list());
+  Value alias = list;
+  EXPECT_FALSE(list.has_unique_list());
+  alias = Value::Null();
+  EXPECT_TRUE(list.has_unique_list());
+}
+
+TEST(ValueStorage, CompareAndHashIgnoreStorageClass) {
+  std::string s = "a string long enough to not be inline";
+  Value owned = Value::Str(s);
+  Value borrowed = Value::Borrowed(s);
+  EXPECT_EQ(owned.Compare(borrowed), 0);
+  EXPECT_EQ(owned.Hash(), borrowed.Hash());
+  Value inl = Value::Str("tiny");
+  Value inl_b = Value::Borrowed("tiny");
+  EXPECT_EQ(inl.Compare(inl_b), 0);
+  EXPECT_EQ(inl.Hash(), inl_b.Hash());
+}
+
+TEST(ValueStorage, AssignmentAcrossStorageClasses) {
+  std::string big(64, 'b');
+  Value v = Value::Str(big);       // owned
+  Value w = Value::I64(7);         // trivial
+  w = v;                           // trivial <- refcounted
+  EXPECT_EQ(w.str(), big);
+  v = Value::Bool(true);           // refcounted <- trivial
+  EXPECT_TRUE(v.bool_value());
+  EXPECT_EQ(w.str(), big);         // w's copy unaffected
+  Value moved = std::move(w);      // relocation
+  EXPECT_EQ(moved.str(), big);
+  moved = moved.ToOwned();         // self-flavored round trip
+  EXPECT_EQ(moved.str(), big);
+}
+
+TEST(ValueStorage, SelfAssignmentFromOwnListElement) {
+  Value list = Value::List({Value::Str(std::string(48, 'e')),
+                            Value::I64(2)});
+  const std::string want(48, 'e');
+  // Assigning a value from inside this value's own list storage must
+  // not read freed memory.
+  list = list.list()[0];
+  EXPECT_TRUE(list.is_str());
+  EXPECT_EQ(list.str(), want);
+}
+
+TEST(ValueStorage, SubstrValuePreservesStorageClass) {
+  std::string s = "zero copy substring slicing over borrowed buffers";
+  Value borrowed = Value::Borrowed(s);
+  Value sub = SubstrValue(borrowed, 10, 30);
+  EXPECT_EQ(sub.str(), std::string_view(s).substr(10, 30));
+  ASSERT_TRUE(sub.is_borrowed_str());
+  EXPECT_EQ(sub.str().data(), s.data() + 10);
+  // Owned base: the slice must not point into the original buffer.
+  Value owned_sub = SubstrValue(Value::Str(s), 10, 30);
+  EXPECT_EQ(owned_sub.str(), sub.str());
+  EXPECT_FALSE(owned_sub.is_borrowed_str());
+}
+
+TEST(ValueArenaTest, ResetReusesBlocks) {
+  ValueArena arena;
+  std::string_view a = arena.Copy("first allocation of some bytes");
+  size_t after_first = arena.allocated_bytes();
+  const char* first_ptr = a.data();
+  arena.Reset();
+  std::string_view b = arena.Copy("second allocation, same block");
+  EXPECT_EQ(b.data(), first_ptr);  // same block, rewound
+  EXPECT_EQ(arena.allocated_bytes(), after_first);
+  EXPECT_EQ(b, "second allocation, same block");
+}
+
+TEST(ValueArenaTest, ConcatAndGrowth) {
+  ValueArena arena;
+  std::string_view joined = arena.Concat("hello, ", "arena");
+  EXPECT_EQ(joined, "hello, arena");
+  // Force growth past the first block; earlier allocations survive.
+  std::string big(10000, 'g');
+  std::string_view big_copy = arena.Copy(big);
+  EXPECT_EQ(joined, "hello, arena");
+  EXPECT_EQ(big_copy, big);
+  EXPECT_GE(arena.allocated_bytes(), big.size());
+}
+
+// ---------------------------------------------------------------
+// str.word_at memoization.
+
+Value CallWordAt(const Value& s, int64_t index) {
+  const mril::Builtin* b =
+      mril::BuiltinRegistry::Get().FindByName("str.word_at");
+  EXPECT_NE(b, nullptr);
+  Value args[2] = {s, Value::I64(index)};
+  Value result;
+  EXPECT_OK(b->fn(args, &result));
+  return result;
+}
+
+std::vector<std::string> NaiveWords(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+TEST(WordAtMemo, SequentialAndRandomAccessMatchNaive) {
+  std::string doc =
+      "the quick\tbrown fox jumps\nover the lazy dog and keeps going "
+      "with  double  spaces and a trailing word";
+  std::vector<std::string> words = NaiveWords(doc);
+  for (Value base : {Value::Str(doc), Value::Borrowed(doc)}) {
+    // Forward sequential (memo hit path).
+    for (size_t i = 0; i < words.size(); ++i) {
+      EXPECT_EQ(CallWordAt(base, static_cast<int64_t>(i)).str(),
+                words[i]);
+    }
+    // Out of range.
+    EXPECT_EQ(CallWordAt(base, static_cast<int64_t>(words.size())).str(),
+              "");
+    // Backward / random (memo cannot resume; must still be correct).
+    Rng rng(5);
+    for (int t = 0; t < 50; ++t) {
+      size_t i = rng.Uniform(words.size());
+      EXPECT_EQ(CallWordAt(base, static_cast<int64_t>(i)).str(),
+                words[i]);
+    }
+  }
+}
+
+TEST(WordAtMemo, InvalidationProtectsReusedBorrowedBuffers) {
+  // Same buffer address, same length, different content — exactly
+  // what a recycled decode buffer looks like across records. The VM
+  // calls InvalidateBorrowedStringMemos() at every invocation entry;
+  // simulate that boundary here.
+  std::string buffer = "alpha beta gamma delta epsilon";
+  Value v = Value::Borrowed(buffer);
+  ASSERT_TRUE(v.is_borrowed_str());
+  EXPECT_EQ(CallWordAt(v, 0).str(), "alpha");
+  EXPECT_EQ(CallWordAt(v, 1).str(), "beta");
+
+  std::memcpy(buffer.data(), "ALPHA BETA GAMMA DELTA EPSILON",
+              buffer.size());
+  mril::InvalidateBorrowedStringMemos();
+  EXPECT_EQ(CallWordAt(v, 1).str(), "BETA");
+  EXPECT_EQ(CallWordAt(v, 2).str(), "GAMMA");
+}
+
+TEST(WordAtMemo, OwnedStringsKeyOnIdentityAcrossInvalidation) {
+  std::string doc = "one two three four five six";
+  Value v = Value::Str(doc);
+  ASSERT_NE(v.if_owned_str(), nullptr);
+  EXPECT_EQ(CallWordAt(v, 0).str(), "one");
+  // Owned strings are immutable-by-identity: invalidation (an
+  // invocation boundary) must not break a resumed scan.
+  mril::InvalidateBorrowedStringMemos();
+  EXPECT_EQ(CallWordAt(v, 1).str(), "two");
+  EXPECT_EQ(CallWordAt(v, 5).str(), "six");
+}
+
+}  // namespace
+}  // namespace manimal

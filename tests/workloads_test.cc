@@ -83,7 +83,7 @@ TEST(DatagenTest, UserVisitsFieldsInRange) {
               gen.date_epoch + gen.date_range);
     EXPECT_GE(record[kUvAdRevenue].i64(), 0);
     EXPECT_GE(record[kUvDuration].i64(), 1);
-    url_counts[record[kUvDestUrl].str()]++;
+    url_counts[std::string(record[kUvDestUrl].str())]++;
   }
   // Zipfian destination popularity: the most popular URL must dominate.
   int max_count = 0, total = 0;
