@@ -33,6 +33,7 @@
 #include "common/strings.h"
 #include "core/manimal.h"
 #include "exec/pairfile.h"
+#include "obs/json.h"
 
 namespace manimal::bench {
 
@@ -150,25 +151,9 @@ inline std::string Pct(double r) { return StrPrintf("%.1f%%", r * 100); }
 
 // ---- machine-readable results (MANIMAL_BENCH_JSON) ----
 
-inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// One escaping implementation for every JSON artifact (see
+// src/obs/json.h — the old local copy here forgot '\r').
+using obs::JsonEscape;
 
 // One row of bench output as a JSON object, appended as a single line
 // to $MANIMAL_BENCH_JSON when set (no-op otherwise). Usage:

@@ -1,0 +1,121 @@
+// Observability-overhead microbench (docs/observability.md): the same
+// selection job timed with each telemetry surface switched on, so the
+// cost of leaving the emission sites compiled in everywhere stays
+// visible. The contract the docs promise is that DISABLED
+// observability is free (one relaxed atomic load per emission site) —
+// the "off" row here is the number the <2% regression budget against
+// BENCH_baseline.json is judged on; the enabled rows price what
+// turning each surface on actually buys you into.
+//
+//   off            everything disabled (the default production state)
+//   journal        MANIMAL_JOURNAL-equivalent JSON-lines run journal
+//   trace          in-memory span recording + Chrome trace export
+//   analyze        EXPLAIN ANALYZE: per-task stats + per-record
+//                  predicate observation (the only per-record surface)
+//   all            journal + trace + analyze
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+#include "workloads/datagen.h"
+#include "workloads/pavlo.h"
+
+int main() {
+  using namespace manimal;
+  const int64_t scale = bench::ScaleFactor();
+  bench::BenchWorkspace ws("obs-overhead");
+
+  workloads::WebPagesOptions pages;
+  pages.num_pages = 40000 * scale;
+  pages.content_len = 128;
+  pages.rank_range = 100000;
+  bench::CheckOk(
+      workloads::GenerateWebPages(ws.file("pages.msq"), pages).status(),
+      "gen webpages");
+
+  struct Mode {
+    const char* name;
+    bool journal;
+    bool trace;
+    bool analyze;
+  };
+  const Mode kModes[] = {
+      {"off", false, false, false}, {"journal", true, false, false},
+      {"trace", false, true, false}, {"analyze", false, false, true},
+      {"all", true, true, true},
+  };
+
+  bench::TablePrinter table(
+      {"mode", "wall", "overhead", "journal lines"});
+
+  // One untimed warmup so the "off" row doesn't absorb page-cache and
+  // allocator cold-start costs that every later mode gets for free.
+  {
+    auto system = ws.OpenSystem();
+    core::ManimalSystem::Submission submission;
+    submission.program = workloads::SelectionCountQuery(50000);
+    submission.input_path = ws.file("pages.msq");
+    submission.output_path = ws.file("out.prs");
+    bench::CheckOk(system->Submit(submission).status(), "warmup");
+    bench::CheckOk(RemoveFileIfExists(ws.file("out.prs")), "cleanup");
+  }
+
+  double off_wall = 0;
+  for (const Mode& mode : kModes) {
+    obs::Journal::Get().ResetForTest();
+    if (mode.journal) {
+      obs::Journal::Get().SetOutputPathForTest(ws.file("run.jsonl"));
+    }
+    obs::Tracer::Get().ClearForTest();
+    obs::Tracer::Get().SetEnabledForTest(mode.trace);
+
+    const uint64_t journal_before = obs::Journal::Get().events_written();
+    core::ManimalSystem::Options options;
+    options.workspace_dir = ws.file("ws");
+    options.map_parallelism =
+        static_cast<int>(EnvInt64("MANIMAL_THREADS", 4));
+    options.num_partitions = options.map_parallelism;
+    options.simulated_startup_seconds = 0;
+    options.explain = mode.analyze ? optimizer::ExplainMode::kAnalyze
+                                   : optimizer::ExplainMode::kOff;
+
+    exec::JobResult job = bench::Averaged([&] {
+      // A fresh system per run keeps workspace state comparable.
+      auto system = bench::CheckOk(core::ManimalSystem::Open(options),
+                                   "open system");
+      core::ManimalSystem::Submission submission;
+      submission.program = workloads::SelectionCountQuery(50000);
+      submission.input_path = ws.file("pages.msq");
+      submission.output_path = ws.file("out.prs");
+      auto outcome =
+          bench::CheckOk(system->Submit(submission), "submit");
+      bench::CheckOk(RemoveFileIfExists(ws.file("out.prs")), "cleanup");
+      return outcome.job;
+    });
+    const uint64_t journal_lines =
+        obs::Journal::Get().events_written() - journal_before;
+    obs::Tracer::Get().SetEnabledForTest(false);
+    obs::Journal::Get().ResetForTest();
+
+    if (mode.name == kModes[0].name) off_wall = job.wall_seconds;
+    const double overhead =
+        off_wall > 0 ? job.wall_seconds / off_wall - 1 : 0;
+    table.AddRow({mode.name, bench::Secs(job.wall_seconds),
+                  bench::Pct(overhead),
+                  StrPrintf("%llu",
+                            static_cast<unsigned long long>(
+                                journal_lines))});
+    bench::JsonRow("obs_overhead", mode.name)
+        .Num("overhead_vs_off", overhead)
+        .Int("journal_lines", static_cast<int64_t>(journal_lines))
+        .Job(job)
+        .Emit();
+  }
+
+  std::printf("\nObservability overhead (selection job, %llu pages)\n\n",
+              static_cast<unsigned long long>(pages.num_pages));
+  table.Print();
+  return 0;
+}

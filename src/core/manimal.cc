@@ -1,10 +1,27 @@
 #include "core/manimal.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace manimal::core {
+
+namespace {
+
+// Appends one line to `path`, creating the file if needed. Explain
+// emission must never fail a job, so IO errors are swallowed.
+void AppendLine(const std::string& path, const std::string& line) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fwrite("\n", 1, 1, f);
+  std::fclose(f);
+}
+
+}  // namespace
 
 std::string ManimalSystem::DumpMetricsJson() {
   return obs::MetricsRegistry::Get().DumpJson();
@@ -27,6 +44,15 @@ Result<std::unique_ptr<ManimalSystem>> ManimalSystem::Open(
       index::Catalog::Open(options.workspace_dir + "/catalog.txt"));
   system->catalog_ =
       std::make_unique<index::Catalog>(std::move(catalog));
+  // Environment defaults for EXPLAIN, so any existing driver can be
+  // introspected without a code change (mirrors MANIMAL_TRACE).
+  if (system->options_.explain == optimizer::ExplainMode::kOff) {
+    system->options_.explain = optimizer::ExplainModeFromEnv();
+  }
+  if (system->options_.explain_path.empty()) {
+    const char* path = std::getenv("MANIMAL_EXPLAIN_PATH");
+    if (path != nullptr) system->options_.explain_path = path;
+  }
   return system;
 }
 
@@ -44,7 +70,26 @@ exec::JobConfig ManimalSystem::MakeJobConfig(
   config.enable_speculation = options_.enable_speculation;
   config.output_path = output_path;
   config.temp_dir = FreshTempDir("job");
+  // EXPLAIN ANALYZE needs the per-task stats and the per-record
+  // predicate observation the engine only collects when asked.
+  config.collect_task_stats =
+      options_.explain == optimizer::ExplainMode::kAnalyze;
   return config;
+}
+
+std::optional<optimizer::ExplainReport> ManimalSystem::MaybeExplain(
+    const optimizer::Plan& plan, const exec::JobResult& job) {
+  if (options_.explain == optimizer::ExplainMode::kOff) {
+    return std::nullopt;
+  }
+  optimizer::ExplainReport report =
+      options_.explain == optimizer::ExplainMode::kAnalyze
+          ? optimizer::MakeExplainReport(plan, job)
+          : optimizer::MakeExplainReport(plan);
+  if (!options_.explain_path.empty()) {
+    AppendLine(options_.explain_path, report.ToJson());
+  }
+  return report;
 }
 
 std::string ManimalSystem::FreshTempDir(const std::string& tag) {
@@ -76,6 +121,7 @@ Result<ManimalSystem::SubmitOutcome> ManimalSystem::SubmitWithReport(
   exec::JobConfig config = MakeJobConfig(submission.output_path);
   MANIMAL_ASSIGN_OR_RETURN(outcome.job,
                            exec::RunJob(outcome.plan.descriptor, config));
+  outcome.explain = MaybeExplain(outcome.plan, outcome.job);
   return outcome;
 }
 

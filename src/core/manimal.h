@@ -16,6 +16,7 @@
 #define MANIMAL_CORE_MANIMAL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "exec/engine.h"
 #include "exec/index_build.h"
 #include "index/catalog.h"
+#include "optimizer/explain.h"
 #include "optimizer/optimizer.h"
 
 namespace manimal::core {
@@ -50,6 +52,18 @@ class ManimalSystem {
     int max_task_attempts = 4;
     double retry_backoff_ms = 1.0;
     bool enable_speculation = true;
+
+    // ---- EXPLAIN / EXPLAIN ANALYZE (docs/observability.md) ----
+    // kPlan: SubmitOutcome::explain carries the optimizer's full
+    // candidate set. kAnalyze: additionally runs the job with
+    // per-task stats + per-record predicate observation and joins
+    // them into the drift report. Open() defaults this from
+    // MANIMAL_EXPLAIN when left at kOff.
+    optimizer::ExplainMode explain = optimizer::ExplainMode::kOff;
+    // When non-empty, every explain report produced is also appended
+    // to this file as one JSON line. Open() defaults it from
+    // MANIMAL_EXPLAIN_PATH.
+    std::string explain_path;
   };
 
   struct Submission {
@@ -66,6 +80,8 @@ class ManimalSystem {
     std::vector<analyzer::IndexGenProgram> index_programs;
     optimizer::Plan plan;
     exec::JobResult job;
+    // EXPLAIN / EXPLAIN ANALYZE report (Options::explain != kOff).
+    std::optional<optimizer::ExplainReport> explain;
   };
 
   static Result<std::unique_ptr<ManimalSystem>> Open(Options options);
@@ -107,6 +123,8 @@ class ManimalSystem {
     analyzer::AnalysisReport report;
     optimizer::Plan plan;
     exec::JobResult job;
+    // Per-stage EXPLAIN report (Options::explain != kOff).
+    std::optional<optimizer::ExplainReport> explain;
     // Cross-stage projection: the declared output fields this stage
     // actually wrote because the NEXT stage provably reads only them
     // (empty = all fields written).
@@ -154,6 +172,11 @@ class ManimalSystem {
 
   exec::JobConfig MakeJobConfig(const std::string& output_path);
   std::string FreshTempDir(const std::string& tag);
+  // Builds the explain report for a finished job when Options::explain
+  // asks for one (nullopt otherwise), appending its JSON line to
+  // Options::explain_path when set.
+  std::optional<optimizer::ExplainReport> MaybeExplain(
+      const optimizer::Plan& plan, const exec::JobResult& job);
 
   Options options_;
   std::unique_ptr<index::Catalog> catalog_;

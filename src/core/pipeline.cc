@@ -102,6 +102,7 @@ Result<ManimalSystem::PipelineResult> ManimalSystem::RunPipeline(
       return job.status();
     }
     outcome.job = std::move(*job);
+    outcome.explain = MaybeExplain(outcome.plan, outcome.job);
     current_input = output;
     result.stages.push_back(std::move(outcome));
   }

@@ -11,19 +11,21 @@
 
 namespace manimal::exec {
 
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kSeqScan:
+      return "seqscan";
+    case AccessPath::kBTree:
+      return "btree";
+    case AccessPath::kColumnGroups:
+      return "column-groups";
+  }
+  return "unknown";
+}
+
 std::string ExecutionDescriptor::Describe() const {
   std::string out = "ExecutionDescriptor{";
-  switch (access_path) {
-    case AccessPath::kBTree:
-      out += "btree";
-      break;
-    case AccessPath::kColumnGroups:
-      out += "column-groups";
-      break;
-    case AccessPath::kSeqScan:
-      out += "seqscan";
-      break;
-  }
+  out += AccessPathName(access_path);
   out += " " + data_path;
   if (!intervals.empty()) {
     out += " ranges=";

@@ -25,6 +25,10 @@ enum class AccessPath {
                   // program's fields (§2.1)
 };
 
+// Stable lowercase name ("seqscan" / "btree" / "column-groups") used
+// by spans, journal events, and EXPLAIN output.
+const char* AccessPathName(AccessPath path);
+
 struct ExecutionDescriptor {
   AccessPath access_path = AccessPath::kSeqScan;
 
@@ -61,6 +65,17 @@ struct ExecutionDescriptor {
   // conjunction are deleted before the shuffle (the reduce provably
   // discards such groups). Empty = no filtering.
   std::optional<analyzer::ReduceFilterDescriptor> reduce_key_filter;
+
+  // EXPLAIN ANALYZE observation hooks: the selection predicate's
+  // indexed key expression and its intervals, carried on EVERY plan
+  // that has an indexable selection (including the plain scan, where
+  // `intervals` above stays empty because no B+Tree drives the read).
+  // When JobConfig::collect_task_stats is set and the input layout is
+  // unremapped, the fabric evaluates `observe_expr` per scanned
+  // record and counts matches per interval — the observed-selectivity
+  // side of the estimated-vs-actual drift report.
+  analyzer::ExprRef observe_expr;
+  std::vector<analyzer::KeyInterval> observe_intervals;
 
   // Human-readable list of optimizations in effect (for reporting).
   std::vector<std::string> applied;

@@ -21,6 +21,7 @@
 #include "exec/shuffle.h"
 #include "mril/verifier.h"
 #include "mril/vm.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serde/key_codec.h"
@@ -30,16 +31,14 @@ namespace manimal::exec {
 
 namespace {
 
-const char* AccessPathName(AccessPath path) {
-  switch (path) {
-    case AccessPath::kSeqScan:
-      return "seqscan";
-    case AccessPath::kBTree:
-      return "btree";
-    case AccessPath::kColumnGroups:
-      return "column-groups";
-  }
-  return "unknown";
+// Process-wide job id allocator backing JobConfig::job_id's
+// auto-assignment.
+std::atomic<uint64_t> g_next_job_id{1};
+
+// Shared task id string ("m0003" / "r0001") stamped on journal events
+// and trace spans so the two artifacts cross-reference.
+std::string TaskId(char kind, int index) {
+  return StrPrintf("%c%04d", kind, index);
 }
 
 // Shared error latch: first error wins; all tasks then bail early.
@@ -313,12 +312,15 @@ class JobRunner {
   Status RunMapPhase();
   Status RunReducePhase();
   Status AssembleOutput(char kind, int num_parts);
-  void RunChain(TaskControl* ctl, const AttemptFn& attempt_fn);
-  Result<CommitFn> MapAttempt(int split_index, int chain);
-  Result<CommitFn> ReduceAttempt(int partition, int chain);
+  void RunChain(TaskControl* ctl, char kind, int index, int chain,
+                const AttemptFn& attempt_fn);
+  Result<CommitFn> MapAttempt(int split_index, int chain, int attempt);
+  Result<CommitFn> ReduceAttempt(int partition, int chain, int attempt);
   void SubmitMapChain(ThreadPool* pool, int split_index, int chain);
   void MonitorMapPhase(ThreadPool* pool);
   void Backoff(int attempt) const;
+  void RecordTaskStat(const TaskStat& stat,
+                      const std::vector<uint64_t>& interval_matches);
 
   std::string PartPath(char kind, int idx) const {
     return cfg_.temp_dir + "/" + StrPrintf("part-%c%04d", kind, idx);
@@ -358,6 +360,16 @@ class JobRunner {
   std::atomic<uint64_t> task_retries_{0}, speculative_launches_{0},
       tasks_failed_{0};
 
+  // EXPLAIN ANALYZE collection (JobConfig::collect_task_stats).
+  // observe_ is resolved in Prepare(): stats requested AND the
+  // descriptor carries observation hooks AND the runtime layout is
+  // the original one (EvalExpr addresses original field indexes, so a
+  // projected/remapped artifact cannot be observed).
+  bool observe_ = false;
+  std::mutex stats_mu_;
+  std::vector<TaskStat> task_stats_;
+  std::vector<uint64_t> predicate_matches_;
+
   JobResult result_;
 };
 
@@ -370,8 +382,13 @@ void JobRunner::Backoff(int attempt) const {
       std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
 }
 
-void JobRunner::RunChain(TaskControl* ctl, const AttemptFn& attempt_fn) {
+void JobRunner::RunChain(TaskControl* ctl, char kind, int index,
+                         int chain, const AttemptFn& attempt_fn) {
   auto& metrics = obs::MetricsRegistry::Get();
+  auto& journal = obs::Journal::Get();
+  const std::string task = TaskId(kind, index);
+  const char* attempt_span_name =
+      kind == 'm' ? "map_task_attempt" : "reduce_task_attempt";
   const int max_attempts = std::max(1, cfg_.max_task_attempts);
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -381,15 +398,39 @@ void JobRunner::RunChain(TaskControl* ctl, const AttemptFn& attempt_fn) {
     if (attempt > 1) {
       task_retries_.fetch_add(1, std::memory_order_relaxed);
       metrics.GetCounter("engine.task_retries")->Increment();
+      obs::TraceInstant("engine.task_retry", "exec",
+                        {{"task", task},
+                         {"chain", std::to_string(chain)},
+                         {"attempt", std::to_string(attempt)},
+                         {"error", last.ToString()}});
+      journal.Event("task_retry")
+          .Str("job", cfg_.job_id)
+          .Str("task", task)
+          .Int("chain", chain)
+          .Int("attempt", attempt)
+          .Str("error", last.ToString())
+          .Emit();
       Backoff(attempt);
+    } else {
+      journal.Event("task_start")
+          .Str("job", cfg_.job_id)
+          .Str("task", task)
+          .Int("chain", chain)
+          .Bool("speculative", chain > 0)
+          .Emit();
     }
+    // One span per attempt (the enclosing map_task / reduce_task span
+    // covers the whole chain): retries and speculative twins become
+    // separate slices on the trace timeline.
+    obs::ScopedSpan attempt_span(attempt_span_name, "exec");
+    attempt_span.AddArg("task", task);
+    attempt_span.AddArg("chain", std::to_string(chain));
+    attempt_span.AddArg("attempt", std::to_string(attempt));
     Result<CommitFn> commit = [&]() -> Result<CommitFn> {
       // Faults are injected only inside armed scopes: everything a
       // retry can recover from, nothing it can't.
       ScopedFaultArming arm;
-      int chain = 0;  // chain id folded into attempt_fn by the caller
-      (void)chain;
-      return attempt_fn(0, attempt);
+      return attempt_fn(chain, attempt);
     }();
     if (!commit.ok()) {
       last = commit.status();
@@ -409,6 +450,12 @@ void JobRunner::RunChain(TaskControl* ctl, const AttemptFn& attempt_fn) {
     if (commit_status.ok()) {
       ctl->done.store(true, std::memory_order_release);
       ctl->resolved.store(true, std::memory_order_release);
+      journal.Event("task_commit")
+          .Str("job", cfg_.job_id)
+          .Str("task", task)
+          .Int("chain", chain)
+          .Int("attempt", attempt)
+          .Emit();
       return;
     }
     // Release the gate so the twin (if any) may commit instead.
@@ -420,13 +467,30 @@ void JobRunner::RunChain(TaskControl* ctl, const AttemptFn& attempt_fn) {
       !ctl->resolved.exchange(true, std::memory_order_acq_rel)) {
     tasks_failed_.fetch_add(1, std::memory_order_relaxed);
     metrics.GetCounter("engine.tasks_failed")->Increment();
+    journal.Event("task_failed")
+        .Str("job", cfg_.job_id)
+        .Str("task", task)
+        .Int("chain", chain)
+        .Str("error", last.ToString())
+        .Emit();
     errors_.Set(last.ok() ? Status::Internal("task failed without status")
                           : last);
   }
 }
 
+void JobRunner::RecordTaskStat(
+    const TaskStat& stat, const std::vector<uint64_t>& interval_matches) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  task_stats_.push_back(stat);
+  for (size_t i = 0;
+       i < interval_matches.size() && i < predicate_matches_.size(); ++i) {
+    predicate_matches_[i] += interval_matches[i];
+  }
+}
+
 Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
-                                                  int chain) {
+                                                  int chain,
+                                                  int attempt) {
   // Everything an attempt produces lives here until the commit
   // decision; an uncommitted attempt cleans up after itself (the
   // unsealed Mapper removes its spill runs, the attempt part file is
@@ -443,6 +507,9 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     uint64_t output_bytes = 0;
     uint64_t output_filtered = 0;
     uint64_t logs = 0;
+    uint64_t vm_instructions = 0;
+    double seconds = 0;
+    std::vector<uint64_t> interval_matches;
     ~AttemptState() {
       if (!committed && !attempt_path.empty()) {
         (void)RemoveFileIfExists(attempt_path);
@@ -450,6 +517,7 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     }
   };
   auto state = std::make_shared<AttemptState>();
+  Stopwatch attempt_watch;
 
   MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<InputSplit> split,
                            plan_->OpenSplit(split_index));
@@ -506,6 +574,13 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     return state->part->PairAdded();
   });
 
+  // EXPLAIN ANALYZE observation: evaluate the selection's index-key
+  // expression per scanned record and tally which predicate intervals
+  // it lands in (the observed-selectivity side of the drift report).
+  const size_t num_observe_intervals =
+      observe_ ? descriptor_.observe_intervals.size() : 0;
+  if (observe_) state->interval_matches.assign(num_observe_intervals, 0);
+
   int64_t key = 0;
   Value value;
   while (true) {
@@ -515,6 +590,17 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
       return Status::Internal("map task aborted: job already failed");
     }
     ++state->records;
+    if (observe_) {
+      Result<Value> index_key = analyzer::EvalExpr(
+          descriptor_.observe_expr, Value::I64(key), value);
+      if (index_key.ok()) {
+        for (size_t i = 0; i < num_observe_intervals; ++i) {
+          if (descriptor_.observe_intervals[i].Contains(*index_key)) {
+            ++state->interval_matches[i];
+          }
+        }
+      }
+    }
     MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
     if (cfg_.debug_map_record_sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -525,9 +611,12 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     MANIMAL_RETURN_IF_ERROR(state->part->Finish());
   }
   state->map_invocations = vm.map_invocations();
+  state->vm_instructions = vm.total_steps();
+  state->seconds = attempt_watch.ElapsedSeconds();
   const uint64_t split_bytes = split->bytes_read();
 
-  return CommitFn([this, state, split_bytes]() -> Status {
+  return CommitFn([this, state, split_bytes, split_index, chain,
+                   attempt]() -> Status {
     if (state->part != nullptr) {
       MANIMAL_RETURN_IF_ERROR(
           RenameFile(state->attempt_path, state->canonical_path));
@@ -550,12 +639,27 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     map_output_filtered_.fetch_add(state->output_filtered,
                                    std::memory_order_relaxed);
     log_messages_.fetch_add(state->logs, std::memory_order_relaxed);
+    if (cfg_.collect_task_stats) {
+      TaskStat stat;
+      stat.kind = 'm';
+      stat.index = split_index;
+      stat.chain = chain;
+      stat.attempt = attempt;
+      stat.records_in = state->records;
+      stat.records_out = state->output_records;
+      stat.bytes_read = split_bytes;
+      stat.bytes_written = state->output_bytes;
+      stat.vm_instructions = state->vm_instructions;
+      stat.seconds = state->seconds;
+      RecordTaskStat(stat, state->interval_matches);
+    }
     return Status::OK();
   });
 }
 
 Result<JobRunner::CommitFn> JobRunner::ReduceAttempt(int partition,
-                                                     int chain) {
+                                                     int chain,
+                                                     int attempt) {
   struct AttemptState {
     std::unique_ptr<PartFile> part;
     std::string attempt_path;
@@ -563,6 +667,8 @@ Result<JobRunner::CommitFn> JobRunner::ReduceAttempt(int partition,
     bool committed = false;
     uint64_t groups = 0;
     uint64_t logs = 0;
+    uint64_t vm_instructions = 0;
+    double seconds = 0;
     ~AttemptState() {
       if (!committed && !attempt_path.empty()) {
         (void)RemoveFileIfExists(attempt_path);
@@ -570,6 +676,7 @@ Result<JobRunner::CommitFn> JobRunner::ReduceAttempt(int partition,
     }
   };
   auto state = std::make_shared<AttemptState>();
+  Stopwatch attempt_watch;
   state->attempt_path = AttemptPath('r', partition, chain);
   state->canonical_path = PartPath('r', partition);
 
@@ -604,14 +711,29 @@ Result<JobRunner::CommitFn> JobRunner::ReduceAttempt(int partition,
         vm.InvokeReduce(key, Value::List(std::move(values))));
   }
   MANIMAL_RETURN_IF_ERROR(state->part->Finish());
+  state->vm_instructions = vm.total_steps();
+  state->seconds = attempt_watch.ElapsedSeconds();
 
-  return CommitFn([this, state, partition]() -> Status {
+  return CommitFn([this, state, partition, chain, attempt]() -> Status {
     MANIMAL_RETURN_IF_ERROR(
         RenameFile(state->attempt_path, state->canonical_path));
     state->committed = true;
     // Winner-only plain write; read after the phase barrier.
     partition_groups_[partition] = state->groups;
     log_messages_.fetch_add(state->logs, std::memory_order_relaxed);
+    if (cfg_.collect_task_stats) {
+      TaskStat stat;
+      stat.kind = 'r';
+      stat.index = partition;
+      stat.chain = chain;
+      stat.attempt = attempt;
+      stat.records_in = state->groups;
+      stat.records_out = state->part->num_pairs();
+      stat.bytes_written = state->part->payload_bytes();
+      stat.vm_instructions = state->vm_instructions;
+      stat.seconds = state->seconds;
+      RecordTaskStat(stat, {});
+    }
     return Status::OK();
   });
 }
@@ -630,9 +752,10 @@ void JobRunner::SubmitMapChain(ThreadPool* pool, int split_index,
     ctl.started_ns.compare_exchange_strong(zero, SteadyNowNanos(),
                                            std::memory_order_relaxed);
     Stopwatch chain_watch;
-    RunChain(&ctl, [this, split_index, chain](int, int) {
-      return MapAttempt(split_index, chain);
-    });
+    RunChain(&ctl, 'm', split_index, chain,
+             [this, split_index](int c, int attempt) {
+               return MapAttempt(split_index, c, attempt);
+             });
     const double seconds = chain_watch.ElapsedSeconds();
     {
       std::lock_guard<std::mutex> lock(durations_mu_);
@@ -699,7 +822,17 @@ void JobRunner::MonitorMapPhase(ThreadPool* pool) {
             metrics.GetCounter("engine.speculative_launches")
                 ->Increment();
             obs::TraceInstant("engine.speculative_launch", "exec",
-                              {{"split", std::to_string(i)}});
+                              {{"task", TaskId('m', i)},
+                               {"elapsed_s", StrPrintf("%.3f", elapsed)},
+                               {"threshold_s",
+                                StrPrintf("%.3f", threshold)}});
+            obs::Journal::Get()
+                .Event("speculative_launch")
+                .Str("job", cfg_.job_id)
+                .Str("task", TaskId('m', i))
+                .Time("elapsed_s", elapsed)
+                .Time("threshold_s", threshold)
+                .Emit();
             SubmitMapChain(pool, i, /*chain=*/1);
           }
         }
@@ -737,7 +870,9 @@ Status JobRunner::RunReducePhase() {
       obs::ScopedSpan task_span("reduce_task", "exec");
       task_span.AddArg("partition", std::to_string(p));
       Stopwatch task_watch;
-      RunChain(&ctl, [this, p](int, int) { return ReduceAttempt(p, 0); });
+      RunChain(&ctl, 'r', p, /*chain=*/0, [this, p](int c, int attempt) {
+        return ReduceAttempt(p, c, attempt);
+      });
       auto& metrics = obs::MetricsRegistry::Get();
       metrics.GetCounter("exec.reduce_tasks")->Increment();
       metrics.GetHistogram("exec.reduce_task_seconds")
@@ -790,10 +925,22 @@ Status JobRunner::Prepare() {
                      ? plan_->DerivedFieldRemap()
                      : descriptor_.field_remap;
 
+  // EXPLAIN ANALYZE observation is only sound on the original record
+  // layout: EvalExpr addresses original field indexes, which a
+  // projected/remapped artifact no longer stores at those slots.
+  observe_ = cfg_.collect_task_stats &&
+             descriptor_.observe_expr != nullptr &&
+             !descriptor_.observe_intervals.empty() &&
+             field_remap_.empty();
+  if (observe_) {
+    predicate_matches_.assign(descriptor_.observe_intervals.size(), 0);
+  }
+
   if (has_reduce_) {
     Shuffle::Options shuffle_opts;
     shuffle_opts.temp_dir = cfg_.temp_dir;
     shuffle_opts.num_partitions = cfg_.num_partitions;
+    shuffle_opts.job_id = cfg_.job_id;
     // The sort budget is shared by the concurrently-running mappers
     // (floored so degenerate configs still buffer something useful).
     shuffle_opts.mapper_budget_bytes = std::max<uint64_t>(
@@ -812,12 +959,23 @@ Result<JobResult> JobRunner::Run() {
   obs::MetricsRegistry::Get().GetCounter("engine.speculative_launches");
   obs::MetricsRegistry::Get().GetCounter("engine.tasks_failed");
   obs::ScopedSpan job_span("job.run", "exec");
+  job_span.AddArg("job", cfg_.job_id);
   job_span.AddArg("access_path", AccessPathName(descriptor_.access_path));
   job_span.AddArg("program", program_.name);
   Stopwatch total_watch;
   Stopwatch plan_watch;
 
   MANIMAL_RETURN_IF_ERROR(Prepare());
+  obs::Journal::Get()
+      .Event("job_start")
+      .Str("job", cfg_.job_id)
+      .Str("program", program_.name)
+      .Str("access_path", AccessPathName(descriptor_.access_path))
+      .Int("splits", plan_->num_splits())
+      .Int("partitions", has_reduce_ ? cfg_.num_partitions : 0)
+      .Uint("input_file_bytes", result_.counters.input_file_bytes)
+      .Bool("observe_predicates", observe_)
+      .Emit();
 
   // ---------------- map phase ----------------
   result_.phase_breakdown["plan"].seconds = plan_watch.ElapsedSeconds();
@@ -844,6 +1002,13 @@ Result<JobResult> JobRunner::Run() {
 
   result_.counters.output_records = out_->num_outputs();
   MANIMAL_ASSIGN_OR_RETURN(result_.counters.output_bytes, out_->Finish());
+  obs::Journal::Get()
+      .Event("output_commit")
+      .Str("job", cfg_.job_id)
+      .Str("path", cfg_.output_path)
+      .Uint("records", result_.counters.output_records)
+      .Uint("bytes", result_.counters.output_bytes)
+      .Emit();
   result_.reduce_seconds = reduce_watch.ElapsedSeconds();
   result_.phase_breakdown["reduce"].seconds = result_.reduce_seconds;
 
@@ -878,6 +1043,32 @@ Result<JobResult> JobRunner::Run() {
   result_.reported_seconds = result_.wall_seconds +
                              cfg_.simulated_startup_seconds +
                              result_.simulated_io_seconds;
+
+  result_.job_id = cfg_.job_id;
+  if (cfg_.collect_task_stats) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    result_.task_stats = std::move(task_stats_);
+    result_.predicates_observed = observe_;
+    for (size_t i = 0; i < predicate_matches_.size(); ++i) {
+      PredicateStat ps;
+      ps.predicate = descriptor_.observe_intervals[i].ToString();
+      ps.matched = predicate_matches_[i];
+      result_.predicate_stats.push_back(std::move(ps));
+    }
+  }
+  obs::Journal::Get()
+      .Event("job_finish")
+      .Str("job", cfg_.job_id)
+      .Uint("input_records", result_.counters.input_records)
+      .Uint("output_records", result_.counters.output_records)
+      .Uint("task_retries", result_.counters.task_retries)
+      .Uint("speculative_launches",
+            result_.counters.speculative_launches)
+      .Uint("shuffle_spilled_runs",
+            result_.counters.shuffle_spilled_runs)
+      .Time("wall_seconds", result_.wall_seconds)
+      .Time("reported_seconds", result_.reported_seconds)
+      .Emit();
   // Rewrite the cumulative trace after every job so MANIMAL_TRACE
   // output exists even when the process exits abnormally later.
   if (obs::Tracer::Get().enabled()) {
@@ -913,10 +1104,21 @@ Result<JobResult> RunJob(const ExecutionDescriptor& descriptor,
   JobConfig cfg = config;
   cfg.map_parallelism = std::max(1, cfg.map_parallelism);
   cfg.num_partitions = std::max(1, cfg.num_partitions);
+  if (cfg.job_id.empty()) {
+    cfg.job_id = "job-" + std::to_string(g_next_job_id.fetch_add(
+                              1, std::memory_order_relaxed));
+  }
 
   JobRunner runner(descriptor, cfg);
   Result<JobResult> result = runner.Run();
-  if (!result.ok()) CleanupPartialOutputs(cfg);
+  if (!result.ok()) {
+    obs::Journal::Get()
+        .Event("job_failed")
+        .Str("job", cfg.job_id)
+        .Str("error", result.status().ToString())
+        .Emit();
+    CleanupPartialOutputs(cfg);
+  }
   return result;
 }
 

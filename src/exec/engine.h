@@ -83,6 +83,19 @@ struct JobConfig {
   // exercised deterministically regardless of how fast the VM and the
   // scan path are. Zero (production) never sleeps.
   double debug_map_record_sleep_ms = 0.0;
+
+  // ---- observability (docs/observability.md) ----
+  // Stable identifier stamped on every journal event, trace span, and
+  // EXPLAIN report for this job; auto-assigned ("job-<n>", one
+  // process-wide counter) when left empty.
+  std::string job_id;
+  // EXPLAIN ANALYZE: record per-task runtime stats and — when the
+  // descriptor carries observation hooks (observe_expr) and the input
+  // layout is unremapped — evaluate the selection's index-key
+  // expression per scanned record to count matches per interval. Adds
+  // per-record work on the map path, so it is off by default and only
+  // enabled by explain/analysis callers.
+  bool collect_task_stats = false;
 };
 
 struct JobCounters {
@@ -117,7 +130,37 @@ struct PhaseStat {
   uint64_t bytes = 0;
 };
 
+// One committed task attempt's runtime stats (EXPLAIN ANALYZE;
+// populated only under JobConfig::collect_task_stats). The chain /
+// attempt columns show which retry or speculative twin actually won
+// the task's commit gate — losing attempts leave no row.
+struct TaskStat {
+  char kind = 'm';  // 'm' = map task, 'r' = reduce task
+  int index = 0;    // split index (map) or partition (reduce)
+  int chain = 0;    // 0 = original chain, 1 = speculative twin
+  int attempt = 0;  // 1-based attempt within the chain
+  uint64_t records_in = 0;   // records scanned (map) / groups (reduce)
+  uint64_t records_out = 0;  // pairs emitted
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t vm_instructions = 0;  // VM steps executed by the attempt
+  double seconds = 0;            // attempt work time (excludes commit)
+};
+
+// Observed match count for one predicate interval: how many scanned
+// records' index-key value fell inside it. Divide by
+// JobCounters::map_invocations for observed selectivity — the
+// "actual" side of EXPLAIN ANALYZE's estimated-vs-actual drift
+// report.
+struct PredicateStat {
+  std::string predicate;  // KeyInterval::ToString() of the interval
+  uint64_t matched = 0;
+};
+
 struct JobResult {
+  // Copied from JobConfig::job_id (after auto-assignment); the same
+  // id appears on this job's journal events and trace spans.
+  std::string job_id;
   JobCounters counters;
   double map_seconds = 0;
   double reduce_seconds = 0;
@@ -132,6 +175,17 @@ struct JobResult {
   // written), "reduce" (the reduce/output pass; bytes = shuffled
   // bytes + job output). The phases sum to ~wall_seconds.
   std::map<std::string, PhaseStat> phase_breakdown;
+
+  // ---- EXPLAIN ANALYZE payload (JobConfig::collect_task_stats) ----
+  // Per-committed-attempt rows, in commit order.
+  std::vector<TaskStat> task_stats;
+  // Per-interval observed match counts of the selection predicate;
+  // empty unless the fabric actually observed records
+  // (predicates_observed below).
+  std::vector<PredicateStat> predicate_stats;
+  // True when observe_expr was evaluated over the scanned records
+  // (stats requested, hooks present, layout unremapped).
+  bool predicates_observed = false;
 };
 
 // Runs the job described by `descriptor` under `config`.

@@ -43,6 +43,10 @@ class Shuffle {
     // counters and "<label>.spill" trace instants; merges record the
     // "<label>.merge_fan_in" histogram.
     std::string metric_label = "shuffle";
+    // Job id stamped on the shuffle's journal events (shuffle_spill /
+    // shuffle_merge) so they correlate with the owning job's lifecycle
+    // events; empty = standalone shuffle (index builds, tests).
+    std::string job_id;
   };
 
   struct Stats {
@@ -109,7 +113,7 @@ class Shuffle {
     std::vector<index::MemoryRun> memory_runs;
   };
 
-  void OnSpill(uint64_t run_bytes);
+  void OnSpill(int mapper_id, int partition, uint64_t run_bytes);
 
   Options options_;
   obs::Counter* spilled_runs_counter_;

@@ -1,0 +1,84 @@
+// Telemetry substrate, part 3: one JSON implementation for every
+// machine-readable artifact the system emits.
+//
+// Before this header existed the repo had three hand-rolled copies of
+// JSON string escaping (metrics dump, trace export, bench reporter)
+// with subtly different coverage — the bench copy, for instance,
+// forgot to escape '\r'. Every writer (DumpMetricsJson, the Chrome
+// trace export, the bench JSON-lines reporter, the run journal, and
+// the EXPLAIN renderers) now goes through these helpers, and the
+// matching minimal parser lets tests and the obs_check CI tool
+// round-trip what was written instead of grepping it.
+//
+// Like the rest of src/obs/, this library is dependency-free (not
+// even common/) so the lowest layers can use it without cycles.
+
+#ifndef MANIMAL_OBS_JSON_H_
+#define MANIMAL_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace manimal::obs {
+
+// ---- writing ----
+
+// Appends `s` with every character JSON requires escaped ('"', '\\',
+// control characters as \uXXXX with the common \n \t \r shorthands).
+void JsonAppendEscaped(std::string* out, std::string_view s);
+
+std::string JsonEscape(std::string_view s);
+
+// `"escaped"` — the quoted form.
+std::string JsonQuote(std::string_view s);
+
+// Shortest-round-trip-ish representation (%.9g); non-finite values
+// (which JSON cannot carry) become 0.
+std::string JsonNumber(double v);
+
+// Fixed decimal places, e.g. trace timestamps at microsecond
+// granularity with %.3f. Non-finite values become 0.
+std::string JsonFixed(double v, int decimals);
+
+// ---- parsing ----
+
+// A parsed JSON value. Object member order is preserved (writers in
+// this repo emit deterministic field order; golden tests rely on it).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // First member with this key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Find(key)->number / ->str with defaults for missing/mistyped.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key,
+                       std::string_view fallback) const;
+};
+
+// Parses exactly one JSON document (leading/trailing whitespace
+// allowed, nothing else may follow). On failure returns false and
+// describes the problem in *error with a byte offset.
+bool JsonParse(std::string_view text, JsonValue* out,
+               std::string* error);
+
+}  // namespace manimal::obs
+
+#endif  // MANIMAL_OBS_JSON_H_

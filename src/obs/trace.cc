@@ -2,53 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "obs/json.h"
 
 namespace manimal::obs {
 
 namespace {
 
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
+// Timestamps/durations at fixed microsecond-with-nanoseconds
+// granularity, the form the Chrome trace viewer expects.
+std::string TraceNumber(double v) { return JsonFixed(v, 3); }
 
 int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -159,8 +124,8 @@ std::string Tracer::ExportJson() const {
     out += ",\"ph\":\"";
     out += e.phase;
     out += "\"";
-    out += ",\"ts\":" + JsonNumber(e.ts_us);
-    if (e.phase == 'X') out += ",\"dur\":" + JsonNumber(e.dur_us);
+    out += ",\"ts\":" + TraceNumber(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + TraceNumber(e.dur_us);
     if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
     out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
     if (!e.args.empty()) {

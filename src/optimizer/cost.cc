@@ -13,10 +13,13 @@ namespace manimal::optimizer {
 namespace {
 
 // Encodes the selection intervals as byte bounds and sums the
-// estimated matching fraction over the (disjoint) intervals.
+// estimated matching fraction over the (disjoint) intervals,
+// recording the per-interval breakdown into *per_interval for the
+// EXPLAIN drift report.
 Result<double> EstimateSelectivity(
     const index::BTreeReader& tree,
-    const std::vector<analyzer::KeyInterval>& intervals) {
+    const std::vector<analyzer::KeyInterval>& intervals,
+    std::vector<std::pair<std::string, double>>* per_interval) {
   if (intervals.empty()) return 1.0;  // full index scan
   double total = 0;
   for (const analyzer::KeyInterval& iv : intervals) {
@@ -33,6 +36,7 @@ Result<double> EstimateSelectivity(
     }
     MANIMAL_ASSIGN_OR_RETURN(double fraction,
                              tree.EstimateRangeFraction(lo, hi));
+    per_interval->emplace_back(iv.ToString(), fraction);
     total += fraction;
   }
   return std::min(1.0, total);
@@ -77,8 +81,10 @@ Result<CandidateCost> EstimateArtifactCost(
         report.selection.has_value()
             ? report.selection->intervals
             : std::vector<analyzer::KeyInterval>{};
-    MANIMAL_ASSIGN_OR_RETURN(double selectivity,
-                             EstimateSelectivity(*tree, intervals));
+    MANIMAL_ASSIGN_OR_RETURN(
+        double selectivity,
+        EstimateSelectivity(*tree, intervals,
+                            &cost.interval_selectivity));
     cost.selectivity = selectivity;
     if (spec.clustered) {
       // Embedded records: bytes scale with selectivity.

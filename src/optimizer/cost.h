@@ -14,6 +14,10 @@
 #ifndef MANIMAL_OPTIMIZER_COST_H_
 #define MANIMAL_OPTIMIZER_COST_H_
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "analyzer/analyzer.h"
 #include "common/status.h"
 #include "index/catalog.h"
@@ -26,6 +30,13 @@ struct CandidateCost {
   // Estimated matching fraction (1.0 for full scans).
   double selectivity = 1.0;
   std::string detail;  // human-readable breakdown
+  // Per-interval breakdown of `selectivity` for B+Tree candidates:
+  // (KeyInterval::ToString(), estimated fraction) per selection
+  // interval, in formula order. EXPLAIN ANALYZE joins these against
+  // the fabric's observed per-interval match counts to produce the
+  // estimated-vs-actual drift report. Empty for non-B+Tree
+  // candidates.
+  std::vector<std::pair<std::string, double>> interval_selectivity;
 };
 
 // Cost of a cataloged artifact for this program/report. Opens the

@@ -5,6 +5,7 @@
 #include "columnar/dictionary.h"
 #include "common/env.h"
 #include "common/strings.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/cost.h"
@@ -185,6 +186,40 @@ Result<Plan> MakePlanForSpec(const mril::Program& program,
 
 }  // namespace
 
+namespace {
+
+// Completes the plan with its EXPLAIN payload and the EXPLAIN ANALYZE
+// observation hooks, and journals the selection. Every BuildPlan exit
+// path funnels through here.
+Plan FinalizePlan(Plan plan, PlanExplain ex,
+                  const analyzer::AnalysisReport& report) {
+  ex.summary = plan.explanation;
+  ex.access_path = exec::AccessPathName(plan.descriptor.access_path);
+  ex.applied = plan.descriptor.applied;
+  ex.optimized = plan.optimized;
+  // Observation hooks ride on EVERY plan with an indexable selection
+  // (including the plain scan, whose descriptor.intervals stay empty):
+  // the fabric only uses them under collect_task_stats.
+  if (report.selection.has_value() && report.selection->indexable()) {
+    plan.descriptor.observe_expr = report.selection->indexed_expr;
+    plan.descriptor.observe_intervals = report.selection->intervals;
+  }
+  obs::Journal::Get()
+      .Event("plan_selected")
+      .Str("program", ex.program)
+      .Str("input", ex.input_path)
+      .Str("mode", ex.mode)
+      .Str("access_path", ex.access_path)
+      .Bool("optimized", ex.optimized)
+      .Uint("candidates", ex.candidates.size())
+      .Str("summary", ex.summary)
+      .Emit();
+  plan.explain = std::move(ex);
+  return plan;
+}
+
+}  // namespace
+
 Result<Plan> BuildPlan(const mril::Program& program,
                        const std::string& input_path,
                        const analyzer::AnalysisReport& report,
@@ -201,89 +236,149 @@ Result<Plan> BuildPlan(const mril::Program& program,
   std::vector<IndexGenProgram> candidates =
       analyzer::SynthesizeIndexPrograms(program, report);
 
-  std::vector<std::pair<const IndexGenProgram*, index::CatalogEntry>>
-      available;
-  for (const IndexGenProgram& spec : candidates) {
+  PlanExplain ex;
+  ex.program = program.name;
+  ex.input_path = input_path;
+  ex.mode = options.cost_based ? "cost" : "rule";
+  if (report.selection.has_value()) {
+    ex.predicate = report.selection->formula.ToString();
+  }
+  Result<uint64_t> input_bytes_or = GetFileSize(input_path);
+  if (input_bytes_or.ok()) {
+    ex.baseline_bytes = static_cast<double>(*input_bytes_or);
+  }
+
+  // Catalog lookup + pricing for every candidate. Pricing touches
+  // artifact metadata only (footers/manifests, O(1) I/O per
+  // candidate), so both modes can afford to price everything — the
+  // estimates feed EXPLAIN and the rejected-candidate trace.
+  struct Avail {
+    size_t idx;  // into candidates / ex.candidates
+    index::CatalogEntry entry;
+    std::optional<CandidateCost> cost;
+  };
+  std::vector<Avail> available;
+  ex.candidates.resize(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CandidateExplain& ce = ex.candidates[i];
+    ce.describe = candidates[i].Describe();
+    ce.signature = candidates[i].Signature();
     std::optional<index::CatalogEntry> entry =
-        catalog.Find(input_path, spec.Signature());
-    if (entry.has_value()) {
-      available.emplace_back(&spec, std::move(*entry));
+        catalog.Find(input_path, ce.signature);
+    if (!entry.has_value()) {
+      ce.verdict = "uncataloged";
+      ce.reason = "no matching artifact in catalog";
+      continue;
     }
+    ce.cataloged = true;
+    ce.verdict = "rejected";  // chosen candidate overrides below
+    ce.artifact_path = entry->artifact_path;
+    Avail avail{i, std::move(*entry), std::nullopt};
+    Result<CandidateCost> cost_or =
+        EstimateArtifactCost(candidates[i], avail.entry, report);
+    if (cost_or.ok()) {
+      avail.cost = *cost_or;
+      ce.est_bytes = cost_or->bytes;
+      ce.est_selectivity = cost_or->selectivity;
+      ce.cost_detail = cost_or->detail;
+      ce.interval_selectivity = cost_or->interval_selectivity;
+    } else {
+      ce.reason = "unpriceable: " + cost_or.status().ToString();
+    }
+    available.push_back(std::move(avail));
   }
   plan_span.AddArg("candidates", std::to_string(candidates.size()));
   plan_span.AddArg("cataloged", std::to_string(available.size()));
 
+  auto reject_instant = [](const CandidateExplain& ce,
+                           const char* reason) {
+    obs::TraceInstant(
+        "optimizer.candidate_rejected", "optimizer",
+        {{"candidate", ce.describe},
+         {"reason", reason},
+         {"est_bytes", ce.est_bytes >= 0
+                           ? StrPrintf("%.0f", ce.est_bytes)
+                           : std::string("unpriceable")}});
+    obs::MetricsRegistry::Get()
+        .GetCounter("optimizer.candidates_rejected")
+        ->Increment();
+  };
+
   if (!options.cost_based) {
     if (!available.empty()) {
-      // Rule-based: the pre-ranked head wins; the rest are rejected by
-      // rank, but price them anyway so the trace shows the estimated
-      // cost of every candidate not taken.
+      // Rule-based: the pre-ranked head wins; the rest are rejected
+      // by rank (their estimates still land in the trace + EXPLAIN).
       for (size_t i = 1; i < available.size(); ++i) {
-        const auto& [spec, entry] = available[i];
-        auto cost_or = EstimateArtifactCost(*spec, entry, report);
-        obs::TraceInstant(
-            "optimizer.candidate_rejected", "optimizer",
-            {{"candidate", spec->Describe()},
-             {"reason", "rule-based rank"},
-             {"est_bytes", cost_or.ok()
-                               ? StrPrintf("%.0f", cost_or->bytes)
-                               : std::string("unpriceable")}});
-        obs::MetricsRegistry::Get()
-            .GetCounter("optimizer.candidates_rejected")
-            ->Increment();
+        CandidateExplain& ce = ex.candidates[available[i].idx];
+        if (ce.reason.empty()) ce.reason = "rule-based rank";
+        reject_instant(ce, "rule-based rank");
       }
-      return MakePlanForSpec(program, *available[0].first,
-                             available[0].second, report);
+      const Avail& head = available[0];
+      MANIMAL_ASSIGN_OR_RETURN(
+          Plan plan, MakePlanForSpec(program, candidates[head.idx],
+                                     head.entry, report));
+      CandidateExplain& ce = ex.candidates[head.idx];
+      ce.verdict = "chosen";
+      ce.chosen = true;
+      ce.reason = "rule-based rank: most optimizations exploited";
+      if (head.cost.has_value()) {
+        ex.est_bytes = head.cost->bytes;
+        ex.est_selectivity = head.cost->selectivity;
+      }
+      return FinalizePlan(std::move(plan), std::move(ex), report);
     }
   } else {
     // Price everything, including the plain scan.
-    MANIMAL_ASSIGN_OR_RETURN(uint64_t input_bytes,
-                             GetFileSize(input_path));
+    MANIMAL_RETURN_IF_ERROR(input_bytes_or.status());
+    const uint64_t input_bytes = *input_bytes_or;
     CandidateCost best = BaselineCost(input_bytes);
-    const IndexGenProgram* chosen_spec = nullptr;
-    const index::CatalogEntry* chosen_entry = nullptr;
-    for (const auto& [spec, entry] : available) {
-      auto cost_or = EstimateArtifactCost(*spec, entry, report);
-      if (!cost_or.ok()) {
+    int chosen = -1;
+    for (size_t i = 0; i < available.size(); ++i) {
+      const Avail& avail = available[i];
+      CandidateExplain& ce = ex.candidates[avail.idx];
+      if (!avail.cost.has_value()) {
         // Unpriceable: skip, stay safe.
-        obs::TraceInstant("optimizer.candidate_rejected", "optimizer",
-                          {{"candidate", spec->Describe()},
-                           {"reason", "unpriceable"}});
-        obs::MetricsRegistry::Get()
-            .GetCounter("optimizer.candidates_rejected")
-            ->Increment();
+        reject_instant(ce, "unpriceable");
         continue;
       }
       obs::TraceInstant(
           "optimizer.candidate_priced", "optimizer",
-          {{"candidate", spec->Describe()},
-           {"est_bytes", StrPrintf("%.0f", cost_or->bytes)},
-           {"selectivity", StrPrintf("%.4f", cost_or->selectivity)}});
-      if (cost_or->bytes < best.bytes) {
-        best = *cost_or;
-        chosen_spec = spec;
-        chosen_entry = &entry;
+          {{"candidate", ce.describe},
+           {"est_bytes", StrPrintf("%.0f", avail.cost->bytes)},
+           {"selectivity", StrPrintf("%.4f", avail.cost->selectivity)}});
+      if (avail.cost->bytes < best.bytes) {
+        best = *avail.cost;
+        chosen = static_cast<int>(i);
       } else {
-        obs::TraceInstant(
-            "optimizer.candidate_rejected", "optimizer",
-            {{"candidate", spec->Describe()},
-             {"reason", "costlier than best"},
-             {"est_bytes", StrPrintf("%.0f", cost_or->bytes)}});
-        obs::MetricsRegistry::Get()
-            .GetCounter("optimizer.candidates_rejected")
-            ->Increment();
+        ce.reason = "costlier than best";
+        reject_instant(ce, "costlier than best");
       }
     }
-    if (chosen_spec != nullptr) {
+    // A candidate displaced by a later, cheaper one never got a
+    // rejection instant (parity with the pre-EXPLAIN behavior), but
+    // EXPLAIN still labels it.
+    for (size_t i = 0; i < available.size(); ++i) {
+      if (static_cast<int>(i) == chosen) continue;
+      CandidateExplain& ce = ex.candidates[available[i].idx];
+      if (ce.reason.empty()) ce.reason = "costlier than chosen plan";
+    }
+    if (chosen >= 0) {
+      const Avail& winner = available[chosen];
       MANIMAL_ASSIGN_OR_RETURN(
-          Plan plan,
-          MakePlanForSpec(program, *chosen_spec, *chosen_entry, report));
+          Plan plan, MakePlanForSpec(program, candidates[winner.idx],
+                                     winner.entry, report));
       plan.explanation += StrPrintf("; cost-based choice: %s (~%s)",
                                     best.detail.c_str(),
                                     HumanBytes(static_cast<uint64_t>(
                                                    best.bytes))
                                         .c_str());
-      return plan;
+      CandidateExplain& ce = ex.candidates[winner.idx];
+      ce.verdict = "chosen";
+      ce.chosen = true;
+      ce.reason = "cheapest in estimated bytes moved";
+      ex.est_bytes = best.bytes;
+      ex.est_selectivity = best.selectivity;
+      return FinalizePlan(std::move(plan), std::move(ex), report);
     }
     if (!available.empty()) {
       // Artifacts exist but none beats the scan.
@@ -294,7 +389,9 @@ Result<Plan> BuildPlan(const mril::Program& program,
           "(~%s); running conventionally",
           HumanBytes(input_bytes).c_str());
       AttachReduceFilter(report, &plan);
-      return plan;
+      ex.est_bytes = static_cast<double>(input_bytes);
+      ex.est_selectivity = 1.0;
+      return FinalizePlan(std::move(plan), std::move(ex), report);
     }
   }
 
@@ -309,7 +406,7 @@ Result<Plan> BuildPlan(const mril::Program& program,
   if (plan.optimized) {
     plan.explanation += "; pre-shuffle reduce-key filtering in effect";
   }
-  return plan;
+  return FinalizePlan(std::move(plan), std::move(ex), report);
 }
 
 }  // namespace manimal::optimizer

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "exec/descriptor.h"
 #include "index/catalog.h"
+#include "optimizer/explain.h"
 
 namespace manimal::optimizer {
 
@@ -34,6 +35,10 @@ struct Plan {
   std::string explanation;
   // True when an indexed artifact is in use.
   bool optimized = false;
+  // The full candidate set and estimates behind this choice —
+  // everything EXPLAIN renders (explain.h). Always populated by
+  // BuildPlan; rendering it is the caller's opt-in.
+  PlanExplain explain;
 };
 
 // The unoptimized plan: full scan of the raw input with the unmodified
