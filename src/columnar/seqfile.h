@@ -144,6 +144,18 @@ class SeqFileReader
   const std::string& path() const { return path_; }
   uint64_t num_records() const { return num_records_; }
 
+  // Mean on-disk block body size, from the footer's recorded offsets.
+  // The cost model uses this to price locator-resolved block touches
+  // against the file as actually written (blocks can be far from the
+  // writer's target_block_bytes when single records are large).
+  double average_block_bytes() const {
+    if (block_sizes_.empty()) return 0;
+    uint64_t total = 0;
+    for (uint64_t s : block_sizes_) total += s;
+    return static_cast<double>(total) /
+           static_cast<double>(block_sizes_.size());
+  }
+
   // Streams records of a contiguous block range [begin, end).
   // Dict-encoded slots surface as i64 codes (direct operation); use
   // the dictionary sidecar to decode when string values are needed.

@@ -122,6 +122,14 @@ class SeqScanPlan : public InputPlan {
     return reader_->file_size();
   }
 
+  bool SplitBlockRange(int i, uint64_t* begin,
+                       uint64_t* end) const override {
+    if (i < 0 || i >= static_cast<int>(ranges_.size())) return false;
+    *begin = ranges_[i].first;
+    *end = ranges_[i].second;
+    return true;
+  }
+
   std::vector<int> DerivedFieldRemap() const override {
     const columnar::SeqFileMeta& meta = reader_->meta();
     if (meta.original_schema.opaque()) return {};
@@ -237,14 +245,14 @@ class ClusteredBTreeSplit : public InputSplit {
 };
 
 Result<std::vector<ByteRange>> EncodeIntervals(
-    const ExecutionDescriptor& descriptor) {
+    const std::vector<analyzer::KeyInterval>& intervals) {
   // Analyzer intervals come pre-merged and disjoint; an empty list
   // means a full index scan.
   std::vector<ByteRange> ranges;
-  if (descriptor.intervals.empty()) {
+  if (intervals.empty()) {
     ranges.push_back(ByteRange{});
   }
-  for (const analyzer::KeyInterval& iv : descriptor.intervals) {
+  for (const analyzer::KeyInterval& iv : intervals) {
     ByteRange r;
     if (iv.lo.has_value()) {
       MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(*iv.lo, &r.start_key));
@@ -274,7 +282,7 @@ class ClusteredBTreePlan : public InputPlan {
     MANIMAL_ASSIGN_OR_RETURN(std::vector<std::string> boundaries,
                              tree->RootChildKeys());
     MANIMAL_ASSIGN_OR_RETURN(std::vector<ByteRange> ranges,
-                             EncodeIntervals(descriptor));
+                             EncodeIntervals(descriptor.intervals));
     for (const ByteRange& r : ranges) {
       std::vector<std::string> cuts;
       for (const std::string& b : boundaries) {
@@ -333,6 +341,39 @@ class ClusteredBTreePlan : public InputPlan {
   std::vector<ByteRange> ranges_;
 };
 
+// Every matching locator of `ranges`, sorted into file order.
+// *index_bytes accumulates the key+payload bytes the index pass read.
+Result<std::vector<Locator>> CollectLocators(
+    const index::BTreeReader& tree, const std::vector<ByteRange>& ranges,
+    uint64_t* index_bytes) {
+  std::vector<Locator> locators;
+  for (const ByteRange& r : ranges) {
+    index::BTreeReader::Iterator it;
+    if (r.start_key.empty() && r.start_inclusive) {
+      MANIMAL_ASSIGN_OR_RETURN(it, tree.SeekToFirst());
+    } else {
+      MANIMAL_ASSIGN_OR_RETURN(
+          it, tree.Seek(r.start_key, r.start_inclusive));
+    }
+    while (it.Valid()) {
+      if (r.has_end) {
+        int c = std::string_view(it.key()).compare(r.end_key);
+        if (c > 0 || (c == 0 && !r.end_inclusive)) break;
+      }
+      std::string_view in = it.payload();
+      uint64_t block = 0;
+      uint32_t idx = 0;
+      MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &block));
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &idx));
+      locators.emplace_back(block, idx);
+      *index_bytes += it.key().size() + it.payload().size();
+      MANIMAL_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  std::sort(locators.begin(), locators.end());
+  return locators;
+}
+
 class BTreePlan : public InputPlan {
  public:
   static Result<std::unique_ptr<BTreePlan>> Make(
@@ -346,36 +387,14 @@ class BTreePlan : public InputPlan {
                              index::BTreeReader::Open(plan->path_));
     plan->file_size_ = tree->file_size();
     MANIMAL_ASSIGN_OR_RETURN(std::vector<ByteRange> ranges,
-                             EncodeIntervals(descriptor));
+                             EncodeIntervals(descriptor.intervals));
 
     // One pass over the index collects every matching locator; sorting
     // by file position then lets splits stream the base file in order,
     // decoding each touched block exactly once job-wide.
-    std::vector<Locator> locators;
-    for (const ByteRange& r : ranges) {
-      index::BTreeReader::Iterator it;
-      if (r.start_key.empty() && r.start_inclusive) {
-        MANIMAL_ASSIGN_OR_RETURN(it, tree->SeekToFirst());
-      } else {
-        MANIMAL_ASSIGN_OR_RETURN(
-            it, tree->Seek(r.start_key, r.start_inclusive));
-      }
-      while (it.Valid()) {
-        if (r.has_end) {
-          int c = std::string_view(it.key()).compare(r.end_key);
-          if (c > 0 || (c == 0 && !r.end_inclusive)) break;
-        }
-        std::string_view in = it.payload();
-        uint64_t block = 0;
-        uint32_t idx = 0;
-        MANIMAL_RETURN_IF_ERROR(GetVarint64(&in, &block));
-        MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &idx));
-        locators.emplace_back(block, idx);
-        plan->index_bytes_ += it.key().size() + it.payload().size();
-        MANIMAL_RETURN_IF_ERROR(it.Next());
-      }
-    }
-    std::sort(locators.begin(), locators.end());
+    MANIMAL_ASSIGN_OR_RETURN(
+        std::vector<Locator> locators,
+        CollectLocators(*tree, ranges, &plan->index_bytes_));
 
     // Chunk into splits, never splitting a base block across two
     // splits (a shared block would decode twice).
@@ -531,6 +550,27 @@ Result<std::unique_ptr<InputPlan>> PlanInput(
     }
   }
   return Status::Internal("bad access path");
+}
+
+Result<std::vector<RecordLocator>> CollectBTreeLocators(
+    const std::string& tree_path,
+    const std::vector<analyzer::KeyInterval>& intervals,
+    uint64_t* index_bytes) {
+  MANIMAL_ASSIGN_OR_RETURN(std::shared_ptr<index::BTreeReader> tree,
+                           index::BTreeReader::Open(tree_path));
+  MANIMAL_ASSIGN_OR_RETURN(std::vector<ByteRange> ranges,
+                           EncodeIntervals(intervals));
+  return CollectLocators(*tree, ranges, index_bytes);
+}
+
+Result<std::unique_ptr<InputSplit>> OpenLocatorSplit(
+    std::shared_ptr<columnar::SeqFileReader> base,
+    std::vector<RecordLocator> locators, uint64_t charged_bytes) {
+  MANIMAL_ASSIGN_OR_RETURN(
+      columnar::SeqFileReader::BlockAccessor accessor,
+      base->OpenBlockAccessor());
+  return std::unique_ptr<InputSplit>(new BTreeRangeSplit(
+      std::move(accessor), std::move(locators), charged_bytes));
 }
 
 }  // namespace manimal::exec

@@ -12,6 +12,7 @@
 #define MANIMAL_EXEC_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -22,6 +23,20 @@
 #include "serde/schema.h"
 
 namespace manimal::exec {
+
+// A compatible locator-B+Tree alternative for a running seqscan job,
+// produced by re-planning against observed selectivity. The caller
+// (core) installs the callback so the fabric never depends on the
+// optimizer; the target must be a non-clustered tree whose locators
+// point into the very file the scan is reading.
+struct ReplanTarget {
+  std::string tree_path;
+  // Canonicalized (disjoint, sorted) predicate intervals to read.
+  std::vector<analyzer::KeyInterval> intervals;
+  std::string explanation;
+};
+using ReplanFn =
+    std::function<std::optional<ReplanTarget>(double observed_selectivity)>;
 
 struct JobConfig {
   // Map-side parallelism (cluster "slots").
@@ -96,6 +111,21 @@ struct JobConfig {
   // per-record work on the map path, so it is off by default and only
   // enabled by explain/analysis callers.
   bool collect_task_stats = false;
+
+  // ---- adaptive replanning (docs/observability.md) ----
+  // After `replan_min_splits` map splits commit, compare the plan's
+  // estimated predicate selectivity (descriptor
+  // est_predicate_selectivity) against what those splits observed;
+  // when off by `replan_drift_ratio`x or more in either direction,
+  // call `replan_fn(observed)` and — if it returns a target — serve
+  // every not-yet-started scan split from the tree's locators
+  // restricted to that split's block range instead. Only arms on
+  // kSeqScan plans with observation hooks and an unremapped layout;
+  // the switch is output-byte-identical to not switching.
+  bool enable_replan = false;
+  double replan_drift_ratio = 4.0;
+  int replan_min_splits = 3;
+  ReplanFn replan_fn;
 };
 
 struct JobCounters {
@@ -157,6 +187,18 @@ struct PredicateStat {
   uint64_t matched = 0;
 };
 
+// Outcome of the adaptive replanning gate (JobConfig::enable_replan).
+// Mirrored by the "plan_switched" journal event and the EXPLAIN
+// ANALYZE replan section.
+struct ReplanStat {
+  bool switched = false;
+  int after_splits = 0;   // committed splits behind the decision
+  double estimated = -1;  // plan-time selectivity estimate
+  double observed = -1;   // selectivity those splits measured
+  double drift_ratio = 0; // max(obs/est, est/obs) at decision time
+  std::string to;         // tree now serving the remaining splits
+};
+
 struct JobResult {
   // Copied from JobConfig::job_id (after auto-assignment); the same
   // id appears on this job's journal events and trace spans.
@@ -186,6 +228,9 @@ struct JobResult {
   // True when observe_expr was evaluated over the scanned records
   // (stats requested, hooks present, layout unremapped).
   bool predicates_observed = false;
+  // Adaptive replanning outcome; replan.switched == false when the
+  // gate never fired (or was never armed).
+  ReplanStat replan;
 };
 
 // Runs the job described by `descriptor` under `config`.

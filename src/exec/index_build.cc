@@ -1,6 +1,8 @@
 #include "exec/index_build.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "analyzer/expr_eval.h"
 #include "columnar/column_groups.h"
@@ -16,6 +18,7 @@
 #include "obs/trace.h"
 #include "serde/key_codec.h"
 #include "serde/record_codec.h"
+#include "stats/stats.h"
 
 namespace manimal::exec {
 
@@ -29,6 +32,18 @@ uint64_t Fnv1a(std::string_view s) {
   }
   return h;
 }
+
+// Stats collection rides along with every build scan unless
+// MANIMAL_STATS=0|off|false opts out.
+bool StatsCollectionEnabled() {
+  const char* v = std::getenv("MANIMAL_STATS");
+  if (v == nullptr || v[0] == '\0') return true;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+// Cap on how many leading record fields get per-field statistics.
+constexpr int kMaxStatsFields = 16;
 
 // Maps original field indexes to stored slots given the kept list.
 std::vector<int> ToStoredSlots(const std::vector<int>& original_fields,
@@ -109,6 +124,49 @@ Result<IndexBuildResult> BuildIndexArtifact(
     return out;
   };
 
+  // Per-column statistics (src/stats/) ride along with the build scan:
+  // "field:<i>" columns for leading scalar record fields, plus an
+  // "expr:<key expr>" column fed the B+Tree's already-encoded index
+  // key. The sidecar lands next to the artifact and the catalog entry
+  // points at it; the cost model estimates predicate selectivity from
+  // these instead of the root-fanout heuristic.
+  stats::TableStatsCollector stats_collector;
+  const bool collect_stats = StatsCollectionEnabled();
+  std::vector<stats::ColumnStatsCollector*> field_stats;
+  if (collect_stats && !input_schema.opaque()) {
+    const int nfields = std::min(input_schema.num_fields(), kMaxStatsFields);
+    field_stats.reserve(nfields);
+    for (int i = 0; i < nfields; ++i) {
+      field_stats.push_back(
+          stats_collector.Column("field:" + std::to_string(i)));
+    }
+  }
+  stats::ColumnStatsCollector* key_stats =
+      collect_stats && spec.btree
+          ? stats_collector.Column("expr:" + spec.key_expr->ToString())
+          : nullptr;
+  std::string field_key_bytes;
+  auto observe_record = [&](const Record& record) {
+    if (!collect_stats) return;
+    stats_collector.CountRow();
+    for (size_t i = 0; i < field_stats.size() && i < record.size(); ++i) {
+      field_key_bytes.clear();
+      // Non-scalar fields are not key-encodable; skip them.
+      if (!EncodeOrderedKey(record[i], &field_key_bytes).ok()) continue;
+      field_stats[i]->Add(field_key_bytes);
+    }
+  };
+  auto finish_stats = [&]() -> Status {
+    if (!collect_stats || result.records == 0) return Status::OK();
+    const std::string stats_path = artifact_dir + "/stats-" + tag + ".json";
+    MANIMAL_RETURN_IF_ERROR(
+        stats_collector.Finish().SaveTo(stats_path + ".inprogress"));
+    MANIMAL_RETURN_IF_ERROR(
+        RenameFile(stats_path + ".inprogress", stats_path));
+    result.entry.stats_path = stats_path;
+    return Status::OK();
+  };
+
   if (spec.column_groups) {
     // Split the input's columns across row-aligned sibling files
     // (§2.1 column groups); one scan feeds every group writer.
@@ -125,12 +183,14 @@ Result<IndexBuildResult> BuildIndexArtifact(
     for (;;) {
       MANIMAL_ASSIGN_OR_RETURN(bool more, stream.Next(&key, &record));
       if (!more) break;
+      observe_record(record);
       MANIMAL_RETURN_IF_ERROR(writer->Append(key, record));
       ++result.records;
     }
     MANIMAL_ASSIGN_OR_RETURN(uint64_t bytes, writer->Finish());
     result.entry.artifact_path = manifest_path;
     result.entry.artifact_bytes = bytes;
+    MANIMAL_RETURN_IF_ERROR(finish_stats());
     result.seconds = watch.ElapsedSeconds();
     return result;
   }
@@ -177,6 +237,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
           analyzer::EvalExpr(spec.key_expr, Value::I64(key), value));
       std::string key_bytes;
       MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(index_key, &key_bytes));
+      observe_record(record);
+      if (key_stats != nullptr) key_stats->Add(key_bytes);
       std::string payload;
       if (spec.clustered) {
         // Embed the (projected) record itself, prefixed by its
@@ -264,6 +326,7 @@ Result<IndexBuildResult> BuildIndexArtifact(
     for (;;) {
       MANIMAL_ASSIGN_OR_RETURN(bool more, stream.Next(&key, &record));
       if (!more) break;
+      observe_record(record);
       MANIMAL_RETURN_IF_ERROR(
           writer->Append(key, project_record(record)));
       ++result.records;
@@ -284,6 +347,7 @@ Result<IndexBuildResult> BuildIndexArtifact(
     result.entry.artifact_bytes = bytes;
   }
 
+  MANIMAL_RETURN_IF_ERROR(finish_stats());
   result.seconds = watch.ElapsedSeconds();
   return result;
 }

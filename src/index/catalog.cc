@@ -16,9 +16,10 @@ Result<Catalog> Catalog::Open(const std::string& path) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> cols = SplitString(line, '\t');
-    if (cols.size() != 7) {
+    // 7 columns is the pre-stats manifest layout; 8 adds stats_path.
+    if (cols.size() != 7 && cols.size() != 8) {
       return Status::Corruption(
-          StrPrintf("catalog %s line %d: expected 7 columns, got %zu",
+          StrPrintf("catalog %s line %d: expected 7 or 8 columns, got %zu",
                     path.c_str(), line_no, cols.size()));
     }
     CatalogEntry e;
@@ -29,6 +30,7 @@ Result<Catalog> Catalog::Open(const std::string& path) {
     e.base_path = UnescapeField(cols[4]);
     e.artifact_bytes = std::strtoull(cols[5].c_str(), nullptr, 10);
     e.input_bytes = std::strtoull(cols[6].c_str(), nullptr, 10);
+    if (cols.size() == 8) e.stats_path = UnescapeField(cols[7]);
     catalog.entries_.push_back(std::move(e));
   }
   return catalog;
@@ -66,7 +68,7 @@ std::optional<CatalogEntry> Catalog::Find(
 Status Catalog::Save() const {
   std::string out =
       "# Manimal catalog: input\tsignature\tartifact\tdict\tbase\t"
-      "bytes\tinput_bytes\n";
+      "bytes\tinput_bytes\tstats\n";
   for (const CatalogEntry& e : entries_) {
     out += EscapeField(e.input_file);
     out += '\t';
@@ -81,6 +83,8 @@ Status Catalog::Save() const {
     out += std::to_string(e.artifact_bytes);
     out += '\t';
     out += std::to_string(e.input_bytes);
+    out += '\t';
+    out += EscapeField(e.stats_path);
     out += '\n';
   }
   return WriteStringToFile(path_, out);

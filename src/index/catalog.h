@@ -27,6 +27,9 @@ struct CatalogEntry {
   // into — the raw input itself, or a projected sibling copy ("" for
   // non-B+Tree artifacts).
   std::string base_path;
+  // Optional per-column statistics sidecar (src/stats/stats.h),
+  // collected while the artifact was built ("" if none).
+  std::string stats_path;
   uint64_t artifact_bytes = 0;
   uint64_t input_bytes = 0;
 

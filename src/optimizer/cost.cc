@@ -3,26 +3,104 @@
 #include <algorithm>
 
 #include "columnar/column_groups.h"
+#include "columnar/seqfile.h"
 #include "common/env.h"
 #include "common/strings.h"
-#include "index/btree.h"
 #include "serde/key_codec.h"
 
 namespace manimal::optimizer {
 
 namespace {
 
-// Encodes the selection intervals as byte bounds and sums the
-// estimated matching fraction over the (disjoint) intervals,
-// recording the per-interval breakdown into *per_interval for the
-// EXPLAIN drift report.
+// -1 / 0 / +1 comparison of interval LOWER bounds; nullopt = -inf.
+// Ties on value order inclusive (covers more) first.
+int CompareLower(const analyzer::KeyInterval& a,
+                 const analyzer::KeyInterval& b) {
+  if (!a.lo.has_value() || !b.lo.has_value()) {
+    if (a.lo.has_value() == b.lo.has_value()) return 0;
+    return a.lo.has_value() ? 1 : -1;
+  }
+  int c = a.lo->Compare(*b.lo);
+  if (c != 0) return c;
+  if (a.lo_inclusive == b.lo_inclusive) return 0;
+  return a.lo_inclusive ? -1 : 1;
+}
+
+// -1 / 0 / +1 comparison of UPPER bounds; nullopt = +inf. Ties on
+// value order inclusive (covers more) last.
+int CompareUpper(const analyzer::KeyInterval& a,
+                 const analyzer::KeyInterval& b) {
+  if (!a.hi.has_value() || !b.hi.has_value()) {
+    if (a.hi.has_value() == b.hi.has_value()) return 0;
+    return a.hi.has_value() ? -1 : 1;
+  }
+  int c = a.hi->Compare(*b.hi);
+  if (c != 0) return c;
+  if (a.hi_inclusive == b.hi_inclusive) return 0;
+  return a.hi_inclusive ? 1 : -1;
+}
+
+// True when [a, b] overlap or touch so their union is one interval:
+// a's upper bound reaches b's lower bound (given CompareLower(a,b)<=0).
+bool MergeableWith(const analyzer::KeyInterval& a,
+                   const analyzer::KeyInterval& b) {
+  if (!a.hi.has_value() || !b.lo.has_value()) return true;
+  int c = b.lo->Compare(*a.hi);
+  if (c != 0) return c < 0;
+  // Touching bounds: [x,5] ∪ [5,y] and [x,5] ∪ (5,y] merge; the union
+  // of (x,5) and (5,y) genuinely excludes 5, so those stay apart.
+  return a.hi_inclusive || b.lo_inclusive;
+}
+
+bool IsEmpty(const analyzer::KeyInterval& iv) {
+  if (!iv.lo.has_value() || !iv.hi.has_value()) return false;
+  int c = iv.lo->Compare(*iv.hi);
+  if (c > 0) return true;
+  return c == 0 && !(iv.lo_inclusive && iv.hi_inclusive);
+}
+
+}  // namespace
+
+std::vector<analyzer::KeyInterval> CanonicalizeIntervals(
+    std::vector<analyzer::KeyInterval> intervals) {
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(), IsEmpty),
+      intervals.end());
+  std::stable_sort(intervals.begin(), intervals.end(),
+                   [](const analyzer::KeyInterval& a,
+                      const analyzer::KeyInterval& b) {
+                     int c = CompareLower(a, b);
+                     if (c != 0) return c < 0;
+                     return CompareUpper(a, b) < 0;
+                   });
+  std::vector<analyzer::KeyInterval> merged;
+  for (analyzer::KeyInterval& iv : intervals) {
+    if (!merged.empty() && MergeableWith(merged.back(), iv)) {
+      if (CompareUpper(merged.back(), iv) < 0) {
+        merged.back().hi = iv.hi;
+        merged.back().hi_inclusive = iv.hi_inclusive;
+      }
+    } else {
+      merged.push_back(std::move(iv));
+    }
+  }
+  return merged;
+}
+
 Result<double> EstimateSelectivity(
-    const index::BTreeReader& tree,
+    const index::BTreeReader* tree, const stats::ColumnStats* column,
     const std::vector<analyzer::KeyInterval>& intervals,
-    std::vector<std::pair<std::string, double>>* per_interval) {
+    std::vector<std::pair<std::string, double>>* per_interval,
+    std::string* provenance) {
+  const bool use_stats = column != nullptr && column->usable();
+  if (!use_stats && tree == nullptr) {
+    return Status::InvalidArgument(
+        "selectivity estimation needs a histogram or a tree");
+  }
+  *provenance = use_stats ? "histogram" : "btree-fanout";
   if (intervals.empty()) return 1.0;  // full index scan
   double total = 0;
-  for (const analyzer::KeyInterval& iv : intervals) {
+  for (const analyzer::KeyInterval& iv : CanonicalizeIntervals(intervals)) {
     std::optional<std::string> lo, hi;
     if (iv.lo.has_value()) {
       std::string bytes;
@@ -34,12 +112,45 @@ Result<double> EstimateSelectivity(
       MANIMAL_RETURN_IF_ERROR(EncodeOrderedKey(*iv.hi, &bytes));
       hi = std::move(bytes);
     }
-    MANIMAL_ASSIGN_OR_RETURN(double fraction,
-                             tree.EstimateRangeFraction(lo, hi));
+    double fraction = 0;
+    if (use_stats) {
+      fraction = column->EstimateRangeFraction(lo, iv.lo_inclusive, hi,
+                                               iv.hi_inclusive);
+    } else {
+      MANIMAL_ASSIGN_OR_RETURN(fraction,
+                               tree->EstimateRangeFraction(lo, hi));
+    }
     per_interval->emplace_back(iv.ToString(), fraction);
     total += fraction;
   }
+  // Canonicalized intervals are disjoint, so the sum is a probability;
+  // the clamp only guards floating-point slop.
   return std::min(1.0, total);
+}
+
+namespace {
+
+// The stats column matching the report's indexed key expression:
+// "expr:<expr>" as collected by B+Tree builds, falling back to the
+// per-field column when the expression is a plain field of the map
+// value parameter (param 1).
+const stats::ColumnStats* StatsColumnFor(
+    const CostContext& context, const analyzer::AnalysisReport& report) {
+  if (context.stats == nullptr || !report.selection.has_value()) {
+    return nullptr;
+  }
+  const analysis::ExprRef& expr = report.selection->indexed_expr;
+  if (expr == nullptr) return nullptr;
+  const stats::ColumnStats* column =
+      context.stats->Find("expr:" + expr->ToString());
+  if (column == nullptr && expr->kind == analysis::Expr::Kind::kField &&
+      expr->index >= 0 && !expr->args.empty() &&
+      expr->args[0] != nullptr &&
+      expr->args[0]->kind == analysis::Expr::Kind::kParam &&
+      expr->args[0]->index == 1) {
+    column = context.stats->Find("field:" + std::to_string(expr->index));
+  }
+  return column;
 }
 
 }  // namespace
@@ -55,8 +166,14 @@ CandidateCost BaselineCost(uint64_t input_bytes) {
 Result<CandidateCost> EstimateArtifactCost(
     const analyzer::IndexGenProgram& spec,
     const index::CatalogEntry& entry,
-    const analyzer::AnalysisReport& report) {
+    const analyzer::AnalysisReport& report,
+    const CostContext& context) {
   CandidateCost cost;
+  const stats::ColumnStats* column = StatsColumnFor(context, report);
+  const std::vector<analyzer::KeyInterval> no_intervals;
+  const std::vector<analyzer::KeyInterval>& intervals =
+      report.selection.has_value() ? report.selection->intervals
+                                   : no_intervals;
 
   if (spec.column_groups) {
     MANIMAL_ASSIGN_OR_RETURN(
@@ -68,6 +185,15 @@ Result<CandidateCost> EstimateArtifactCost(
     }
     auto selection = reader->SelectGroups(needed);
     cost.bytes = static_cast<double>(selection.bytes);
+    // Column groups read whole groups regardless of the predicate, but
+    // a histogram still prices its selectivity for EXPLAIN/drift.
+    if (column != nullptr && !intervals.empty()) {
+      MANIMAL_ASSIGN_OR_RETURN(
+          cost.selectivity,
+          EstimateSelectivity(nullptr, column, intervals,
+                              &cost.interval_selectivity,
+                              &cost.provenance));
+    }
     cost.detail = StrPrintf("column groups: %zu groups, %s",
                             selection.group_indexes.size(),
                             HumanBytes(selection.bytes).c_str());
@@ -77,14 +203,17 @@ Result<CandidateCost> EstimateArtifactCost(
   if (spec.btree) {
     MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<index::BTreeReader> tree,
                              index::BTreeReader::Open(entry.artifact_path));
-    const std::vector<analyzer::KeyInterval>& intervals =
-        report.selection.has_value()
-            ? report.selection->intervals
-            : std::vector<analyzer::KeyInterval>{};
     MANIMAL_ASSIGN_OR_RETURN(
         double selectivity,
-        EstimateSelectivity(*tree, intervals,
-                            &cost.interval_selectivity));
+        EstimateSelectivity(tree.get(), column, intervals,
+                            &cost.interval_selectivity,
+                            &cost.provenance));
+    if (context.observed_selectivity.has_value()) {
+      // Mid-job feedback outranks any model: the first committed
+      // splits measured the real matching fraction.
+      selectivity = std::clamp(*context.observed_selectivity, 0.0, 1.0);
+      cost.provenance = "observed";
+    }
     cost.selectivity = selectivity;
     if (spec.clustered) {
       // Embedded records: bytes scale with selectivity.
@@ -96,26 +225,43 @@ Result<CandidateCost> EstimateArtifactCost(
     }
     // Locator tree: matching index entries plus the touched base
     // blocks (each match may decode one block; capped by the base
-    // size).
-    MANIMAL_ASSIGN_OR_RETURN(uint64_t base_bytes,
-                             GetFileSize(entry.base_path));
+    // size). Block size comes from the base file's own footer — the
+    // writer's 16 KiB target is only a target, and single wide records
+    // routinely blow past it.
+    MANIMAL_ASSIGN_OR_RETURN(
+        std::shared_ptr<columnar::SeqFileReader> base,
+        columnar::SeqFileReader::Open(entry.base_path));
+    const double base_bytes = static_cast<double>(base->file_size());
+    double block_bytes = base->average_block_bytes();
+    if (block_bytes <= 0) {
+      block_bytes = 16 * 1024;  // empty base: fall back to the target
+    }
     double index_bytes =
         selectivity * static_cast<double>(tree->file_size());
     double matches =
         selectivity * static_cast<double>(tree->num_entries());
-    constexpr double kBlockBytes = 16 * 1024;
-    double touched =
-        std::min(static_cast<double>(base_bytes), matches * kBlockBytes);
+    double touched = std::min(base_bytes, matches * block_bytes);
     cost.bytes = index_bytes + touched;
     cost.detail = StrPrintf(
-        "locator btree: sel %.3f, index %s + <=%s of base", selectivity,
+        "locator btree: sel %.3f, index %s + <=%s of base "
+        "(%s avg block)",
+        selectivity,
         HumanBytes(static_cast<uint64_t>(index_bytes)).c_str(),
-        HumanBytes(static_cast<uint64_t>(touched)).c_str());
+        HumanBytes(static_cast<uint64_t>(touched)).c_str(),
+        HumanBytes(static_cast<uint64_t>(block_bytes)).c_str());
     return cost;
   }
 
   // Re-encoded SeqFile artifacts (projection / delta / dictionary):
-  // full scan of the artifact.
+  // full scan of the artifact, with histogram-priced selectivity for
+  // EXPLAIN/drift when stats exist.
+  if (column != nullptr && !intervals.empty()) {
+    MANIMAL_ASSIGN_OR_RETURN(
+        cost.selectivity,
+        EstimateSelectivity(nullptr, column, intervals,
+                            &cost.interval_selectivity,
+                            &cost.provenance));
+  }
   cost.bytes = static_cast<double>(entry.artifact_bytes);
   cost.detail =
       "artifact scan of " + HumanBytes(entry.artifact_bytes);

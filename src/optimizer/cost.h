@@ -4,23 +4,35 @@
 // are solved with simple rule-based heuristics").
 //
 // The cost unit is estimated BYTES MOVED by the map phase, the
-// quantity the whole evaluation shows performance tracks. Selectivity
-// for B+Tree candidates is estimated from the tree itself: its root
-// fan-out is an equi-depth histogram of the key distribution, so the
-// fraction of root children overlapping the scan intervals
-// approximates the matching-entry fraction with no extra statistics
-// infrastructure.
+// quantity the whole evaluation shows performance tracks. Predicate
+// selectivity comes from, in order of preference:
+//
+//   1. "observed"      — actual selectivity reported by the running
+//                        job's first committed splits (mid-job
+//                        replanning feedback);
+//   2. "histogram"     — the per-column equi-depth histograms and
+//                        distinct-count sketches collected at
+//                        index-build time (src/stats/);
+//   3. "btree-fanout"  — the B+Tree's own root fan-out, an implicit
+//                        equi-depth histogram of the key distribution
+//                        needing no statistics infrastructure.
+//
+// The chosen source is recorded as the estimate's provenance and
+// surfaces in EXPLAIN.
 
 #ifndef MANIMAL_OPTIMIZER_COST_H_
 #define MANIMAL_OPTIMIZER_COST_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analyzer/analyzer.h"
 #include "common/status.h"
+#include "index/btree.h"
 #include "index/catalog.h"
+#include "stats/stats.h"
 
 namespace manimal::optimizer {
 
@@ -29,14 +41,45 @@ struct CandidateCost {
   double bytes = 0;
   // Estimated matching fraction (1.0 for full scans).
   double selectivity = 1.0;
+  // Which estimator produced `selectivity`: "histogram",
+  // "btree-fanout", "observed", or "" when no selectivity estimate
+  // applies (plain full scans).
+  std::string provenance;
   std::string detail;  // human-readable breakdown
-  // Per-interval breakdown of `selectivity` for B+Tree candidates:
-  // (KeyInterval::ToString(), estimated fraction) per selection
-  // interval, in formula order. EXPLAIN ANALYZE joins these against
-  // the fabric's observed per-interval match counts to produce the
-  // estimated-vs-actual drift report. Empty for non-B+Tree
-  // candidates.
+  // Per-interval breakdown of `selectivity`: (KeyInterval::ToString(),
+  // estimated fraction) per canonicalized selection interval. EXPLAIN
+  // ANALYZE joins these against the fabric's observed per-interval
+  // match counts to produce the estimated-vs-actual drift report.
+  // Empty when no selection applies.
   std::vector<std::pair<std::string, double>> interval_selectivity;
+};
+
+// Sorts selection intervals by lower bound, drops empty ones, and
+// merges overlapping or adjacent ones, so that summing per-interval
+// fractions never counts a key range twice (un-simplified DNF can
+// produce overlapping intervals; the analyzer usually pre-merges, but
+// correctness must not depend on it).
+std::vector<analyzer::KeyInterval> CanonicalizeIntervals(
+    std::vector<analyzer::KeyInterval> intervals);
+
+// Estimated matching fraction of `intervals` (canonicalized
+// internally). Uses `column` histograms when usable, else the tree's
+// root fan-out; exactly one of `tree` / `column` may be null. Appends
+// the per-interval breakdown to *per_interval and names the estimator
+// in *provenance. Exposed for tests.
+Result<double> EstimateSelectivity(
+    const index::BTreeReader* tree, const stats::ColumnStats* column,
+    const std::vector<analyzer::KeyInterval>& intervals,
+    std::vector<std::pair<std::string, double>>* per_interval,
+    std::string* provenance);
+
+// Optional inputs that sharpen the estimates.
+struct CostContext {
+  // Column statistics for the candidate's input file (nullable).
+  const stats::TableStats* stats = nullptr;
+  // Ground-truth selectivity observed by a running job's first
+  // committed splits; set when replanning mid-job.
+  std::optional<double> observed_selectivity;
 };
 
 // Cost of a cataloged artifact for this program/report. Opens the
@@ -44,7 +87,14 @@ struct CandidateCost {
 Result<CandidateCost> EstimateArtifactCost(
     const analyzer::IndexGenProgram& spec,
     const index::CatalogEntry& entry,
-    const analyzer::AnalysisReport& report);
+    const analyzer::AnalysisReport& report,
+    const CostContext& context);
+inline Result<CandidateCost> EstimateArtifactCost(
+    const analyzer::IndexGenProgram& spec,
+    const index::CatalogEntry& entry,
+    const analyzer::AnalysisReport& report) {
+  return EstimateArtifactCost(spec, entry, report, CostContext());
+}
 
 // Cost of the conventional full scan.
 CandidateCost BaselineCost(uint64_t input_bytes);

@@ -148,6 +148,7 @@ ExplainReport MakeExplainReport(const Plan& plan,
   }
   report.predicates_observed = result.predicates_observed;
   report.drift = BuildDrift(report.plan, result);
+  report.replan = result.replan;
   for (const auto& [name, stat] : result.phase_breakdown) {
     report.phases.emplace_back(name, stat);
   }
@@ -182,6 +183,9 @@ std::string ExplainReport::ToText() const {
     out += "  estimated:";
     if (plan.est_selectivity >= 0) {
       out += StrPrintf(" selectivity=%.4f", plan.est_selectivity);
+      if (!plan.est_provenance.empty()) {
+        out += " (" + plan.est_provenance + ")";
+      }
     }
     if (plan.est_bytes >= 0) {
       out += StrPrintf(
@@ -205,6 +209,7 @@ std::string ExplainReport::ToText() const {
           " — est %s, sel %s",
           HumanBytes(static_cast<uint64_t>(c.est_bytes)).c_str(),
           FmtSel(c.est_selectivity).c_str());
+      if (!c.provenance.empty()) out += " [" + c.provenance + "]";
     }
     if (!c.reason.empty()) out += " (" + c.reason + ")";
     out += "\n";
@@ -252,6 +257,14 @@ std::string ExplainReport::ToText() const {
           static_cast<unsigned long long>(t.vm_instructions), t.seconds);
     }
   }
+  if (replan.switched) {
+    out += StrPrintf(
+        "  replan: switched to %s after %d splits (est=%s obs=%s "
+        "drift=%.1fx)\n",
+        replan.to.c_str(), replan.after_splits,
+        FmtSel(replan.estimated).c_str(),
+        FmtSel(replan.observed).c_str(), replan.drift_ratio);
+  }
   if (!drift.empty()) {
     out += "  drift (estimated vs observed selectivity";
     if (predicates_observed && plan.access_path != "seqscan") {
@@ -298,6 +311,9 @@ std::string ExplainReport::ToJson() const {
   }
   AppendOptionalNum(&out, "est_selectivity", plan.est_selectivity,
                     /*fixed4=*/true);
+  if (!plan.est_provenance.empty()) {
+    out += ",\"est_provenance\":" + JsonQuote(plan.est_provenance);
+  }
   AppendOptionalNum(&out, "est_bytes", plan.est_bytes);
   AppendOptionalNum(&out, "baseline_bytes", plan.baseline_bytes);
   out += ",\"candidates\":[";
@@ -316,6 +332,9 @@ std::string ExplainReport::ToJson() const {
     AppendOptionalNum(&out, "est_bytes", c.est_bytes);
     AppendOptionalNum(&out, "est_selectivity", c.est_selectivity,
                       /*fixed4=*/true);
+    if (!c.provenance.empty()) {
+      out += ",\"provenance\":" + JsonQuote(c.provenance);
+    }
     if (!c.cost_detail.empty()) {
       out += ",\"cost_detail\":" + JsonQuote(c.cost_detail);
     }
@@ -395,6 +414,16 @@ std::string ExplainReport::ToJson() const {
       out += "}";
     }
     out += "]";
+    if (replan.switched) {
+      out += ",\"replan\":{\"switched\":true";
+      out += ",\"after_splits\":" + std::to_string(replan.after_splits);
+      AppendOptionalNum(&out, "estimated", replan.estimated,
+                        /*fixed4=*/true);
+      AppendOptionalNum(&out, "observed", replan.observed,
+                        /*fixed4=*/true);
+      out += ",\"drift_ratio\":" + JsonNumber(replan.drift_ratio);
+      out += ",\"to\":" + JsonQuote(replan.to) + "}";
+    }
   }
   out += "}";
   return out;

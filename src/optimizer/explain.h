@@ -60,6 +60,10 @@ struct CandidateExplain {
   // (uncataloged, or pricing failed).
   double est_bytes = -1;
   double est_selectivity = -1;
+  // Which estimator produced est_selectivity: "histogram" (catalog
+  // column stats), "btree-fanout" (root fan-out heuristic), or
+  // "observed" (mid-job feedback). "" when nothing was priced.
+  std::string provenance;
   std::string cost_detail;
   // Per-interval estimated selectivity for B+Tree candidates:
   // (KeyInterval::ToString(), fraction).
@@ -81,6 +85,9 @@ struct PlanExplain {
   // baseline with nothing priced).
   double est_selectivity = -1;
   double est_bytes = -1;
+  // Estimator behind est_selectivity ("histogram" / "btree-fanout" /
+  // "observed"); "" when unknown.
+  std::string est_provenance;
   // Size of the raw input = cost of the conventional full scan.
   double baseline_bytes = -1;
   std::vector<CandidateExplain> candidates;
@@ -115,6 +122,9 @@ struct ExplainReport {
   // seqscan plan observes ground truth.
   bool predicates_observed = false;
   std::vector<DriftRow> drift;
+  // Adaptive replanning outcome (replan.switched == false when the
+  // run never switched plans).
+  exec::ReplanStat replan;
   std::vector<std::pair<std::string, exec::PhaseStat>> phases;
   std::vector<exec::TaskStat> tasks;
   exec::JobCounters counters;

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/cost.h"
+#include "stats/stats.h"
 
 namespace manimal::optimizer {
 
@@ -153,7 +154,9 @@ Result<Plan> MakePlanForSpec(const mril::Program& program,
         }
         d.artifact_meta = std::move(meta);
       }
-      d.intervals = report.selection->intervals;
+      // Canonicalized (sorted, merged) so overlapping DNF intervals
+      // can never collect the same locator twice.
+      d.intervals = CanonicalizeIntervals(report.selection->intervals);
       d.applied.push_back(std::string(spec.clustered ? "clustered " : "") +
                           "selection(B+Tree on " +
                           spec.key_expr->ToString() + ")");
@@ -199,10 +202,37 @@ Plan FinalizePlan(Plan plan, PlanExplain ex,
   ex.optimized = plan.optimized;
   // Observation hooks ride on EVERY plan with an indexable selection
   // (including the plain scan, whose descriptor.intervals stay empty):
-  // the fabric only uses them under collect_task_stats.
+  // the fabric only uses them under collect_task_stats or when
+  // adaptive replanning is armed. Canonicalized so the observed
+  // per-interval keys join against the canonicalized estimates.
   if (report.selection.has_value() && report.selection->indexable()) {
     plan.descriptor.observe_expr = report.selection->indexed_expr;
-    plan.descriptor.observe_intervals = report.selection->intervals;
+    plan.descriptor.observe_intervals =
+        CanonicalizeIntervals(report.selection->intervals);
+  }
+  // The replanning gate needs the plan's own estimate of the PREDICATE
+  // selectivity (not the bytes fraction): prefer the chosen
+  // candidate's interval-backed estimate, else the first priced one —
+  // the same preference order the drift report uses.
+  const CandidateExplain* estimate = nullptr;
+  for (const CandidateExplain& ce : ex.candidates) {
+    if (ce.chosen && !ce.interval_selectivity.empty()) {
+      estimate = &ce;
+      break;
+    }
+  }
+  if (estimate == nullptr) {
+    for (const CandidateExplain& ce : ex.candidates) {
+      if (ce.cataloged && ce.est_selectivity >= 0 &&
+          !ce.interval_selectivity.empty()) {
+        estimate = &ce;
+        break;
+      }
+    }
+  }
+  if (estimate != nullptr) {
+    plan.descriptor.est_predicate_selectivity = estimate->est_selectivity;
+    plan.descriptor.est_provenance = estimate->provenance;
   }
   obs::Journal::Get()
       .Event("plan_selected")
@@ -259,6 +289,25 @@ Result<Plan> BuildPlan(const mril::Program& program,
   };
   std::vector<Avail> available;
   ex.candidates.resize(candidates.size());
+
+  // Column statistics: any artifact build for this input may have left
+  // a stats sidecar; the first loadable one prices every candidate.
+  // Missing or unreadable stats just fall back to the tree-fanout
+  // heuristic.
+  stats::TableStats table_stats;
+  CostContext cost_context;
+  cost_context.observed_selectivity = options.observed_selectivity;
+  for (const index::CatalogEntry& e : catalog.FindForInput(input_path)) {
+    if (e.stats_path.empty()) continue;
+    Result<stats::TableStats> loaded =
+        stats::TableStats::Load(e.stats_path);
+    if (loaded.ok()) {
+      table_stats = std::move(loaded).value();
+      cost_context.stats = &table_stats;
+      break;
+    }
+  }
+
   for (size_t i = 0; i < candidates.size(); ++i) {
     CandidateExplain& ce = ex.candidates[i];
     ce.describe = candidates[i].Describe();
@@ -274,12 +323,13 @@ Result<Plan> BuildPlan(const mril::Program& program,
     ce.verdict = "rejected";  // chosen candidate overrides below
     ce.artifact_path = entry->artifact_path;
     Avail avail{i, std::move(*entry), std::nullopt};
-    Result<CandidateCost> cost_or =
-        EstimateArtifactCost(candidates[i], avail.entry, report);
+    Result<CandidateCost> cost_or = EstimateArtifactCost(
+        candidates[i], avail.entry, report, cost_context);
     if (cost_or.ok()) {
       avail.cost = *cost_or;
       ce.est_bytes = cost_or->bytes;
       ce.est_selectivity = cost_or->selectivity;
+      ce.provenance = cost_or->provenance;
       ce.cost_detail = cost_or->detail;
       ce.interval_selectivity = cost_or->interval_selectivity;
     } else {
@@ -324,6 +374,7 @@ Result<Plan> BuildPlan(const mril::Program& program,
       if (head.cost.has_value()) {
         ex.est_bytes = head.cost->bytes;
         ex.est_selectivity = head.cost->selectivity;
+        ex.est_provenance = head.cost->provenance;
       }
       return FinalizePlan(std::move(plan), std::move(ex), report);
     }
@@ -378,6 +429,7 @@ Result<Plan> BuildPlan(const mril::Program& program,
       ce.reason = "cheapest in estimated bytes moved";
       ex.est_bytes = best.bytes;
       ex.est_selectivity = best.selectivity;
+      ex.est_provenance = best.provenance;
       return FinalizePlan(std::move(plan), std::move(ex), report);
     }
     if (!available.empty()) {

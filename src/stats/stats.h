@@ -1,0 +1,121 @@
+// Per-column statistics for the cost-based optimizer (ROADMAP item 4).
+//
+// The paper defers plan choice to "a cost-based approach" (§2.2); the
+// cost model's missing input is predicate selectivity. This library
+// collects, in one streaming pass piggy-backed on index/artifact
+// builds (src/exec/index_build.cc), three classic summaries per
+// column:
+//
+//   * an equi-depth histogram — a uniform reservoir sample of the
+//     column's memcomparable key encodings, sorted at Finish(). The
+//     sorted sample IS the quantile table: the fraction of sample
+//     entries inside a key range is an unbiased estimate of the
+//     fraction of rows inside it, duplicates and skew included.
+//   * a KMV (k-minimum-values) distinct-count sketch, used to floor
+//     point-lookup selectivity at 1/NDV when the value misses the
+//     sample.
+//   * a small raw row sample for debugging/EXPLAIN.
+//
+// Columns are named by what produced the key: "expr:<Expr::ToString>"
+// for a B+Tree build's index-key expression, "field:<i>" for plain
+// record fields. All keys are serde::EncodeOrderedKey encodings, so
+// estimation is pure byte comparison and works for any Value type the
+// key codec supports.
+//
+// Stats are serialized as a single JSON document (via obs/json) with
+// a "stats_version" field checked on load, and referenced from the
+// catalog (src/index/catalog.h) by path.
+
+#ifndef MANIMAL_STATS_STATS_H_
+#define MANIMAL_STATS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace manimal::stats {
+
+inline constexpr int kStatsVersion = 1;
+
+// Summaries for one column. `histogram` and `sample` hold
+// memcomparable key encodings; `histogram` is sorted.
+struct ColumnStats {
+  uint64_t row_count = 0;
+  double ndv = 0;  // distinct-value estimate from the KMV sketch
+  std::vector<std::string> histogram;  // sorted equi-depth sample
+  std::vector<std::string> sample;     // small raw row sample
+
+  bool usable() const { return row_count > 0 && !histogram.empty(); }
+
+  // Estimated fraction of rows whose key falls in [lo, hi] (bounds
+  // honoring inclusivity; nullopt = unbounded on that side). Keys are
+  // EncodeOrderedKey encodings. Requires usable(). Point lookups
+  // ([v, v] both-inclusive) that miss the sample but sit inside the
+  // observed domain are floored at 1/NDV instead of 0.
+  double EstimateRangeFraction(const std::optional<std::string>& lo,
+                               bool lo_inclusive,
+                               const std::optional<std::string>& hi,
+                               bool hi_inclusive) const;
+};
+
+// All columns collected for one input file.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  // nullptr when absent or unusable.
+  const ColumnStats* Find(const std::string& name) const;
+
+  std::string ToJson() const;
+  static Result<TableStats> FromJson(std::string_view text);
+
+  Status SaveTo(const std::string& path) const;
+  static Result<TableStats> Load(const std::string& path);
+};
+
+// Streaming collector for one column: reservoir sample + KMV sketch.
+// Deterministic (fixed-seed xorshift), so rebuilding the same input
+// yields byte-identical stats.
+class ColumnStatsCollector {
+ public:
+  explicit ColumnStatsCollector(size_t reservoir_capacity = 1024,
+                                size_t sketch_size = 256,
+                                size_t raw_sample_size = 8);
+
+  void Add(std::string_view encoded_key);
+  ColumnStats Finish() const;
+
+ private:
+  size_t reservoir_capacity_;
+  size_t sketch_size_;
+  size_t raw_sample_size_;
+  uint64_t count_ = 0;
+  uint64_t rng_;
+  std::vector<std::string> reservoir_;
+  std::set<uint64_t> kmv_;  // smallest `sketch_size_` key hashes
+  std::vector<std::string> raw_sample_;
+};
+
+// Collector for a whole table; columns are created on first use.
+class TableStatsCollector {
+ public:
+  // Returns the collector for `name`, creating it if needed.
+  ColumnStatsCollector* Column(const std::string& name);
+  void CountRow() { ++row_count_; }
+
+  TableStats Finish() const;
+
+ private:
+  uint64_t row_count_ = 0;
+  std::map<std::string, ColumnStatsCollector> columns_;
+};
+
+}  // namespace manimal::stats
+
+#endif  // MANIMAL_STATS_STATS_H_

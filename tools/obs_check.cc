@@ -82,6 +82,9 @@ const std::map<std::string, std::vector<const char*>>& JournalSchema() {
       {"shuffle_merge", {"job", "partition", "disk_runs", "memory_runs"}},
       {"fault_injected",
        {"op", "path", "site_ordinal", "injected_so_far"}},
+      {"plan_switched",
+       {"job", "after_splits", "estimated", "observed", "drift_ratio",
+        "from", "to"}},
       {"output_commit", {"job", "path", "records", "bytes"}},
       {"job_finish",
        {"job", "input_records", "output_records", "task_retries",
@@ -199,6 +202,8 @@ void CheckExplain(const std::string& path) {
   if (lines.empty()) Fail(path, 0, "explain file is empty");
   static const std::set<std::string> kVerdicts = {"chosen", "rejected",
                                                  "uncataloged"};
+  static const std::set<std::string> kProvenances = {
+      "histogram", "btree-fanout", "observed"};
   for (size_t i = 0; i < lines.size(); ++i) {
     JsonValue value;
     std::string error;
@@ -238,8 +243,24 @@ void CheckExplain(const std::string& path) {
           Fail(path, i + 1, "candidate verdict '" + verdict + "'");
         }
         if (verdict == "chosen") ++chosen;
+        // Full-scan candidates legitimately carry no provenance
+        // (selectivity 1.0 by construction); when one is present it
+        // must name a known estimator.
+        if (c.Find("provenance") != nullptr &&
+            kProvenances.count(c.StringOr("provenance", "")) == 0) {
+          Fail(path, i + 1,
+               "candidate provenance '" +
+                   c.StringOr("provenance", "") + "' unexpected");
+        }
       }
       if (chosen > 1) Fail(path, i + 1, "multiple chosen candidates");
+    }
+    const JsonValue* plan_prov = plan->Find("est_provenance");
+    if (plan_prov != nullptr &&
+        kProvenances.count(plan->StringOr("est_provenance", "")) == 0) {
+      Fail(path, i + 1,
+           "plan est_provenance '" +
+               plan->StringOr("est_provenance", "") + "' unexpected");
     }
     const bool analyzed = [&] {
       const JsonValue* a = value.Find("analyzed");
