@@ -1,0 +1,500 @@
+#include "codegen/dlopen_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/strings.h"
+
+#if MANIMAL_CODEGEN_DLOPEN
+#include <dlfcn.h>
+#include <unistd.h>
+#endif
+
+namespace manimal::codegen {
+
+#if !MANIMAL_CODEGEN_DLOPEN
+
+bool EmittedKernelAvailable() { return false; }
+
+Result<std::shared_ptr<const NativeKernel>> CompileEmittedKernel(
+    const mril::Program&, const RelationalShape&,
+    const CompileOptions&) {
+  return Status::NotSupported(
+      "emitted engine compiled out (MANIMAL_CODEGEN_DLOPEN=OFF)");
+}
+
+#else  // MANIMAL_CODEGEN_DLOPEN
+
+using analysis::Expr;
+using analysis::ExprRef;
+using mril::Opcode;
+
+namespace {
+
+#ifndef MANIMAL_CODEGEN_CXX
+#define MANIMAL_CODEGEN_CXX "c++"
+#endif
+
+// Mirror of the NkVal struct in every emitted translation unit. The
+// layout is the ABI between this wrapper and the loaded object, so
+// both sides spell it out explicitly.
+struct NkVal {
+  int32_t kind;  // 0 null, 1 bool, 2 i64, 3 f64, 4 str
+  int64_t i;
+  double d;
+  const char* s;
+  uint64_t n;
+};
+
+using NkRunFn = int32_t (*)(const NkVal* key, const NkVal* rec,
+                            uint64_t nrec, NkVal* out_key,
+                            NkVal* out_val);
+
+bool ToNk(const Value& v, NkVal* out) {
+  *out = NkVal{0, 0, 0.0, nullptr, 0};
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kBool:
+      out->kind = 1;
+      out->i = *v.if_bool() ? 1 : 0;
+      return true;
+    case ValueKind::kI64:
+      out->kind = 2;
+      out->i = v.i64();
+      return true;
+    case ValueKind::kF64:
+      out->kind = 3;
+      out->d = v.f64();
+      return true;
+    case ValueKind::kStr: {
+      std::string_view s = v.str();
+      out->kind = 4;
+      out->s = s.data();
+      out->n = s.size();
+      return true;
+    }
+    default:
+      return false;  // lists / handles never cross the ABI
+  }
+}
+
+Value FromNk(const NkVal& v) {
+  switch (v.kind) {
+    case 1:
+      return Value::Bool(v.i != 0);
+    case 2:
+      return Value::I64(v.i);
+    case 3:
+      return Value::F64(v.d);
+    case 4:
+      return Value::Borrowed(std::string_view(v.s, v.n));
+    default:
+      return Value();
+  }
+}
+
+class DlopenKernel final : public NativeKernel {
+ public:
+  DlopenKernel(void* handle, NkRunFn fn, bool value_is_record,
+               std::string describe)
+      : handle_(handle),
+        fn_(fn),
+        value_is_record_(value_is_record),
+        describe_(std::move(describe)) {}
+  ~DlopenKernel() override {
+    if (handle_ != nullptr) dlclose(handle_);
+  }
+
+  KernelOutcome Run(const Value& key, const Value& record,
+                    KernelScratch* scratch, Value* out_key,
+                    Value* out_value) const override {
+    (void)scratch;
+    if (!record.is_list()) return KernelOutcome::kBailout;
+    NkVal nk_key;
+    if (!ToNk(key, &nk_key)) return KernelOutcome::kBailout;
+    const ValueList& fields = record.list();
+    NkVal stack_buf[64];
+    std::vector<NkVal> heap_buf;
+    NkVal* rec = stack_buf;
+    if (fields.size() > 64) {
+      heap_buf.resize(fields.size());
+      rec = heap_buf.data();
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (!ToNk(fields[i], &rec[i])) return KernelOutcome::kBailout;
+    }
+    NkVal ok{0, 0, 0.0, nullptr, 0};
+    NkVal ov{0, 0, 0.0, nullptr, 0};
+    int32_t rc = fn_(&nk_key, rec, fields.size(), &ok, &ov);
+    if (rc == 0) return KernelOutcome::kSkip;
+    if (rc != 1) return KernelOutcome::kBailout;
+    *out_key = FromNk(ok);
+    if (value_is_record_) {
+      *out_value = record;
+    } else {
+      *out_value = FromNk(ov);
+    }
+    return KernelOutcome::kEmit;
+  }
+
+  std::string Describe() const override { return describe_; }
+
+ private:
+  void* handle_;
+  NkRunFn fn_;
+  bool value_is_record_;
+  std::string describe_;
+};
+
+std::string EscapeCxxString(std::string_view s) {
+  std::string out;
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c >= 32 && c < 127) {
+      out += static_cast<char>(c);
+    } else {
+      out += StrPrintf("\\%03o", c);
+    }
+  }
+  return out;
+}
+
+// Renders the emitted translation unit. The supported family is
+// intentionally narrow; anything outside it returns kNotSupported so
+// the caller falls back to the closure engine.
+class SourceRenderer {
+ public:
+  SourceRenderer(const mril::Program& program,
+                 const RelationalShape& shape,
+                 const CompileOptions& options)
+      : program_(program), shape_(shape), options_(options) {}
+
+  Result<std::string> Render(bool* value_is_record) {
+    std::ostringstream terms;
+    int disjunct_id = 0;
+    for (const analyzer::Conjunct& c : shape_.formula.disjuncts) {
+      std::vector<std::pair<double, std::string>> checks;
+      for (const analyzer::SelectTerm& t : c.terms) {
+        MANIMAL_ASSIGN_OR_RETURN(std::string check,
+                                 RenderTerm(t, disjunct_id));
+        checks.emplace_back(Selectivity(t), std::move(check));
+      }
+      std::stable_sort(checks.begin(), checks.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      terms << "  // disjunct " << disjunct_id << "\n";
+      for (const auto& [sel, check] : checks) terms << check;
+      terms << "  goto emit;\n";
+      terms << "d" << disjunct_id << ":;\n";
+      ++disjunct_id;
+    }
+
+    std::ostringstream emit;
+    *value_is_record = false;
+    if (shape_.emit_pc >= 0) {
+      MANIMAL_ASSIGN_OR_RETURN(std::string key_code,
+                               RenderOut(shape_.key_expr, "out_key"));
+      if (shape_.value_expr->kind == Expr::Kind::kParam &&
+          shape_.value_expr->index == mril::kMapValueParam) {
+        *value_is_record = true;
+      } else {
+        MANIMAL_ASSIGN_OR_RETURN(
+            std::string value_code,
+            RenderOut(shape_.value_expr, "out_val"));
+        emit << value_code;
+      }
+      emit << key_code;
+    }
+
+    std::ostringstream src;
+    src << "// emitted by manimal codegen; do not edit\n"
+        << "#include <cstdint>\n"
+        << "#include <cstddef>\n\n";
+    for (const std::string& s : statics_) src << s;
+    src << "\nextern \"C\" {\n\n"
+        << "struct NkVal {\n"
+        << "  int32_t kind;  // 0 null, 1 bool, 2 i64, 3 f64, 4 str\n"
+        << "  int64_t i;\n"
+        << "  double d;\n"
+        << "  const char* s;\n"
+        << "  uint64_t n;\n"
+        << "};\n\n"
+        << "int32_t nk_run(const NkVal* key, const NkVal* rec, "
+           "uint64_t nrec,\n"
+        << "               NkVal* out_key, NkVal* out_val) {\n"
+        << "  (void)key; (void)rec; (void)nrec;\n"
+        << "  (void)out_key; (void)out_val;\n";
+    if (min_arity_ > 0) {
+      src << "  if (nrec < " << min_arity_ << "u) return 2;\n";
+    }
+    // Kind guards: a record deviating from the schema bails (the VM
+    // replay then reproduces whatever the VM does).
+    for (const std::string& g : guards_) src << g;
+    src << terms.str();
+    src << "  return 0;\n";
+    src << "emit:\n";
+    if (shape_.emit_pc < 0) {
+      src << "  return 0;\n";  // unreachable: FALSE formula
+    } else {
+      src << emit.str();
+      src << "  return 1;\n";
+    }
+    src << "}\n\n}  // extern \"C\"\n";
+    return src.str();
+  }
+
+ private:
+  double Selectivity(const analyzer::SelectTerm& t) const {
+    for (const auto& [key, sel] : options_.term_selectivity) {
+      if (key == t.ToString()) return sel;
+    }
+    if (t.expr->kind == Expr::Kind::kOp &&
+        t.expr->op == Opcode::kCmpEq) {
+      return 0.1;
+    }
+    return 0.4;
+  }
+
+  Result<int> ResolveSlot(int index) {
+    if (program_.value_schema.opaque() || index < 0 ||
+        index >= program_.value_schema.num_fields()) {
+      return Status::NotSupported(
+          "emitted engine: field index outside schema");
+    }
+    if (options_.field_remap.empty()) return index;
+    if (index >= static_cast<int>(options_.field_remap.size()) ||
+        options_.field_remap[index] < 0) {
+      return Status::NotSupported(
+          "emitted engine: field not present in the input layout");
+    }
+    return options_.field_remap[index];
+  }
+
+  void GuardSlotKind(int slot, int kind) {
+    guards_.insert(StrPrintf("  if (rec[%d].kind != %d) return 2;\n",
+                             slot, kind));
+    if (slot + 1 > min_arity_) min_arity_ = slot + 1;
+  }
+
+  static bool IsPlainField(const ExprRef& e) {
+    return e != nullptr && e->kind == Expr::Kind::kField &&
+           e->args.size() == 1 &&
+           e->args[0]->kind == Expr::Kind::kParam &&
+           e->args[0]->index == mril::kMapValueParam;
+  }
+
+  // An i64-valued scalar C++ expression over `key` / `rec`.
+  Result<std::string> RenderI64(const ExprRef& e) {
+    if (e == nullptr) {
+      return Status::NotSupported("emitted engine: null expression");
+    }
+    if (e->kind == Expr::Kind::kConst && e->constant.is_i64()) {
+      return StrPrintf("INT64_C(%lld)",
+                       static_cast<long long>(e->constant.i64()));
+    }
+    if (IsPlainField(e)) {
+      if (program_.value_schema.field(e->index).type !=
+          FieldType::kI64) {
+        return Status::NotSupported(
+            "emitted engine: non-i64 field in arithmetic");
+      }
+      MANIMAL_ASSIGN_OR_RETURN(int slot, ResolveSlot(e->index));
+      GuardSlotKind(slot, 2);
+      return StrPrintf("rec[%d].i", slot);
+    }
+    if (e->kind == Expr::Kind::kParam &&
+        e->index == mril::kMapKeyParam &&
+        program_.key_type == FieldType::kI64) {
+      guards_.insert("  if (key->kind != 2) return 2;\n");
+      return std::string("key->i");
+    }
+    if (e->kind == Expr::Kind::kOp && e->args.size() == 2 &&
+        (e->op == Opcode::kAdd || e->op == Opcode::kSub ||
+         e->op == Opcode::kMul)) {
+      MANIMAL_ASSIGN_OR_RETURN(std::string a, RenderI64(e->args[0]));
+      MANIMAL_ASSIGN_OR_RETURN(std::string b, RenderI64(e->args[1]));
+      const char* op = e->op == Opcode::kAdd   ? "+"
+                       : e->op == Opcode::kSub ? "-"
+                                               : "*";
+      // Two's-complement wrap, like the VM.
+      return StrPrintf(
+          "(int64_t)((uint64_t)(%s) %s (uint64_t)(%s))", a.c_str(), op,
+          b.c_str());
+    }
+    if (e->kind == Expr::Kind::kOp && e->args.size() == 1 &&
+        e->op == Opcode::kNeg) {
+      MANIMAL_ASSIGN_OR_RETURN(std::string a, RenderI64(e->args[0]));
+      return StrPrintf("(int64_t)(0u - (uint64_t)(%s))", a.c_str());
+    }
+    return Status::NotSupported(
+        "emitted engine: expression outside the i64 family: " +
+        e->ToString());
+  }
+
+  Result<std::string> RenderTerm(const analyzer::SelectTerm& t,
+                                 int disjunct_id) {
+    const ExprRef& e = t.expr;
+    if (e == nullptr || e->kind != Expr::Kind::kOp ||
+        !mril::IsComparison(e->op) || e->args.size() != 2 ||
+        !IsPlainField(e->args[0]) ||
+        e->args[1]->kind != Expr::Kind::kConst ||
+        !e->args[1]->constant.is_i64() ||
+        program_.value_schema.field(e->args[0]->index).type !=
+            FieldType::kI64) {
+      return Status::NotSupported(
+          "emitted engine: selection term outside the typed "
+          "i64-field-vs-constant family: " +
+          t.ToString());
+    }
+    MANIMAL_ASSIGN_OR_RETURN(int slot, ResolveSlot(e->args[0]->index));
+    GuardSlotKind(slot, 2);
+    const char* op;
+    switch (e->op) {
+      case Opcode::kCmpLt: op = "<"; break;
+      case Opcode::kCmpLe: op = "<="; break;
+      case Opcode::kCmpGt: op = ">"; break;
+      case Opcode::kCmpGe: op = ">="; break;
+      case Opcode::kCmpEq: op = "=="; break;
+      default: op = "!="; break;
+    }
+    return StrPrintf(
+        "  if ((rec[%d].i %s INT64_C(%lld)) != %s) goto d%d;\n", slot,
+        op, static_cast<long long>(e->args[1]->constant.i64()),
+        t.polarity ? "true" : "false", disjunct_id);
+  }
+
+  // Statements filling one NkVal output.
+  Result<std::string> RenderOut(const ExprRef& e, const char* out) {
+    if (e == nullptr) {
+      return Status::NotSupported("emitted engine: null emit operand");
+    }
+    if (e->kind == Expr::Kind::kParam &&
+        e->index == mril::kMapKeyParam) {
+      return StrPrintf("  *%s = *key;\n", out);
+    }
+    if (IsPlainField(e)) {
+      MANIMAL_ASSIGN_OR_RETURN(int slot, ResolveSlot(e->index));
+      if (slot + 1 > min_arity_) min_arity_ = slot + 1;
+      return StrPrintf("  *%s = rec[%d];\n", out, slot);
+    }
+    if (e->kind == Expr::Kind::kConst) {
+      const Value& v = e->constant;
+      switch (v.kind()) {
+        case ValueKind::kNull:
+          return StrPrintf("  %s->kind = 0;\n", out);
+        case ValueKind::kBool:
+          return StrPrintf("  %s->kind = 1; %s->i = %d;\n", out, out,
+                           *v.if_bool() ? 1 : 0);
+        case ValueKind::kI64:
+          return StrPrintf(
+              "  %s->kind = 2; %s->i = INT64_C(%lld);\n", out, out,
+              static_cast<long long>(v.i64()));
+        case ValueKind::kF64:
+          return StrPrintf("  %s->kind = 3; %s->d = %.17g;\n", out,
+                           out, v.f64());
+        case ValueKind::kStr: {
+          std::string name = StrPrintf("kStr%zu", statics_.size());
+          std::string_view s = v.str();
+          statics_.push_back(StrPrintf(
+              "static const char %s[] = \"%s\";\n", name.c_str(),
+              EscapeCxxString(s).c_str()));
+          return StrPrintf(
+              "  %s->kind = 4; %s->s = %s; %s->n = %zuu;\n", out, out,
+              name.c_str(), out, s.size());
+        }
+        default:
+          return Status::NotSupported(
+              "emitted engine: non-scalar constant emit operand");
+      }
+    }
+    // Last resort: an i64 arithmetic expression.
+    MANIMAL_ASSIGN_OR_RETURN(std::string v, RenderI64(e));
+    return StrPrintf("  %s->kind = 2; %s->i = %s;\n", out, out,
+                     v.c_str());
+  }
+
+  const mril::Program& program_;
+  const RelationalShape& shape_;
+  const CompileOptions& options_;
+  std::set<std::string> guards_;
+  std::vector<std::string> statics_;
+  int min_arity_ = 0;
+};
+
+}  // namespace
+
+bool EmittedKernelAvailable() { return true; }
+
+Result<std::shared_ptr<const NativeKernel>> CompileEmittedKernel(
+    const mril::Program& program, const RelationalShape& shape,
+    const CompileOptions& options) {
+  bool value_is_record = false;
+  SourceRenderer renderer(program, shape, options);
+  MANIMAL_ASSIGN_OR_RETURN(std::string source,
+                           renderer.Render(&value_is_record));
+
+  std::string dir = options.scratch_dir;
+  if (dir.empty()) dir = MakeTempDir("manimal-codegen");
+  MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+
+  static std::atomic<int> counter{0};
+  std::string stem = StrPrintf("%s/nk_%d_%d", dir.c_str(),
+                               static_cast<int>(getpid()),
+                               counter.fetch_add(1));
+  std::string cc_path = stem + ".cc";
+  std::string so_path = stem + ".so";
+  std::string log_path = stem + ".log";
+  {
+    std::ofstream out(cc_path);
+    if (!out) {
+      return Status::IOError("cannot write emitted source: " + cc_path);
+    }
+    out << source;
+  }
+
+  std::string cmd = StrPrintf(
+      "\"%s\" -std=c++17 -O2 -fPIC -shared -o \"%s\" \"%s\" 2> \"%s\"",
+      MANIMAL_CODEGEN_CXX, so_path.c_str(), cc_path.c_str(),
+      log_path.c_str());
+  if (std::system(cmd.c_str()) != 0) {
+    std::string log;
+    std::ifstream in(log_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    log = buf.str();
+    if (log.size() > 500) log.resize(500);
+    return Status::NotSupported("emitted kernel compile failed: " + log);
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::NotSupported(
+        StrPrintf("dlopen(%s) failed: %s", so_path.c_str(), dlerror()));
+  }
+  auto fn = reinterpret_cast<NkRunFn>(dlsym(handle, "nk_run"));
+  if (fn == nullptr) {
+    dlclose(handle);
+    return Status::NotSupported("emitted object lacks nk_run");
+  }
+  return std::shared_ptr<const NativeKernel>(
+      std::make_shared<DlopenKernel>(
+          handle, fn, value_is_record,
+          StrPrintf("emitted kernel (%s): %s", so_path.c_str(),
+                    shape.Describe().c_str())));
+}
+
+#endif  // MANIMAL_CODEGEN_DLOPEN
+
+}  // namespace manimal::codegen

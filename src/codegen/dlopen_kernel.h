@@ -1,0 +1,35 @@
+// The emitted-source engine: renders an admitted relational shape to a
+// self-contained C++ translation unit, shells out to the configured
+// compiler for a shared object, and loads the kernel entry point with
+// dlopen. Compiled out (every call returns kNotSupported) unless the
+// build enables MANIMAL_CODEGEN_DLOPEN.
+//
+// The engine covers a deliberately narrow family — typed i64
+// field-vs-constant comparisons, and emit operands that are the key
+// parameter, a plain field, a scalar constant, whole-record
+// passthrough, or i64 arithmetic over those. Everything else returns
+// kNotSupported so the caller can fall back to the closure engine or
+// the VM. Emitted strings are never synthesized: they point either
+// into the caller's record (same borrowed lifetime as the closure
+// engine) or into static storage inside the loaded object.
+
+#ifndef MANIMAL_CODEGEN_DLOPEN_KERNEL_H_
+#define MANIMAL_CODEGEN_DLOPEN_KERNEL_H_
+
+#include <memory>
+
+#include "codegen/kernel.h"
+#include "codegen/shape.h"
+
+namespace manimal::codegen {
+
+// True when this build can emit + dlopen kernels.
+bool EmittedKernelAvailable();
+
+Result<std::shared_ptr<const NativeKernel>> CompileEmittedKernel(
+    const mril::Program& program, const RelationalShape& shape,
+    const CompileOptions& options);
+
+}  // namespace manimal::codegen
+
+#endif  // MANIMAL_CODEGEN_DLOPEN_KERNEL_H_

@@ -1,0 +1,204 @@
+#include "codegen/shape.h"
+
+#include <set>
+#include <utility>
+
+#include "analysis/cfg.h"
+#include "analysis/expr_recovery.h"
+#include "analysis/reaching_defs.h"
+#include "analysis/side_effects.h"
+#include "analyzer/select.h"
+#include "common/strings.h"
+
+namespace manimal::codegen {
+
+using analysis::Cfg;
+using analysis::Expr;
+using analysis::ExprRef;
+using mril::Opcode;
+
+namespace {
+
+// Opcodes whose VM handler can return an error status. Anything in
+// map() drawn from this set must be reachable through the expressions
+// the kernel evaluates, or a record could fault under the VM while the
+// kernel silently succeeds.
+bool CanFault(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kNeg:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kNot:
+    case Opcode::kCall:
+    case Opcode::kGetField:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CollectOriginPcs(const ExprRef& expr, std::set<int>* pcs) {
+  if (expr == nullptr) return;
+  if (expr->origin_pc >= 0) pcs->insert(expr->origin_pc);
+  for (const ExprRef& a : expr->args) CollectOriginPcs(a, pcs);
+}
+
+}  // namespace
+
+std::string RelationalShape::Describe() const {
+  std::string fields;
+  if (whole_record) {
+    fields = "whole-record";
+  } else {
+    for (int f : used_fields) {
+      if (!fields.empty()) fields += ",";
+      fields += std::to_string(f);
+    }
+    fields = "fields{" + fields + "}";
+  }
+  if (emit_pc < 0) return "never-emits " + fields;
+  return StrPrintf(
+      "select[%s] emit(%s, %s) %s", formula.ToString().c_str(),
+      key_expr ? key_expr->ToString().c_str() : "?",
+      value_expr ? value_expr->ToString().c_str() : "?", fields.c_str());
+}
+
+Result<RelationalShape> ExtractShape(const mril::Program& program) {
+  const mril::Function& fn = program.map_fn;
+  if (program.value_param_kind != mril::ValueParamKind::kRecord) {
+    return Status::NotSupported("opaque value parameter");
+  }
+  std::vector<analysis::SideEffect> effects =
+      analysis::FindSideEffects(fn);
+  if (!effects.empty()) {
+    return Status::NotSupported(
+        StrPrintf("map() has side effects (%s at pc %d)",
+                  effects[0].description.c_str(), effects[0].pc));
+  }
+
+  std::vector<int> emit_pcs;
+  for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+    if (fn.code[pc].op == Opcode::kEmit) {
+      emit_pcs.push_back(static_cast<int>(pc));
+    }
+  }
+  if (emit_pcs.size() > 1) {
+    return Status::NotSupported("multiple emit sites");
+  }
+
+  Cfg cfg = Cfg::Build(fn);
+  if (cfg.HasCycle()) {
+    return Status::NotSupported("loop in map()");
+  }
+
+  RelationalShape shape;
+  analyzer::SelectResult sel = analyzer::FindSelect(program);
+  if (emit_pcs.empty()) {
+    // FALSE formula: the kernel skips every record (but the shape
+    // still has to pass the fault-coverage test below — a never-emit
+    // map may still divide by zero).
+  } else if (sel.descriptor.has_value()) {
+    shape.formula = sel.descriptor->formula;
+  } else if (sel.always_emits) {
+    shape.formula.disjuncts.push_back(analyzer::Conjunct{});
+    shape.always_emits = true;
+  } else {
+    return Status::NotSupported("selection not detected: " +
+                                sel.miss_reason);
+  }
+
+  analysis::ReachingDefs reaching(fn, cfg);
+  analysis::ExprRecovery recovery(program, fn, cfg, reaching);
+
+  std::string reason;
+  std::vector<ExprRef> kernel_exprs;  // everything the kernel evaluates
+  for (const analyzer::Conjunct& c : shape.formula.disjuncts) {
+    for (const analyzer::SelectTerm& t : c.terms) {
+      if (!analysis::IsFunctional(t.expr, &reason)) {
+        return Status::NotSupported("non-functional selection term: " +
+                                    reason);
+      }
+      kernel_exprs.push_back(t.expr);
+    }
+  }
+  if (!emit_pcs.empty()) {
+    shape.emit_pc = emit_pcs[0];
+    auto [key_expr, value_expr] = recovery.EmitOperands(shape.emit_pc);
+    if (!analysis::IsFunctional(key_expr, &reason)) {
+      return Status::NotSupported("non-functional emit key: " + reason);
+    }
+    if (!analysis::IsFunctional(value_expr, &reason)) {
+      return Status::NotSupported("non-functional emit value: " + reason);
+    }
+    shape.key_expr = key_expr;
+    shape.value_expr = value_expr;
+    kernel_exprs.push_back(key_expr);
+    kernel_exprs.push_back(value_expr);
+  }
+
+  // Every conditional branch must test a formula term: the kernel
+  // evaluates exactly the terms, so a branch over any other
+  // expression could fault (non-bool condition, faulting operand)
+  // invisibly to the kernel.
+  for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+    if (!mril::IsConditionalBranch(fn.code[pc].op)) continue;
+    ExprRef cond = recovery.BranchCondition(static_cast<int>(pc));
+    bool matched = false;
+    for (const ExprRef& term : kernel_exprs) {
+      if (cond != nullptr && term->Equals(*cond)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Status::NotSupported(StrPrintf(
+          "branch at pc %zu tests an expression outside the recovered "
+          "selection formula", pc));
+    }
+  }
+
+  // Fault coverage: every fault-capable instruction must feed an
+  // expression the kernel evaluates. Dead computations (e.g. a stored
+  // local nothing reads, a popped call result) fail this test — the
+  // VM would still execute them, and they could fault.
+  std::set<int> covered;
+  for (const ExprRef& e : kernel_exprs) CollectOriginPcs(e, &covered);
+  for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+    if (CanFault(fn.code[pc].op) &&
+        covered.count(static_cast<int>(pc)) == 0) {
+      return Status::NotSupported(StrPrintf(
+          "instruction at pc %zu (%s) is not covered by the recovered "
+          "expressions", pc,
+          std::string(mril::GetOpcodeInfo(fn.code[pc].op).mnemonic)
+              .c_str()));
+    }
+  }
+
+  // Field usage, for the kernel's record-arity gate and for Describe.
+  int num_fields = program.value_schema.opaque()
+                       ? 1
+                       : program.value_schema.num_fields();
+  std::vector<bool> used(static_cast<size_t>(num_fields), false);
+  for (const ExprRef& e : kernel_exprs) {
+    if (!analysis::CollectUsedFields(e, &used)) {
+      shape.whole_record = true;
+    }
+  }
+  for (size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) shape.used_fields.push_back(static_cast<int>(i));
+  }
+  return shape;
+}
+
+}  // namespace manimal::codegen

@@ -93,6 +93,7 @@ exec::JobConfig ManimalSystem::MakeJobConfig(
   config.enable_replan = options_.adaptive_replan;
   config.replan_drift_ratio = options_.replan_drift_ratio;
   config.replan_min_splits = options_.replan_min_splits;
+  config.backend = options_.backend;
   return config;
 }
 
@@ -182,6 +183,10 @@ Result<exec::JobResult> ManimalSystem::RunBaseline(
   exec::ExecutionDescriptor descriptor = optimizer::BaselineDescriptor(
       submission.program, submission.input_path);
   exec::JobConfig config = MakeJobConfig(submission.output_path);
+  // The conventional run is the ground truth every differential check
+  // compares against: pin the VM so neither Options::backend nor the
+  // MANIMAL_BACKEND env can route it through a native kernel.
+  config.backend = exec::Backend::kVm;
   return exec::RunJob(descriptor, config);
 }
 

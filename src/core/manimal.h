@@ -76,6 +76,13 @@ class ManimalSystem {
     bool adaptive_replan = false;
     double replan_drift_ratio = 4.0;
     int replan_min_splits = 3;
+
+    // ---- native codegen tier (docs/mril.md "Native kernels") ----
+    // Map-side backend for optimized submissions. kAuto additionally
+    // honors MANIMAL_BACKEND=vm|native|auto. RunBaseline always pins
+    // the VM regardless of this setting — the conventional run is the
+    // differential ground truth.
+    exec::Backend backend = exec::Backend::kAuto;
   };
 
   struct Submission {

@@ -87,6 +87,20 @@ struct ExecutionDescriptor {
   double est_predicate_selectivity = -1;
   std::string est_provenance;
 
+  // ---- native codegen tier (src/codegen, docs/mril.md) ----
+  // Set by the optimizer when ExtractShape admits the (possibly
+  // patched) program: the map function is a proven selection+
+  // projection the native tier can execute exactly. Advisory — the
+  // engine re-probes compilation at job-prepare time — but surfaced
+  // through EXPLAIN so plan output shows the backend decision.
+  bool native_eligible = false;
+  // Why (shape description) or why not (admission-gate reason).
+  std::string native_detail;
+  // Per-term selectivity estimates keyed by SelectTerm::ToString(),
+  // derived from column statistics when available; the native kernel
+  // short-circuits conjunct terms most-selective-first.
+  std::vector<std::pair<std::string, double>> native_term_selectivity;
+
   // Human-readable list of optimizations in effect (for reporting).
   std::vector<std::string> applied;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <thread>
 
 #include "analyzer/expr_eval.h"
+#include "codegen/kernel.h"
 #include "common/check.h"
 #include "common/coding.h"
 #include "common/faulty_env.h"
@@ -28,6 +30,22 @@
 #include "serde/record_codec.h"
 
 namespace manimal::exec {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kVm: return "vm";
+    case Backend::kNative: return "native";
+  }
+  return "auto";
+}
+
+std::optional<Backend> BackendFromName(std::string_view name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "vm") return Backend::kVm;
+  if (name == "native") return Backend::kNative;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -315,6 +333,7 @@ class JobRunner {
   using AttemptFn = std::function<Result<CommitFn>(int chain, int attempt)>;
 
   Status Prepare();
+  Status ResolveBackend();
   Status RunMapPhase();
   Status RunReducePhase();
   Status AssembleOutput(char kind, int num_parts);
@@ -367,6 +386,15 @@ class JobRunner {
       map_output_filtered_{0}, log_messages_{0};
   std::atomic<uint64_t> task_retries_{0}, speculative_launches_{0},
       tasks_failed_{0};
+
+  // ---- native backend (JobConfig::backend, docs/mril.md) ----
+  // Resolved in Prepare(): non-null kernel_ means map tasks run the
+  // native tier, replaying individual records through a companion VM
+  // whenever the kernel bails out.
+  std::shared_ptr<const codegen::NativeKernel> kernel_;
+  std::string map_backend_name_ = "vm";
+  std::string backend_detail_;
+  std::atomic<uint64_t> native_tasks_{0}, native_bailouts_{0};
 
   // EXPLAIN ANALYZE collection (JobConfig::collect_task_stats).
   // observe_ is resolved in Prepare(): stats requested AND the
@@ -441,6 +469,7 @@ void JobRunner::RunChain(TaskControl* ctl, char kind, int index,
       journal.Event("task_start")
           .Str("job", cfg_.job_id)
           .Str("task", task)
+          .Str("backend", kind == 'm' ? map_backend_name_ : "vm")
           .Int("chain", chain)
           .Bool("speculative", chain > 0)
           .Emit();
@@ -534,6 +563,8 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     uint64_t output_filtered = 0;
     uint64_t logs = 0;
     uint64_t vm_instructions = 0;
+    uint64_t native_bailouts = 0;
+    bool used_native = false;
     double seconds = 0;
     std::vector<uint64_t> interval_matches;
     ~AttemptState() {
@@ -572,14 +603,9 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
                              PartFile::Create(state->attempt_path));
   }
 
-  mril::VmOptions vm_options;
-  vm_options.field_remap = field_remap_;
-  mril::VmInstance vm(&program_, vm_options);
-  vm.set_log_sink([state](const Value&) { ++state->logs; });
-
   const int num_partitions = cfg_.num_partitions;
   std::string key_scratch, value_scratch;
-  vm.set_emit_sink([&, state](const Value& k, const Value& v) -> Status {
+  auto emit_pair = [&, state](const Value& k, const Value& v) -> Status {
     // Appendix E: delete pairs the reduce provably discards.
     if (descriptor_.reduce_key_filter.has_value()) {
       for (const analyzer::SelectTerm& term :
@@ -614,7 +640,26 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     MANIMAL_RETURN_IF_ERROR(EncodeValue(v, buf));
     state->output_bytes += buf->size() - before;
     return state->part->PairAdded();
-  });
+  };
+
+  // The VM: the sole map executor on the vm backend, the per-record
+  // bailout replayer on the native backend (created lazily, so a
+  // native task that never bails never builds one).
+  mril::VmOptions vm_options;
+  vm_options.field_remap = field_remap_;
+  std::unique_ptr<mril::VmInstance> vm;
+  auto ensure_vm = [&]() -> mril::VmInstance* {
+    if (vm == nullptr) {
+      vm = std::make_unique<mril::VmInstance>(&program_, vm_options);
+      vm->set_log_sink([state](const Value&) { ++state->logs; });
+      vm->set_emit_sink(emit_pair);
+    }
+    return vm.get();
+  };
+  const bool use_native = kernel_ != nullptr;
+  if (!use_native) ensure_vm();
+  codegen::KernelScratch kernel_scratch;
+  uint64_t kernel_handled = 0;
 
   // EXPLAIN ANALYZE observation: evaluate the selection's index-key
   // expression per scanned record and tally which predicate intervals
@@ -643,7 +688,28 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
         }
       }
     }
-    MANIMAL_RETURN_IF_ERROR(vm.InvokeMap(Value::I64(key), value));
+    if (use_native) {
+      // Exactness contract (codegen/kernel.h): the kernel either
+      // reproduces the VM's behavior for this record or bails out, in
+      // which case the record is replayed through the companion VM —
+      // which also reproduces any error the VM would have raised.
+      Value out_key, out_value;
+      codegen::KernelOutcome outcome =
+          kernel_->Run(Value::I64(key), value, &kernel_scratch,
+                       &out_key, &out_value);
+      if (outcome == codegen::KernelOutcome::kBailout) {
+        ++state->native_bailouts;
+        MANIMAL_RETURN_IF_ERROR(
+            ensure_vm()->InvokeMap(Value::I64(key), value));
+      } else {
+        ++kernel_handled;
+        if (outcome == codegen::KernelOutcome::kEmit) {
+          MANIMAL_RETURN_IF_ERROR(emit_pair(out_key, out_value));
+        }
+      }
+    } else {
+      MANIMAL_RETURN_IF_ERROR(vm->InvokeMap(Value::I64(key), value));
+    }
     if (cfg_.debug_map_record_sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           cfg_.debug_map_record_sleep_ms));
@@ -652,8 +718,12 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
   if (state->part != nullptr) {
     MANIMAL_RETURN_IF_ERROR(state->part->Finish());
   }
-  state->map_invocations = vm.map_invocations();
-  state->vm_instructions = vm.total_steps();
+  state->used_native = use_native;
+  state->map_invocations =
+      kernel_handled +
+      (vm != nullptr ? static_cast<uint64_t>(vm->map_invocations()) : 0);
+  state->vm_instructions =
+      vm != nullptr ? static_cast<uint64_t>(vm->total_steps()) : 0;
   state->seconds = attempt_watch.ElapsedSeconds();
   const uint64_t split_bytes = split->bytes_read();
 
@@ -681,6 +751,14 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     map_output_filtered_.fetch_add(state->output_filtered,
                                    std::memory_order_relaxed);
     log_messages_.fetch_add(state->logs, std::memory_order_relaxed);
+    if (state->used_native) {
+      native_tasks_.fetch_add(1, std::memory_order_relaxed);
+      native_bailouts_.fetch_add(state->native_bailouts,
+                                 std::memory_order_relaxed);
+      obs::MetricsRegistry::Get()
+          .GetCounter("engine.native_tasks")
+          ->Increment();
+    }
     if (cfg_.collect_task_stats) {
       TaskStat stat;
       stat.kind = 'm';
@@ -1045,6 +1123,53 @@ Status JobRunner::AssembleOutput(char kind, int num_parts) {
   return Status::OK();
 }
 
+// Resolves JobConfig::backend (plus the MANIMAL_BACKEND env override,
+// honored only in kAuto) into the map tier for this job. `auto` uses
+// the native kernel only when compilation succeeds — i.e. the
+// analyzer facts describe the map exactly — and silently falls back
+// to the VM otherwise, recording why in backend_detail_.
+Status JobRunner::ResolveBackend() {
+  Backend requested = cfg_.backend;
+  if (requested == Backend::kAuto) {
+    if (const char* env = std::getenv("MANIMAL_BACKEND")) {
+      if (auto parsed = BackendFromName(env); parsed.has_value()) {
+        requested = *parsed;
+      }
+    }
+  }
+  if (requested == Backend::kVm) {
+    backend_detail_ = "vm requested";
+    return Status::OK();
+  }
+  codegen::CompileOptions opts;
+  opts.field_remap = field_remap_;
+  opts.term_selectivity = descriptor_.native_term_selectivity;
+  opts.scratch_dir = cfg_.temp_dir + "/codegen";
+  if (const char* env = std::getenv("MANIMAL_CODEGEN_ENGINE")) {
+    std::string_view engine = env;
+    if (engine == "emitted") {
+      opts.engine = codegen::CompileOptions::Engine::kEmitted;
+    } else if (engine == "closure") {
+      opts.engine = codegen::CompileOptions::Engine::kClosure;
+    }
+  }
+  Result<std::shared_ptr<const codegen::NativeKernel>> kernel =
+      codegen::CompileKernel(program_, opts);
+  if (kernel.ok()) {
+    kernel_ = std::move(*kernel);
+    map_backend_name_ = "native";
+    backend_detail_ = kernel_->Describe();
+    return Status::OK();
+  }
+  if (requested == Backend::kNative) {
+    return Status::NotSupported(
+        "native backend requested but the program is not admissible: " +
+        kernel.status().message());
+  }
+  backend_detail_ = "vm fallback: " + kernel.status().message();
+  return Status::OK();
+}
+
 Status JobRunner::Prepare() {
   MANIMAL_RETURN_IF_ERROR(mril::VerifyProgram(program_));
   MANIMAL_RETURN_IF_ERROR(CreateDirIfMissing(cfg_.temp_dir));
@@ -1063,6 +1188,10 @@ Status JobRunner::Prepare() {
   field_remap_ = descriptor_.field_remap.empty()
                      ? plan_->DerivedFieldRemap()
                      : descriptor_.field_remap;
+
+  // The backend decision needs the final remap (the kernel compiles
+  // against the runtime field layout).
+  MANIMAL_RETURN_IF_ERROR(ResolveBackend());
 
   // Adaptive replanning only arms on an observable plain scan whose
   // descriptor carries an interval-backed selectivity estimate: the
@@ -1109,6 +1238,7 @@ Result<JobResult> JobRunner::Run() {
   obs::MetricsRegistry::Get().GetCounter("engine.task_retries");
   obs::MetricsRegistry::Get().GetCounter("engine.speculative_launches");
   obs::MetricsRegistry::Get().GetCounter("engine.tasks_failed");
+  obs::MetricsRegistry::Get().GetCounter("engine.native_tasks");
   obs::ScopedSpan job_span("job.run", "exec");
   job_span.AddArg("job", cfg_.job_id);
   job_span.AddArg("access_path", AccessPathName(descriptor_.access_path));
@@ -1174,6 +1304,10 @@ Result<JobResult> JobRunner::Run() {
   result_.counters.task_retries = task_retries_.load();
   result_.counters.speculative_launches = speculative_launches_.load();
   result_.counters.tasks_failed = tasks_failed_.load();
+  result_.counters.native_tasks = native_tasks_.load();
+  result_.counters.native_bailout_records = native_bailouts_.load();
+  result_.backend = map_backend_name_;
+  result_.backend_detail = backend_detail_;
 
   result_.phase_breakdown["map"].bytes =
       result_.counters.input_bytes + result_.counters.map_output_bytes;

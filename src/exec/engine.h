@@ -38,6 +38,23 @@ struct ReplanTarget {
 using ReplanFn =
     std::function<std::optional<ReplanTarget>(double observed_selectivity)>;
 
+// Which execution tier runs the map function (docs/mril.md "Native
+// kernels"). kAuto compiles a native kernel when the analyzer facts
+// are exact (codegen::ExtractShape admits the program) and silently
+// falls back to the VM otherwise; kNative fails the job when the
+// program is not admissible; kVm never probes the native tier.
+enum class Backend {
+  kAuto = 0,
+  kVm,
+  kNative,
+};
+
+// Stable lowercase name ("auto" / "vm" / "native").
+const char* BackendName(Backend backend);
+// Parses a BackendName (also accepted via the MANIMAL_BACKEND env
+// var); nullopt for anything else.
+std::optional<Backend> BackendFromName(std::string_view name);
+
 struct JobConfig {
   // Map-side parallelism (cluster "slots").
   int map_parallelism = 4;
@@ -126,6 +143,14 @@ struct JobConfig {
   double replan_drift_ratio = 4.0;
   int replan_min_splits = 3;
   ReplanFn replan_fn;
+
+  // ---- execution backend (docs/mril.md "Native kernels") ----
+  // kAuto additionally honors the MANIMAL_BACKEND env var
+  // (vm|native|auto); an explicit kVm / kNative here always wins over
+  // the environment. The resolved choice is recorded on JobResult,
+  // every task_start journal event, and the engine.native_tasks
+  // counter.
+  Backend backend = Backend::kAuto;
 };
 
 struct JobCounters {
@@ -150,6 +175,11 @@ struct JobCounters {
   uint64_t task_retries = 0;
   uint64_t speculative_launches = 0;
   uint64_t tasks_failed = 0;
+  // Native tier: committed map tasks that ran the compiled kernel
+  // (also the engine.native_tasks counter), and records those tasks
+  // replayed through the VM because the kernel bailed out.
+  uint64_t native_tasks = 0;
+  uint64_t native_bailout_records = 0;
 };
 
 // One named phase of a job's wall time, with the bytes that phase
@@ -231,6 +261,11 @@ struct JobResult {
   // Adaptive replanning outcome; replan.switched == false when the
   // gate never fired (or was never armed).
   ReplanStat replan;
+
+  // Resolved map backend ("vm" / "native") and why — the kernel
+  // description, or the admission-gate reason behind a vm fallback.
+  std::string backend;
+  std::string backend_detail;
 };
 
 // Runs the job described by `descriptor` under `config`.

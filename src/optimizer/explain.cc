@@ -129,6 +129,10 @@ ExplainReport MakeExplainReport(const Plan& plan) {
     report.plan.applied = plan.descriptor.applied;
   }
   report.plan.optimized = plan.optimized;
+  if (report.plan.native_detail.empty()) {
+    report.plan.native_eligible = plan.descriptor.native_eligible;
+    report.plan.native_detail = plan.descriptor.native_detail;
+  }
   return report;
 }
 
@@ -155,6 +159,8 @@ ExplainReport MakeExplainReport(const Plan& plan,
   report.tasks = result.task_stats;
   report.wall_seconds = result.wall_seconds;
   report.reported_seconds = result.reported_seconds;
+  report.backend = result.backend;
+  report.backend_detail = result.backend_detail;
   return report;
 }
 
@@ -177,6 +183,11 @@ std::string ExplainReport::ToText() const {
   }
   if (!plan.predicate.empty()) {
     out += "  predicate: " + plan.predicate + "\n";
+  }
+  if (!plan.native_detail.empty()) {
+    out += StrPrintf("  native: eligible=%s (%s)\n",
+                     plan.native_eligible ? "yes" : "no",
+                     plan.native_detail.c_str());
   }
   if (plan.est_bytes >= 0 || plan.est_selectivity >= 0 ||
       plan.baseline_bytes >= 0) {
@@ -222,6 +233,16 @@ std::string ExplainReport::ToText() const {
       job_id.c_str(), static_cast<unsigned long long>(rows_scanned),
       static_cast<unsigned long long>(rows_emitted),
       FmtSel(observed_selectivity).c_str());
+  if (!backend.empty()) {
+    out += "  backend: " + backend;
+    if (!backend_detail.empty()) out += " (" + backend_detail + ")";
+    out += StrPrintf(" native_tasks=%llu bailout_records=%llu",
+                     static_cast<unsigned long long>(
+                         counters.native_tasks),
+                     static_cast<unsigned long long>(
+                         counters.native_bailout_records));
+    out += "\n";
+  }
   out += StrPrintf("  time: wall=%.3fs reported=%.3fs\n", wall_seconds,
                    reported_seconds);
   if (!phases.empty()) {
@@ -316,6 +337,11 @@ std::string ExplainReport::ToJson() const {
   }
   AppendOptionalNum(&out, "est_bytes", plan.est_bytes);
   AppendOptionalNum(&out, "baseline_bytes", plan.baseline_bytes);
+  out += ",\"native_eligible\":";
+  out += plan.native_eligible ? "true" : "false";
+  if (!plan.native_detail.empty()) {
+    out += ",\"native_detail\":" + JsonQuote(plan.native_detail);
+  }
   out += ",\"candidates\":[";
   for (size_t i = 0; i < plan.candidates.size(); ++i) {
     const CandidateExplain& c = plan.candidates[i];
@@ -361,6 +387,12 @@ std::string ExplainReport::ToJson() const {
                       observed_selectivity, /*fixed4=*/true);
     out += ",\"predicates_observed\":";
     out += predicates_observed ? "true" : "false";
+    if (!backend.empty()) {
+      out += ",\"backend\":" + JsonQuote(backend);
+      if (!backend_detail.empty()) {
+        out += ",\"backend_detail\":" + JsonQuote(backend_detail);
+      }
+    }
     out += ",\"wall_seconds\":" + JsonNumber(wall_seconds);
     out += ",\"reported_seconds\":" + JsonNumber(reported_seconds);
     out += ",\"phases\":{";
@@ -386,6 +418,9 @@ std::string ExplainReport::ToJson() const {
     out += ",\"task_retries\":" + std::to_string(counters.task_retries);
     out += ",\"speculative_launches\":" +
            std::to_string(counters.speculative_launches);
+    out += ",\"native_tasks\":" + std::to_string(counters.native_tasks);
+    out += ",\"native_bailout_records\":" +
+           std::to_string(counters.native_bailout_records);
     out += "},\"tasks\":[";
     for (size_t i = 0; i < tasks.size(); ++i) {
       const exec::TaskStat& t = tasks[i];

@@ -91,6 +91,14 @@ struct PlanExplain {
   // Size of the raw input = cost of the conventional full scan.
   double baseline_bytes = -1;
   std::vector<CandidateExplain> candidates;
+
+  // ---- native codegen tier (docs/mril.md "Native kernels") ----
+  // Whether codegen::ExtractShape admits the chosen plan's (possibly
+  // patched) program, and the shape description / admission-gate
+  // reason. The engine makes the final per-job backend call (see
+  // ExplainReport::backend), but eligibility is a plan property.
+  bool native_eligible = false;
+  std::string native_detail;
 };
 
 // One row of the estimated-vs-actual selectivity comparison, keyed by
@@ -130,6 +138,10 @@ struct ExplainReport {
   exec::JobCounters counters;
   double wall_seconds = 0;
   double reported_seconds = 0;
+  // Resolved map backend for the measured run ("vm" / "native") and
+  // the kernel description / fallback reason (JobResult::backend).
+  std::string backend;
+  std::string backend_detail;
 
   // Multi-line human-readable rendering.
   std::string ToText() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analyzer/select.h"
+#include "codegen/shape.h"
 #include "columnar/dictionary.h"
 #include "common/env.h"
 #include "common/strings.h"
@@ -191,11 +193,71 @@ Result<Plan> MakePlanForSpec(const mril::Program& program,
 
 namespace {
 
+// Probes the native codegen tier's admission gate against the chosen
+// plan's (possibly constant-patched) program and runtime field
+// layout, and — when admitted and statistics exist — derives a
+// per-term selectivity estimate so the kernel can short-circuit
+// conjunct terms most-selective-first.
+void AttachNativeEligibility(Plan* plan, PlanExplain* ex,
+                             const stats::TableStats* stats) {
+  exec::ExecutionDescriptor& d = plan->descriptor;
+  Result<codegen::RelationalShape> shape =
+      codegen::ExtractShape(d.program);
+  if (!shape.ok()) {
+    d.native_eligible = false;
+    d.native_detail = shape.status().message();
+  } else {
+    d.native_eligible = true;
+    d.native_detail = shape->Describe();
+    if (stats != nullptr) {
+      for (const analyzer::Conjunct& c : shape->formula.disjuncts) {
+        for (const analyzer::SelectTerm& t : c.terms) {
+          // Price each term alone: its own index ranges against the
+          // column statistics, the same estimator the cost model
+          // uses for whole predicates.
+          analyzer::DnfFormula one;
+          one.disjuncts.push_back(analyzer::Conjunct{{t}});
+          analysis::ExprRef indexed;
+          std::vector<analyzer::KeyInterval> intervals;
+          if (!analyzer::DeriveIndexRanges(d.program, one, &indexed,
+                                           &intervals)) {
+            continue;
+          }
+          const stats::ColumnStats* column =
+              stats->Find("expr:" + indexed->ToString());
+          if (column == nullptr &&
+              indexed->kind == analysis::Expr::Kind::kField &&
+              indexed->index >= 0 && !indexed->args.empty() &&
+              indexed->args[0] != nullptr &&
+              indexed->args[0]->kind == analysis::Expr::Kind::kParam &&
+              indexed->args[0]->index == 1) {
+            column =
+                stats->Find("field:" + std::to_string(indexed->index));
+          }
+          if (column == nullptr) continue;
+          std::vector<std::pair<std::string, double>> per_interval;
+          std::string provenance;
+          Result<double> fraction = EstimateSelectivity(
+              /*tree=*/nullptr, column, intervals, &per_interval,
+              &provenance);
+          if (fraction.ok()) {
+            d.native_term_selectivity.emplace_back(t.ToString(),
+                                                   *fraction);
+          }
+        }
+      }
+    }
+  }
+  ex->native_eligible = d.native_eligible;
+  ex->native_detail = d.native_detail;
+}
+
 // Completes the plan with its EXPLAIN payload and the EXPLAIN ANALYZE
 // observation hooks, and journals the selection. Every BuildPlan exit
 // path funnels through here.
 Plan FinalizePlan(Plan plan, PlanExplain ex,
-                  const analyzer::AnalysisReport& report) {
+                  const analyzer::AnalysisReport& report,
+                  const stats::TableStats* stats = nullptr) {
   ex.summary = plan.explanation;
   ex.access_path = exec::AccessPathName(plan.descriptor.access_path);
   ex.applied = plan.descriptor.applied;
@@ -234,6 +296,7 @@ Plan FinalizePlan(Plan plan, PlanExplain ex,
     plan.descriptor.est_predicate_selectivity = estimate->est_selectivity;
     plan.descriptor.est_provenance = estimate->provenance;
   }
+  AttachNativeEligibility(&plan, &ex, stats);
   obs::Journal::Get()
       .Event("plan_selected")
       .Str("program", ex.program)
@@ -376,7 +439,8 @@ Result<Plan> BuildPlan(const mril::Program& program,
         ex.est_selectivity = head.cost->selectivity;
         ex.est_provenance = head.cost->provenance;
       }
-      return FinalizePlan(std::move(plan), std::move(ex), report);
+      return FinalizePlan(std::move(plan), std::move(ex), report,
+                          cost_context.stats);
     }
   } else {
     // Price everything, including the plain scan.
@@ -430,7 +494,8 @@ Result<Plan> BuildPlan(const mril::Program& program,
       ex.est_bytes = best.bytes;
       ex.est_selectivity = best.selectivity;
       ex.est_provenance = best.provenance;
-      return FinalizePlan(std::move(plan), std::move(ex), report);
+      return FinalizePlan(std::move(plan), std::move(ex), report,
+                          cost_context.stats);
     }
     if (!available.empty()) {
       // Artifacts exist but none beats the scan.
@@ -443,7 +508,8 @@ Result<Plan> BuildPlan(const mril::Program& program,
       AttachReduceFilter(report, &plan);
       ex.est_bytes = static_cast<double>(input_bytes);
       ex.est_selectivity = 1.0;
-      return FinalizePlan(std::move(plan), std::move(ex), report);
+      return FinalizePlan(std::move(plan), std::move(ex), report,
+                          cost_context.stats);
     }
   }
 
@@ -458,7 +524,8 @@ Result<Plan> BuildPlan(const mril::Program& program,
   if (plan.optimized) {
     plan.explanation += "; pre-shuffle reduce-key filtering in effect";
   }
-  return FinalizePlan(std::move(plan), std::move(ex), report);
+  return FinalizePlan(std::move(plan), std::move(ex), report,
+                      cost_context.stats);
 }
 
 }  // namespace manimal::optimizer

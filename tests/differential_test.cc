@@ -21,7 +21,9 @@
 #include "common/faulty_env.h"
 #include "core/manimal.h"
 #include "exec/pairfile.h"
+#include "mril/builder.h"
 #include "mril/verifier.h"
+#include "workloads/schemas.h"
 #include "tests/mril_gen.h"
 #include "tests/test_util.h"
 #include "workloads/datagen.h"
@@ -69,9 +71,14 @@ class DifferentialHarness : public ::testing::Test {
 
   // Runs `seed`'s generated program through the baseline and through
   // one plan per synthesized index artifact, asserting byte-identical
-  // canonical output each time. Returns the number of optimizer plans
-  // exercised (excluding the baseline).
-  void RunSeed(uint64_t seed, const TempDir& scratch) {
+  // canonical output each time. `backend` is applied to the optimized
+  // submissions only — RunBaseline pins the VM internally, so the
+  // ground truth never depends on it. When `native_jobs` is non-null
+  // it accumulates how many submissions actually resolved to the
+  // native backend.
+  void RunSeed(uint64_t seed, const TempDir& scratch,
+               exec::Backend backend = exec::Backend::kVm,
+               int* native_jobs = nullptr) {
     GeneratedProgram gen =
         testing::GenerateWebPagesProgram(seed, kRankRange);
     SCOPED_TRACE("seed " + std::to_string(seed) + " shape:" +
@@ -105,9 +112,11 @@ class DifferentialHarness : public ::testing::Test {
       SCOPED_TRACE("plan " + std::to_string(plan) + " of " +
                    std::to_string(specs.size()));
       const std::string plan_tag = tag + "-p" + std::to_string(plan);
-      ASSERT_OK_AND_ASSIGN(
-          auto system, core::ManimalSystem::Open(SystemOptions(
-                           scratch.file(plan_tag + "-ws"))));
+      core::ManimalSystem::Options options =
+          SystemOptions(scratch.file(plan_tag + "-ws"));
+      options.backend = backend;
+      ASSERT_OK_AND_ASSIGN(auto system,
+                           core::ManimalSystem::Open(options));
       if (plan > 0) {
         ASSERT_OK(
             system->BuildIndex(specs[plan - 1], input_path()).status());
@@ -117,11 +126,16 @@ class DifferentialHarness : public ::testing::Test {
       job.input_path = input_path();
       job.output_path = scratch.file(plan_tag + ".prs");
       ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+      if (native_jobs != nullptr && outcome.job.backend == "native") {
+        ++*native_jobs;
+      }
       ASSERT_OK_AND_ASSIGN(auto pairs,
                            exec::ReadCanonicalPairs(job.output_path));
       EXPECT_EQ(pairs, canonical)
           << "plan '" << outcome.plan.explanation
-          << "' changed the output multiset";
+          << "' (backend " << outcome.job.backend << ", "
+          << outcome.job.backend_detail
+          << ") changed the output multiset";
     }
   }
 
@@ -166,6 +180,145 @@ TEST_F(DifferentialHarness, PlansMatchBaselineUnderFaultInjection) {
   const std::string metrics = core::ManimalSystem::DumpMetricsJson();
   EXPECT_NE(metrics.find("engine.task_retries"), std::string::npos);
   EXPECT_NE(metrics.find("engine.tasks_failed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Native-backend legs: the same every-plan sweep with the codegen
+// tier armed. `auto` must route every admitted map through a native
+// kernel (asserted via JobResult::backend) and still match the
+// VM-pinned baseline byte-for-byte on every plan.
+
+TEST_F(DifferentialHarness, NativeBackendPlansMatchBaseline) {
+  TempDir scratch("diff-native");
+  int native_jobs = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RunSeed(seed, scratch, exec::Backend::kAuto, &native_jobs);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The leg is only meaningful if the native tier actually engaged.
+  EXPECT_GE(native_jobs, 1)
+      << "auto backend never resolved to a native kernel";
+  const std::string metrics = core::ManimalSystem::DumpMetricsJson();
+  EXPECT_NE(metrics.find("engine.native_tasks"), std::string::npos);
+}
+
+TEST_F(DifferentialHarness,
+       NativeBackendPlansMatchBaselineUnderFaultInjection) {
+  FaultyEnv::Config defaults;
+  defaults.seed = 2;
+  defaults.rate = 0.02;
+  const FaultyEnv::Config config = FaultyEnv::ConfigFromEnv(defaults);
+  ASSERT_GT(config.rate, 0.0);
+
+  TempDir scratch("diff-native-fault");
+  int native_jobs = 0;
+  {
+    ScopedFaultInjection inject(config);
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RunSeed(seed, scratch, exec::Backend::kAuto, &native_jobs);
+      if (::testing::Test::HasFatalFailure()) break;
+    }
+    const FaultyEnv::Stats stats = FaultyEnv::Get().stats();
+    EXPECT_GT(stats.evaluated, 0u);
+    EXPECT_GT(stats.injected, 0u)
+        << "fault schedule never fired; raise MANIMAL_FAULT_RATE";
+  }
+  EXPECT_GE(native_jobs, 1)
+      << "auto backend never resolved to a native kernel";
+}
+
+// `auto` on a map the admission gate rejects must degrade silently to
+// the VM — job succeeds, and the decision is visible in the job
+// result and the EXPLAIN ANALYZE report.
+TEST_F(DifferentialHarness, AutoBackendFallsBackToVmVisibly) {
+  TempDir scratch("diff-fallback");
+  // A log call is a side effect: provably outside the native tier.
+  mril::ProgramBuilder b("fallback");
+  b.SetKeyType(FieldType::kStr);
+  b.SetValueSchema(workloads::WebPagesSchema());
+  mril::FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("url").Log();
+  m.LoadParam(1).GetField("url");
+  m.LoadParam(1).GetField("rank");
+  m.Emit().Ret();
+
+  core::ManimalSystem::Options options =
+      SystemOptions(scratch.file("ws"));
+  options.backend = exec::Backend::kAuto;
+  options.explain = optimizer::ExplainMode::kAnalyze;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+  core::ManimalSystem::Submission job;
+  job.program = b.Build();
+  job.input_path = input_path();
+  job.output_path = scratch.file("out.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+
+  EXPECT_EQ(outcome.job.backend, "vm");
+  EXPECT_NE(outcome.job.backend_detail.find("vm fallback"),
+            std::string::npos)
+      << outcome.job.backend_detail;
+  ASSERT_TRUE(outcome.explain.has_value());
+  EXPECT_FALSE(outcome.explain->plan.native_eligible);
+  EXPECT_NE(outcome.explain->plan.native_detail, "");
+  EXPECT_EQ(outcome.explain->backend, "vm");
+  EXPECT_EQ(outcome.explain->counters.native_tasks, 0u);
+  // Both renderings carry the decision.
+  EXPECT_NE(outcome.explain->ToText().find("native: eligible=no"),
+            std::string::npos)
+      << outcome.explain->ToText();
+  EXPECT_NE(outcome.explain->ToJson().find("\"native_eligible\""),
+            std::string::npos);
+}
+
+// An explicitly requested native backend on an admitted map must
+// engage (no silent fallback) and match the baseline.
+TEST_F(DifferentialHarness, ExplicitNativeBackendRunsAdmittedMap) {
+  TempDir scratch("diff-explicit-native");
+  mril::ProgramBuilder b("explicit");
+  b.SetKeyType(FieldType::kStr);
+  b.SetValueSchema(workloads::WebPagesSchema());
+  mril::FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("rank").LoadI64(kRankRange / 2).CmpGe();
+  m.JmpIfFalse("end");
+  m.LoadParam(1).GetField("url");
+  m.LoadParam(1).GetField("rank");
+  m.Emit();
+  m.Label("end").Ret();
+  mril::Program program = b.Build();
+
+  std::vector<std::string> canonical;
+  {
+    ASSERT_OK_AND_ASSIGN(auto system,
+                         core::ManimalSystem::Open(SystemOptions(
+                             scratch.file("ws-baseline"))));
+    core::ManimalSystem::Submission job;
+    job.program = program;
+    job.input_path = input_path();
+    job.output_path = scratch.file("baseline.prs");
+    ASSERT_OK(system->RunBaseline(job).status());
+    ASSERT_OK_AND_ASSIGN(canonical,
+                         exec::ReadCanonicalPairs(job.output_path));
+  }
+
+  core::ManimalSystem::Options options =
+      SystemOptions(scratch.file("ws-native"));
+  options.backend = exec::Backend::kNative;
+  options.explain = optimizer::ExplainMode::kAnalyze;
+  ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+  core::ManimalSystem::Submission job;
+  job.program = program;
+  job.input_path = input_path();
+  job.output_path = scratch.file("native.prs");
+  ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+
+  EXPECT_EQ(outcome.job.backend, "native");
+  EXPECT_GE(outcome.job.counters.native_tasks, 1u);
+  ASSERT_TRUE(outcome.explain.has_value());
+  EXPECT_TRUE(outcome.explain->plan.native_eligible);
+  EXPECT_EQ(outcome.explain->backend, "native");
+  ASSERT_OK_AND_ASSIGN(auto pairs,
+                       exec::ReadCanonicalPairs(job.output_path));
+  EXPECT_EQ(pairs, canonical);
 }
 
 }  // namespace

@@ -186,4 +186,94 @@ GeneratedProgram GenerateWebPagesProgram(uint64_t seed,
   return out;
 }
 
+GeneratedProgram GenerateProvableSelectionProgram(uint64_t seed,
+                                                  int64_t rank_range) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+  GeneratedProgram out;
+  std::string& desc = out.description;
+
+  // Narrow seeds stay inside the emitted (dlopen) engine's family:
+  // i64-field-vs-constant predicates, i64 keys, scalar/record values.
+  const bool narrow = rng.Uniform(3) == 0;
+  const int num_preds = static_cast<int>(rng.Uniform(4));  // 0..3
+  // 0 = i64 one, 1 = rank field, 2 = url field (wide only),
+  // 3 = whole record.
+  const uint64_t value_pick = rng.Uniform(narrow ? 2 : 4);
+  // 0 = rank, 1 = rank+c, 2 = url (wide only), 3 = rank%m (wide only).
+  const uint64_t key_pick = rng.Uniform(narrow ? 2 : 4);
+  const bool count_reduce = value_pick != 3 && rng.Uniform(2) == 0;
+
+  ProgramBuilder b(StrPrintf("genp-%llu",
+                             static_cast<unsigned long long>(seed)));
+  b.SetKeyType(key_pick == 2 ? FieldType::kStr : FieldType::kI64);
+  b.SetValueSchema(workloads::WebPagesSchema());
+
+  FunctionBuilder& m = b.Map();
+  desc = narrow ? "narrow preds:[" : "preds:[";
+  for (int i = 0; i < num_preds; ++i) {
+    const auto pred =
+        static_cast<PredKind>(rng.Uniform(narrow ? 4 : 6));
+    const int64_t threshold =
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+            rank_range > 0 ? rank_range : 1)));
+    const std::string needle = std::to_string(rng.Uniform(100));
+    EmitPredicate(m, pred, threshold, needle, &desc);
+  }
+  desc += " ]";
+
+  switch (key_pick) {
+    case 0:
+      m.LoadParam(1).GetField("rank");
+      desc += " key:rank";
+      break;
+    case 1: {
+      const int64_t add = static_cast<int64_t>(rng.Uniform(1000));
+      m.LoadParam(1).GetField("rank").LoadI64(add).Add();
+      desc += StrPrintf(" key:rank+%lld", static_cast<long long>(add));
+      break;
+    }
+    case 2:
+      m.LoadParam(1).GetField("url");
+      desc += " key:url";
+      break;
+    default: {
+      const int64_t mod = 2 + static_cast<int64_t>(rng.Uniform(9));
+      m.LoadParam(1).GetField("rank").LoadI64(mod).Mod();
+      desc += StrPrintf(" key:rank%%%lld", static_cast<long long>(mod));
+      break;
+    }
+  }
+  switch (value_pick) {
+    case 0:
+      m.LoadI64(1);
+      desc += " val:1";
+      break;
+    case 1:
+      m.LoadParam(1).GetField("rank");
+      desc += " val:rank";
+      break;
+    case 2:
+      m.LoadParam(1).GetField("url");
+      desc += " val:url";
+      break;
+    default:
+      m.LoadParam(1);  // whole-record passthrough projection
+      desc += " val:record";
+      break;
+  }
+  m.Emit();
+  m.Label("end").Ret();
+
+  if (count_reduce) {
+    FunctionBuilder& r = b.Reduce();
+    r.LoadParam(0).LoadParam(1).Call("list.len").Emit().Ret();
+    desc += " reduce:count";
+  } else {
+    desc += " reduce:none";
+  }
+
+  out.program = b.Build();
+  return out;
+}
+
 }  // namespace manimal::testing

@@ -29,6 +29,18 @@ struct GeneratedProgram {
 GeneratedProgram GenerateWebPagesProgram(uint64_t seed,
                                          int64_t rank_range);
 
+// Restricted generator mode for the native codegen tier: every
+// program is verifier-valid AND provably a pure selection+projection
+// — single emit site, straight-line control flow with conditional
+// early exits, no side effects, every branch condition and emit
+// operand functional — so codegen::ExtractShape must admit all of
+// them (tests/vm_dispatch_test.cc asserts exactly that). Roughly a
+// third of seeds stay inside the narrow i64-field-vs-constant family
+// the emitted (dlopen) engine covers; the rest exercise string
+// predicates and arena-allocated emit values on the closure engine.
+GeneratedProgram GenerateProvableSelectionProgram(uint64_t seed,
+                                                  int64_t rank_range);
+
 }  // namespace manimal::testing
 
 #endif  // MANIMAL_TESTS_MRIL_GEN_H_

@@ -2,19 +2,26 @@
 // hot-path machinery: the threaded and switch interpreter backends
 // must be observationally identical (same emits, same logs, same step
 // counts, same error statuses) on every corpus program and on a seeded
-// fuzz corpus; Value's three string storage classes (inline, owned,
-// borrowed) must be interchangeable wherever kind() == kStr; and the
-// str.word_at sequential-scan memo must survive buffer reuse.
+// fuzz corpus; detected-relational programs additionally get a THIRD
+// leg — the native codegen kernel (with per-record VM replay on
+// bailout, the engine's contract) must produce byte-identical traces
+// to both VM backends; Value's three string storage classes (inline,
+// owned, borrowed) must be interchangeable wherever kind() == kStr;
+// and the str.word_at sequential-scan memo must survive buffer reuse.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "codegen/dlopen_kernel.h"
+#include "codegen/kernel.h"
+#include "codegen/shape.h"
 #include "common/env.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -137,6 +144,113 @@ void ExpectBackendsAgree(const mril::Program& program,
   EXPECT_EQ(sw.steps, th.steps);
 }
 
+// ---------------------------------------------------------------
+// Third leg: the native codegen kernel. Same observables as
+// RunUnderDispatch, with the engine's contract applied verbatim —
+// every kBailout record is replayed through a (switch-dispatch) VM,
+// which reproduces emits, logs, and error statuses. VM step counts
+// are not comparable across tiers, so steps stays 0 and the three-way
+// comparison checks emits/logs/statuses only.
+
+RunTrace RunUnderKernel(
+    const mril::Program& program, const std::vector<Value>& records,
+    const std::shared_ptr<const codegen::NativeKernel>& kernel) {
+  RunTrace trace;
+  VmOptions options;
+  options.dispatch = VmDispatch::kSwitch;
+  VmInstance vm(&program, options);
+
+  std::vector<std::pair<Value, Value>> emitted;
+  auto record_emit = [&](const Value& k, const Value& v) {
+    trace.emits.push_back(k.ToString() + " -> " + v.ToString());
+    emitted.emplace_back(k.ToOwned(), v.ToOwned());
+    return Status::OK();
+  };
+  vm.set_emit_sink(record_emit);
+  vm.set_log_sink([&](const Value& msg) {
+    trace.logs.push_back(msg.ToString());
+  });
+
+  codegen::KernelScratch scratch;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Value key = Value::I64(static_cast<int64_t>(i));
+    Value out_key, out_value;
+    const codegen::KernelOutcome outcome =
+        kernel->Run(key, records[i], &scratch, &out_key, &out_value);
+    if (outcome == codegen::KernelOutcome::kBailout) {
+      trace.statuses.push_back(vm.InvokeMap(key, records[i]).ToString());
+      continue;
+    }
+    if (outcome == codegen::KernelOutcome::kEmit) {
+      record_emit(out_key, out_value);
+    }
+    trace.statuses.push_back(Status::OK().ToString());
+  }
+
+  if (program.has_reduce()) {
+    std::vector<std::pair<Value, ValueList>> groups;
+    std::map<std::string, size_t> index;
+    for (auto& [k, v] : emitted) {
+      auto [it, inserted] = index.emplace(k.ToString(), groups.size());
+      if (inserted) groups.emplace_back(k, ValueList{});
+      groups[it->second].second.push_back(std::move(v));
+    }
+    for (auto& [key, values] : groups) {
+      Status s = vm.InvokeReduce(key, Value::List(std::move(values)));
+      trace.statuses.push_back(s.ToString());
+    }
+  }
+  return trace;
+}
+
+// Runs the full three-way comparison for one admitted program: switch
+// VM vs threaded VM (all observables including steps), then each
+// compilable kernel engine vs the switch VM (emits/logs/statuses).
+// Returns the number of kernel engines exercised.
+int ExpectThreeWayAgree(const mril::Program& program,
+                        const std::vector<Value>& records) {
+  RunTrace sw = RunUnderDispatch(program, records, VmDispatch::kSwitch);
+  if (mril::ThreadedDispatchAvailable()) {
+    RunTrace th =
+        RunUnderDispatch(program, records, VmDispatch::kThreaded);
+    EXPECT_EQ(sw.emits, th.emits);
+    EXPECT_EQ(sw.logs, th.logs);
+    EXPECT_EQ(sw.statuses, th.statuses);
+    EXPECT_EQ(sw.steps, th.steps);
+  }
+  int engines = 0;
+  const codegen::CompileOptions::Engine kEngines[] = {
+      codegen::CompileOptions::Engine::kClosure,
+      codegen::CompileOptions::Engine::kEmitted,
+  };
+  for (const auto engine : kEngines) {
+    if (engine == codegen::CompileOptions::Engine::kEmitted &&
+        !codegen::EmittedKernelAvailable()) {
+      continue;
+    }
+    codegen::CompileOptions options;
+    options.engine = engine;
+    Result<std::shared_ptr<const codegen::NativeKernel>> kernel =
+        codegen::CompileKernel(program, options);
+    if (!kernel.ok()) {
+      // The emitted engine covers a narrower family; NotSupported is
+      // its documented answer for the rest. The closure engine must
+      // cover every admitted shape.
+      EXPECT_EQ(kernel.status().code(), StatusCode::kNotSupported);
+      EXPECT_NE(engine, codegen::CompileOptions::Engine::kClosure)
+          << kernel.status().ToString();
+      continue;
+    }
+    SCOPED_TRACE((*kernel)->Describe());
+    RunTrace native = RunUnderKernel(program, records, *kernel);
+    EXPECT_EQ(sw.emits, native.emits);
+    EXPECT_EQ(sw.logs, native.logs);
+    EXPECT_EQ(sw.statuses, native.statuses);
+    ++engines;
+  }
+  return engines;
+}
+
 std::vector<std::string> CorpusFiles() {
   std::vector<std::string> paths;
   auto names = ListDir(MANIMAL_TEST_CORPUS_DIR);
@@ -191,6 +305,67 @@ TEST_P(VmDispatchFuzz, GeneratedProgramsAgreeAcrossBackends) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VmDispatchFuzz, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------
+// Three-way differential: switch VM / threaded VM / native kernel.
+
+// Every corpus program whose map the admission gate accepts runs the
+// full three-way comparison; the corpus is known to contain admitted
+// selection/projection programs, so at least one must qualify.
+TEST(ThreeWayDifferential, AdmittedCorpusProgramsAgree) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_GE(files.size(), 4u)
+      << "corpus missing at " << MANIMAL_TEST_CORPUS_DIR;
+  std::vector<Value> records = MakeWebPagesRecords(/*seed=*/7, 128,
+                                                   /*rank_range=*/100);
+  int admitted = 0;
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(path));
+    ASSERT_OK_AND_ASSIGN(mril::Program program,
+                         mril::AssembleProgram(text));
+    ASSERT_OK(mril::VerifyProgram(program));
+    if (!codegen::ExtractShape(program).ok()) continue;
+    ++admitted;
+    EXPECT_GE(ExpectThreeWayAgree(program, records), 1);
+  }
+  EXPECT_GE(admitted, 1) << "no corpus program passed the admission "
+                            "gate; the three-way suite ran empty";
+}
+
+// The provable-shape generator mode: every seed must pass the
+// admission gate by construction AND agree across all three tiers,
+// over inputs that include borrowed (zero-copy) string fields.
+class ThreeWayFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeWayFuzz, ProvableGeneratedProgramsAgree) {
+  constexpr int64_t kRankRange = 1000;
+  std::vector<Value> records = MakeWebPagesRecords(
+      /*seed=*/99, 64, kRankRange);
+  int emitted_engine_runs = 0;
+  for (int i = 0; i < 25; ++i) {
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 1000 + i;
+    testing::GeneratedProgram gen =
+        testing::GenerateProvableSelectionProgram(seed, kRankRange);
+    SCOPED_TRACE(StrPrintf("seed %llu, shape: %s",
+                           static_cast<unsigned long long>(seed),
+                           gen.description.c_str()));
+    ASSERT_OK(mril::VerifyProgram(gen.program));
+    Result<codegen::RelationalShape> shape =
+        codegen::ExtractShape(gen.program);
+    // The provable mode's whole contract: the admission gate takes
+    // every generated seed.
+    ASSERT_OK(shape.status());
+    emitted_engine_runs += ExpectThreeWayAgree(gen.program, records) - 1;
+  }
+  if (codegen::EmittedKernelAvailable()) {
+    // The narrow seeds must actually reach the dlopen engine — a
+    // silent universal fallback would make this suite two-way.
+    EXPECT_GE(emitted_engine_runs, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeWayFuzz, ::testing::Range(1, 5));
 
 // Borrowed record strings must behave identically too: the same
 // program over the same bytes, with str fields decoded as views into

@@ -73,7 +73,7 @@ const std::map<std::string, std::vector<const char*>>& JournalSchema() {
       {"job_start",
        {"job", "program", "access_path", "splits", "partitions",
         "input_file_bytes", "observe_predicates"}},
-      {"task_start", {"job", "task", "chain", "speculative"}},
+      {"task_start", {"job", "task", "chain", "speculative", "backend"}},
       {"task_retry", {"job", "task", "chain", "attempt", "error"}},
       {"task_commit", {"job", "task", "chain", "attempt"}},
       {"task_failed", {"job", "task", "chain", "error"}},
@@ -270,11 +270,29 @@ void CheckExplain(const std::string& path) {
       const JsonValue* exec = value.Find("exec");
       if (exec == nullptr || !exec->is_object()) {
         Fail(path, i + 1, "analyzed report missing exec object");
-      } else if (!HasKeys(*exec,
-                          {"rows_scanned", "rows_emitted", "phases",
-                           "counters", "tasks"},
-                          &missing)) {
-        Fail(path, i + 1, "exec missing '" + missing + "'");
+      } else {
+        if (!HasKeys(*exec,
+                     {"rows_scanned", "rows_emitted", "phases",
+                      "counters", "tasks"},
+                     &missing)) {
+          Fail(path, i + 1, "exec missing '" + missing + "'");
+        }
+        // The resolved map backend is "vm" or "native" when reported,
+        // and the counters object always carries the native-tier pair
+        // (zero for pure-VM runs).
+        const JsonValue* backend = exec->Find("backend");
+        if (backend != nullptr) {
+          const std::string name = exec->StringOr("backend", "");
+          if (name != "vm" && name != "native") {
+            Fail(path, i + 1, "exec backend '" + name + "' unexpected");
+          }
+        }
+        const JsonValue* counters = exec->Find("counters");
+        if (counters != nullptr && counters->is_object() &&
+            !HasKeys(*counters, {"native_tasks", "native_bailout_records"},
+                     &missing)) {
+          Fail(path, i + 1, "exec counters missing '" + missing + "'");
+        }
       }
       if (value.Find("drift") == nullptr) {
         Fail(path, i + 1, "analyzed report missing drift array");
