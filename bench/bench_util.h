@@ -190,6 +190,8 @@ class JsonRow {
     Int("input_bytes", job.counters.input_bytes);
     Int("map_output_bytes", job.counters.map_output_bytes);
     Int("output_records", job.counters.output_records);
+    Int("bytes_decoded", job.counters.bytes_decoded);
+    Int("blocks_skipped", job.counters.blocks_skipped);
     Int("shuffle_spilled_runs", job.counters.shuffle_spilled_runs);
     std::string phases;
     for (const auto& [name, stat] : job.phase_breakdown) {

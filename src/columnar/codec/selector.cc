@@ -1,0 +1,106 @@
+#include "columnar/codec/selector.h"
+
+#include <cstdlib>
+
+#include "columnar/codec/codec.h"
+#include "common/strings.h"
+#include "serde/key_codec.h"
+
+namespace manimal::columnar {
+
+Result<CodecPolicy> CodecPolicy::FromEnv() {
+  CodecPolicy policy;
+  const char* v = std::getenv("MANIMAL_CODECS");
+  if (v == nullptr || std::string_view(v) == "auto" ||
+      std::string_view(v).empty()) {
+    policy.mode = CodecMode::kAuto;
+    return policy;
+  }
+  if (std::string_view(v) == "off" || std::string_view(v) == "0" ||
+      std::string_view(v) == "false") {
+    policy.mode = CodecMode::kOff;
+    return policy;
+  }
+  // Anything else is an explicit chain spec; parse it now so a typo
+  // fails the build instead of producing raw blocks silently.
+  MANIMAL_ASSIGN_OR_RETURN(CodecChain chain, CodecChain::Parse(v));
+  policy.mode = CodecMode::kExplicit;
+  policy.explicit_chain = chain.ToString();
+  return policy;
+}
+
+CodecSelector::CodecSelector(CodecPolicy policy, const SeqFileMeta& meta)
+    : policy_(std::move(policy)),
+      opaque_(meta.stored_schema.opaque()) {
+  if (policy_.mode != CodecMode::kAuto || opaque_) return;
+  for (int s = 0; s < meta.stored_schema.num_fields(); ++s) {
+    const FieldType t = meta.stored_schema.field(s).type;
+    if (t == FieldType::kI64 || t == FieldType::kStr) {
+      sketch_slots_.push_back(s);
+      sketches_.emplace_back();
+    }
+  }
+}
+
+void CodecSelector::Observe(const Record& stored_record) {
+  if (observed_ >= kSampleCap) return;
+  ++observed_;
+  if (sketch_slots_.empty()) return;
+  std::string key;
+  for (size_t i = 0; i < sketch_slots_.size(); ++i) {
+    const int s = sketch_slots_[i];
+    if (s >= static_cast<int>(stored_record.size())) continue;
+    key.clear();
+    if (!EncodeOrderedKey(stored_record[s], &key).ok()) continue;
+    sketches_[i].Add(key);
+  }
+}
+
+CodecSelection CodecSelector::Choose() const {
+  CodecSelection sel;
+  switch (policy_.mode) {
+    case CodecMode::kOff:
+      sel.reason = "codecs off (MANIMAL_CODECS=off)";
+      return sel;
+    case CodecMode::kExplicit:
+      sel.chain = policy_.explicit_chain;
+      sel.skip_frames = true;
+      sel.reason =
+          StrPrintf("explicit chain '%s' (MANIMAL_CODECS)",
+                    policy_.explicit_chain.c_str());
+      return sel;
+    case CodecMode::kAuto:
+      break;
+  }
+  // Auto policy. Skip frames always ride along — they cost 16 bytes
+  // per block per framed slot and enable block elision.
+  sel.skip_frames = true;
+  double min_ndv = -1;
+  int min_slot = -1;
+  for (size_t i = 0; i < sketch_slots_.size(); ++i) {
+    const stats::ColumnStats cs = sketches_[i].Finish();
+    if (cs.row_count == 0) continue;
+    if (min_ndv < 0 || cs.ndv < min_ndv) {
+      min_ndv = cs.ndv;
+      min_slot = sketch_slots_[i];
+    }
+  }
+  if (min_ndv >= 0 && min_ndv <= 2.0) {
+    // A near-constant column means the encoded block body carries the
+    // same bytes at every record boundary: a run-length stage ahead of
+    // the LZ stage captures those runs cheaply.
+    sel.chain = "rle+mlz";
+    sel.reason = StrPrintf(
+        "auto: slot %d near-constant (ndv~%.1f over %zu sampled) -> "
+        "rle+mlz",
+        min_slot, min_ndv, observed_);
+  } else {
+    sel.chain = "mlz";
+    sel.reason = StrPrintf(
+        "auto: default lz chain (min ndv~%.1f over %zu sampled)",
+        min_ndv < 0 ? 0.0 : min_ndv, observed_);
+  }
+  return sel;
+}
+
+}  // namespace manimal::columnar

@@ -1,0 +1,87 @@
+// Per-column codec-chain selection at index-build time (ROADMAP item
+// 3, paper §2.1 "Compression"). The builder samples a prefix of the
+// stored records it is about to write, summarizes each i64/dict slot
+// with the PR-6 statistics machinery (KMV distinct-count sketches),
+// and picks a block codec chain:
+//
+//   * near-constant columns (NDV <= 2 in the sample) make the block
+//     body long-run-heavy once the per-record framing repeats, so the
+//     chain leads with RLE before the LZ stage: "rle+mlz";
+//   * everything else gets the LZ stage alone: "mlz".
+//
+// Selection is policy, not mechanism: whatever chain is chosen is
+// recorded in the seqfile header and the catalog, and readers resolve
+// it purely through the codec registry.
+//
+// The MANIMAL_CODECS knob (docs/observability.md) overrides the
+// policy: "off" writes raw v1-compatible blocks, "auto" (default)
+// applies the sampling policy, and any other value is an explicit
+// chain spec (e.g. "rle", "mlz", "rle+mlz") applied verbatim.
+// Skip frames ride along whenever codecs are not "off".
+
+#ifndef MANIMAL_COLUMNAR_CODEC_SELECTOR_H_
+#define MANIMAL_COLUMNAR_CODEC_SELECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "columnar/seqfile.h"
+#include "common/status.h"
+#include "serde/schema.h"
+#include "stats/stats.h"
+
+namespace manimal::columnar {
+
+// How MANIMAL_CODECS resolved.
+enum class CodecMode {
+  kOff,       // raw blocks, v1 format, no skip frames
+  kAuto,      // stats-driven chain selection (default)
+  kExplicit,  // chain forced by the knob
+};
+
+struct CodecPolicy {
+  CodecMode mode = CodecMode::kAuto;
+  std::string explicit_chain;  // only for kExplicit
+
+  // Reads MANIMAL_CODECS; an explicit chain spec is validated against
+  // the registry so typos fail at build time.
+  static Result<CodecPolicy> FromEnv();
+};
+
+// What the selector decided, ready to drop into SeqFileWriter::Options
+// and the journal.
+struct CodecSelection {
+  std::string chain;        // "" = raw blocks
+  bool skip_frames = false;
+  std::string reason;       // human-readable, for EXPLAIN/journal
+};
+
+// Streaming selector: feed it the first records (in STORED layout,
+// the same records handed to SeqFileWriter::Append) and ask for the
+// chain. Sampling stops after kSampleCap records; callers may simply
+// Observe every record they buffer.
+class CodecSelector {
+ public:
+  static constexpr size_t kSampleCap = 4096;
+
+  CodecSelector(CodecPolicy policy, const SeqFileMeta& meta);
+
+  void Observe(const Record& stored_record);
+  size_t observed() const { return observed_; }
+
+  CodecSelection Choose() const;
+
+ private:
+  CodecPolicy policy_;
+  bool opaque_;
+  size_t observed_ = 0;
+  // Stored slots worth sketching (i64/str — columns whose repetition
+  // drives the chain choice), with a KMV collector each.
+  std::vector<int> sketch_slots_;
+  std::vector<stats::ColumnStatsCollector> sketches_;
+};
+
+}  // namespace manimal::columnar
+
+#endif  // MANIMAL_COLUMNAR_CODEC_SELECTOR_H_

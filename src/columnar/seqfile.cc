@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "columnar/codec/codec.h"
 #include "columnar/dictionary.h"
 #include "common/check.h"
 #include "common/coding.h"
@@ -13,6 +14,7 @@ namespace manimal::columnar {
 namespace {
 constexpr char kMagic[4] = {'M', 'S', 'E', 'Q'};
 constexpr uint32_t kFooterMagic = 0x5E0F0075;
+constexpr uint8_t kFlagSkipFrames = 0x01;
 }  // namespace
 
 SeqFileMeta PlainMeta(const Schema& schema) {
@@ -56,16 +58,53 @@ Result<std::unique_ptr<SeqFileWriter>> SeqFileWriter::Create(
   }
   MANIMAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
                            WritableFile::Create(path));
+  // Normalize the chain spec through the registry so unknown codec
+  // names fail at create time, not at first read.
+  MANIMAL_ASSIGN_OR_RETURN(CodecChain chain,
+                           CodecChain::Parse(options.codec_chain));
+  meta.codec_chain = chain.ToString();
   auto writer = std::unique_ptr<SeqFileWriter>(
       new SeqFileWriter(std::move(f), std::move(meta), options));
   writer->delta_prev_.assign(writer->meta_.delta_slots.size(), 0);
+  writer->v2_ = !writer->meta_.codec_chain.empty() || options.skip_frames;
+  if (!chain.empty()) {
+    writer->chain_ = std::make_unique<CodecChain>(std::move(chain));
+  }
+  if (options.skip_frames && !writer->meta_.stored_schema.opaque()) {
+    // Every stored slot whose decoded runtime value is an i64: plain
+    // i64 columns, delta columns (i64 by construction), and
+    // dictionary columns (surfaced as codes).
+    writer->slot_frame_index_.assign(slots, -1);
+    for (int s = 0; s < slots; ++s) {
+      const bool dict =
+          std::find(writer->meta_.dict_slots.begin(),
+                    writer->meta_.dict_slots.end(),
+                    s) != writer->meta_.dict_slots.end();
+      if (writer->meta_.stored_schema.field(s).type == FieldType::kI64 ||
+          dict) {
+        writer->slot_frame_index_[s] =
+            static_cast<int>(writer->frame_slots_.size());
+        writer->frame_slots_.push_back(s);
+      }
+    }
+    writer->block_min_.assign(writer->frame_slots_.size(), 0);
+    writer->block_max_.assign(writer->frame_slots_.size(), 0);
+  }
   MANIMAL_RETURN_IF_ERROR(writer->WriteHeader());
   return writer;
 }
 
+SeqFileWriter::SeqFileWriter(std::unique_ptr<WritableFile> file,
+                             SeqFileMeta meta, Options options)
+    : options_(std::move(options)),
+      meta_(std::move(meta)),
+      file_(std::move(file)) {}
+
+SeqFileWriter::~SeqFileWriter() = default;
+
 Status SeqFileWriter::WriteHeader() {
   std::string out(kMagic, 4);
-  PutVarint32(&out, 1);  // version
+  PutVarint32(&out, v2_ ? 2 : 1);  // version
   PutLengthPrefixed(&out, meta_.original_schema.ToString());
   PutLengthPrefixed(&out, meta_.stored_schema.ToString());
   PutVarint32(&out, static_cast<uint32_t>(meta_.field_map.size()));
@@ -76,6 +115,12 @@ Status SeqFileWriter::WriteHeader() {
   for (int s : meta_.dict_slots) PutVarint32(&out, s);
   PutLengthPrefixed(&out, meta_.dict_path);
   out.push_back(meta_.has_key_slot ? 1 : 0);
+  if (v2_) {
+    PutLengthPrefixed(&out, meta_.codec_chain);
+    out.push_back(frame_slots_.empty() ? 0 : kFlagSkipFrames);
+    PutVarint32(&out, static_cast<uint32_t>(frame_slots_.size()));
+    for (int s : frame_slots_) PutVarint32(&out, s);
+  }
   MANIMAL_RETURN_IF_ERROR(file_->Append(out));
   offset_ = out.size();
   return Status::OK();
@@ -97,6 +142,11 @@ Status SeqFileWriter::Append(int64_t key, const Record& stored_record) {
     }
     for (int s = 0; s < meta_.stored_schema.num_fields(); ++s) {
       const Value& v = stored_record[s];
+      // The decoded i64 a reader will observe for this slot (value,
+      // delta-reconstructed value, or dictionary code) — what the skip
+      // frames bound.
+      bool framed = false;
+      int64_t framed_value = 0;
       // Delta slot?
       auto delta_it = std::find(meta_.delta_slots.begin(),
                                 meta_.delta_slots.end(), s);
@@ -107,20 +157,22 @@ Status SeqFileWriter::Append(int64_t key, const Record& stored_record) {
         size_t di = delta_it - meta_.delta_slots.begin();
         PutVarintSigned(&block_buf_, v.i64() - delta_prev_[di]);
         delta_prev_[di] = v.i64();
-        continue;
-      }
-      // Dict slot?
-      if (std::find(meta_.dict_slots.begin(), meta_.dict_slots.end(),
-                    s) != meta_.dict_slots.end()) {
+        framed = true;
+        framed_value = v.i64();
+      } else if (std::find(meta_.dict_slots.begin(),
+                           meta_.dict_slots.end(),
+                           s) != meta_.dict_slots.end()) {
+        // Dict slot: frames bound the CODE — sound because direct
+        // operation rewrites predicates to compare codes.
         if (!v.is_str()) {
           return Status::InvalidArgument("dict slot value must be str");
         }
-        PutVarint64(&block_buf_,
-                    static_cast<uint64_t>(
-                        dict_builder_->EncodeOrAdd(v.str())));
-        continue;
-      }
-      switch (meta_.stored_schema.field(s).type) {
+        const int64_t code = dict_builder_->EncodeOrAdd(v.str());
+        PutVarint64(&block_buf_, static_cast<uint64_t>(code));
+        framed = true;
+        framed_value = code;
+      } else {
+        switch (meta_.stored_schema.field(s).type) {
         case FieldType::kI64:
           if (!v.is_i64()) {
             return Status::InvalidArgument("expected i64 field");
@@ -130,6 +182,8 @@ Status SeqFileWriter::Append(int64_t key, const Record& stored_record) {
           // delta slots are where the size-sensitive representation
           // comes in (Appendix D).
           PutFixed64(&block_buf_, static_cast<uint64_t>(v.i64()));
+          framed = true;
+          framed_value = v.i64();
           break;
         case FieldType::kF64:
           if (!v.is_f64()) {
@@ -149,6 +203,17 @@ Status SeqFileWriter::Append(int64_t key, const Record& stored_record) {
           }
           block_buf_.push_back(v.bool_value() ? 1 : 0);
           break;
+        }
+      }
+      if (framed && !slot_frame_index_.empty() &&
+          slot_frame_index_[s] >= 0) {
+        const int fi = slot_frame_index_[s];
+        if (block_records_ == 0) {
+          block_min_[fi] = block_max_[fi] = framed_value;
+        } else {
+          block_min_[fi] = std::min(block_min_[fi], framed_value);
+          block_max_[fi] = std::max(block_max_[fi], framed_value);
+        }
       }
     }
   }
@@ -170,10 +235,28 @@ Status SeqFileWriter::FlushBlock() {
   std::string body;
   PutVarint32(&body, block_records_);
   body += block_buf_;
+  raw_body_bytes_ += body.size();
+  if (v2_) {
+    // Frame (and compress) the body; an empty chain still frames so
+    // every v2 block parses the same way.
+    std::string framed;
+    if (chain_ != nullptr) {
+      MANIMAL_RETURN_IF_ERROR(chain_->CompressBlock(body, &framed));
+    } else {
+      MANIMAL_RETURN_IF_ERROR(CodecChain().CompressBlock(body, &framed));
+    }
+    body = std::move(framed);
+  }
   std::string out;
   PutFixed32(&out, static_cast<uint32_t>(body.size()));
   out += body;
   MANIMAL_RETURN_IF_ERROR(file_->Append(out));
+  if (!frame_slots_.empty()) {
+    for (size_t fi = 0; fi < frame_slots_.size(); ++fi) {
+      frames_.push_back(block_min_[fi]);
+      frames_.push_back(block_max_[fi]);
+    }
+  }
   block_offsets_.push_back(offset_);
   block_cum_records_.push_back(num_records_ - block_records_);
   offset_ += out.size();
@@ -189,6 +272,9 @@ Result<uint64_t> SeqFileWriter::Finish() {
   std::string footer;
   for (uint64_t off : block_offsets_) PutFixed64(&footer, off);
   for (uint64_t cum : block_cum_records_) PutFixed64(&footer, cum);
+  for (int64_t bound : frames_) {
+    PutFixed64(&footer, static_cast<uint64_t>(bound));
+  }
   PutFixed64(&footer, block_offsets_.size());
   PutFixed64(&footer, num_records_);
   PutFixed64(&footer, footer_offset);
@@ -231,32 +317,9 @@ Status SeqFileReader::Init(const std::string& path) {
     return Status::Corruption("bad seqfile footer magic: " + path);
   }
   num_records_ = nrecords;
-  if (nblocks > 0) {
-    std::string offsets;
-    MANIMAL_RETURN_IF_ERROR(
-        file->ReadAt(footer_offset, nblocks * 16, &offsets));
-    std::string_view oin = offsets;
-    block_offsets_.reserve(nblocks);
-    for (uint64_t i = 0; i < nblocks; ++i) {
-      uint64_t off = 0;
-      MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &off));
-      block_offsets_.push_back(off);
-    }
-    block_cum_records_.reserve(nblocks);
-    for (uint64_t i = 0; i < nblocks; ++i) {
-      uint64_t cum = 0;
-      MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &cum));
-      block_cum_records_.push_back(cum);
-    }
-    block_sizes_.reserve(nblocks);
-    for (uint64_t i = 0; i < nblocks; ++i) {
-      uint64_t end =
-          (i + 1 < nblocks) ? block_offsets_[i + 1] : footer_offset;
-      block_sizes_.push_back(end - block_offsets_[i]);
-    }
-  }
 
-  // Header.
+  // Header (parsed before the footer body: the skip-frame region's
+  // size depends on the frame-slot list declared here).
   std::string head;
   MANIMAL_RETURN_IF_ERROR(
       file->ReadAt(0, std::min<uint64_t>(file_size_, 64 * 1024), &head));
@@ -267,7 +330,10 @@ Status SeqFileReader::Init(const std::string& path) {
   hin.remove_prefix(4);
   uint32_t version = 0;
   MANIMAL_RETURN_IF_ERROR(GetVarint32(&hin, &version));
-  if (version != 1) return Status::Corruption("bad seqfile version");
+  if (version != 1 && version != 2) {
+    return Status::Corruption("bad seqfile version");
+  }
+  version_ = version;
   std::string_view schema_text;
   MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&hin, &schema_text));
   MANIMAL_ASSIGN_OR_RETURN(meta_.original_schema,
@@ -299,6 +365,68 @@ Status SeqFileReader::Init(const std::string& path) {
   if (hin.empty()) return Status::Corruption("truncated seqfile header");
   meta_.has_key_slot = hin[0] != 0;
   hin.remove_prefix(1);
+  bool has_frames = false;
+  if (version_ >= 2) {
+    std::string_view chain_spec;
+    MANIMAL_RETURN_IF_ERROR(GetLengthPrefixed(&hin, &chain_spec));
+    meta_.codec_chain = std::string(chain_spec);
+    if (hin.empty()) return Status::Corruption("truncated seqfile header");
+    const uint8_t flags = static_cast<uint8_t>(hin[0]);
+    hin.remove_prefix(1);
+    has_frames = (flags & kFlagSkipFrames) != 0;
+    uint32_t nframe = 0;
+    MANIMAL_RETURN_IF_ERROR(GetVarint32(&hin, &nframe));
+    for (uint32_t i = 0; i < nframe; ++i) {
+      uint32_t v = 0;
+      MANIMAL_RETURN_IF_ERROR(GetVarint32(&hin, &v));
+      frame_slots_.push_back(static_cast<int>(v));
+    }
+    if (has_frames != !frame_slots_.empty()) {
+      return Status::Corruption("seqfile frame flag/slot mismatch");
+    }
+  }
+
+  // Footer body: offsets, cumulative counts, then (v2) the skip
+  // frames, sized by the frame-slot list just parsed.
+  if (nblocks > 0) {
+    const uint64_t nframe = frame_slots_.size();
+    const uint64_t footer_body = nblocks * 16 + nblocks * nframe * 16;
+    if (footer_offset + footer_body + kFooterTail > file_size_) {
+      return Status::Corruption("seqfile footer overruns file: " + path);
+    }
+    std::string offsets;
+    MANIMAL_RETURN_IF_ERROR(
+        file->ReadAt(footer_offset, footer_body, &offsets));
+    std::string_view oin = offsets;
+    block_offsets_.reserve(nblocks);
+    for (uint64_t i = 0; i < nblocks; ++i) {
+      uint64_t off = 0;
+      MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &off));
+      block_offsets_.push_back(off);
+    }
+    block_cum_records_.reserve(nblocks);
+    for (uint64_t i = 0; i < nblocks; ++i) {
+      uint64_t cum = 0;
+      MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &cum));
+      block_cum_records_.push_back(cum);
+    }
+    if (nframe > 0) {
+      frames_.reserve(nblocks * nframe * 2);
+      for (uint64_t i = 0; i < nblocks * nframe; ++i) {
+        uint64_t lo = 0, hi = 0;
+        MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &lo));
+        MANIMAL_RETURN_IF_ERROR(GetFixed64(&oin, &hi));
+        frames_.push_back(static_cast<int64_t>(lo));
+        frames_.push_back(static_cast<int64_t>(hi));
+      }
+    }
+    block_sizes_.reserve(nblocks);
+    for (uint64_t i = 0; i < nblocks; ++i) {
+      uint64_t end =
+          (i + 1 < nblocks) ? block_offsets_[i + 1] : footer_offset;
+      block_sizes_.push_back(end - block_offsets_[i]);
+    }
+  }
 
   const int slots = meta_.stored_schema.opaque()
                         ? 1
@@ -314,6 +442,27 @@ Status SeqFileReader::Init(const std::string& path) {
     is_dict_slot_[s] = true;
   }
   return Status::OK();
+}
+
+bool SeqFileReader::BlockSlotBounds(uint64_t block, int slot,
+                                    int64_t* min, int64_t* max) const {
+  if (block >= num_blocks()) return false;
+  const auto it =
+      std::find(frame_slots_.begin(), frame_slots_.end(), slot);
+  if (it == frame_slots_.end()) return false;
+  const size_t fi = it - frame_slots_.begin();
+  const size_t base = (block * frame_slots_.size() + fi) * 2;
+  *min = frames_[base];
+  *max = frames_[base + 1];
+  return true;
+}
+
+uint64_t SeqFileReader::BlockRecordCount(uint64_t block) const {
+  if (block >= num_blocks()) return 0;
+  const uint64_t next = (block + 1 < num_blocks())
+                            ? block_cum_records_[block + 1]
+                            : num_records_;
+  return next - block_cum_records_[block];
 }
 
 Result<SeqFileReader::RecordStream> SeqFileReader::Scan(
@@ -384,20 +533,35 @@ Status SeqFileReader::DecodeStored(std::string_view* in,
   return Status::OK();
 }
 
-Status SeqFileReader::RecordStream::LoadNextBlock() {
-  const SeqFileReader& r = *reader_;
+Status SeqFileReader::ReadBlockBody(RandomAccessFile* file,
+                                    uint64_t block, std::string* body,
+                                    uint64_t* bytes_read,
+                                    uint64_t* bytes_decoded) const {
   std::string raw;
-  MANIMAL_RETURN_IF_ERROR(file_->ReadAt(r.block_offsets_[next_block_],
-                                        r.block_sizes_[next_block_],
-                                        &raw));
-  bytes_read_ += raw.size();
+  MANIMAL_RETURN_IF_ERROR(
+      file->ReadAt(block_offsets_[block], block_sizes_[block], &raw));
+  *bytes_read += raw.size();
   std::string_view in = raw;
   uint32_t body_len = 0;
   MANIMAL_RETURN_IF_ERROR(GetFixed32(&in, &body_len));
   if (in.size() != body_len) {
     return Status::Corruption("block length mismatch");
   }
-  block_data_.assign(in.data(), in.size());
+  body->clear();
+  if (version_ >= 2) {
+    MANIMAL_RETURN_IF_ERROR(CodecChain::DecompressBlock(in, body));
+  } else {
+    body->assign(in.data(), in.size());
+  }
+  *bytes_decoded += body->size();
+  return Status::OK();
+}
+
+Status SeqFileReader::RecordStream::LoadNextBlock() {
+  const SeqFileReader& r = *reader_;
+  MANIMAL_RETURN_IF_ERROR(r.ReadBlockBody(file_.get(), next_block_,
+                                          &block_data_, &bytes_read_,
+                                          &bytes_decoded_));
   cursor_ = block_data_;
   MANIMAL_RETURN_IF_ERROR(GetVarint32(&cursor_, &remaining_));
   record_in_block_ = 0;
@@ -412,6 +576,15 @@ Result<bool> SeqFileReader::RecordStream::Next(int64_t* key,
                                                Record* record) {
   while (remaining_ == 0) {
     if (next_block_ >= end_block_) return false;
+    if (skip_blocks_ != nullptr && next_block_ < skip_blocks_->size() &&
+        (*skip_blocks_)[next_block_]) {
+      // Direct evaluation proved no row in this block can satisfy the
+      // predicate: advance past it without reading or decompressing.
+      ++blocks_skipped_;
+      records_skipped_ += reader_->BlockRecordCount(next_block_);
+      ++next_block_;
+      continue;
+    }
     MANIMAL_RETURN_IF_ERROR(LoadNextBlock());
   }
   if (reader_->meta_.has_key_slot) {
@@ -441,16 +614,10 @@ Status SeqFileReader::BlockAccessor::Load(uint64_t block) {
   if (block >= r.num_blocks()) {
     return Status::InvalidArgument("block index out of range");
   }
-  std::string raw;
-  MANIMAL_RETURN_IF_ERROR(
-      file_->ReadAt(r.block_offsets_[block], r.block_sizes_[block], &raw));
-  bytes_read_ += raw.size();
-  std::string_view in = raw;
-  uint32_t body_len = 0;
-  MANIMAL_RETURN_IF_ERROR(GetFixed32(&in, &body_len));
-  if (in.size() != body_len) {
-    return Status::Corruption("block length mismatch");
-  }
+  std::string body;
+  MANIMAL_RETURN_IF_ERROR(r.ReadBlockBody(file_.get(), block, &body,
+                                          &bytes_read_, &bytes_decoded_));
+  std::string_view in = body;
   uint32_t count = 0;
   MANIMAL_RETURN_IF_ERROR(GetVarint32(&in, &count));
   records_.clear();

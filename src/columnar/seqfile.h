@@ -17,9 +17,23 @@
 //           varint delta-slot count + varints (stored slots),
 //           varint dict-slot count + varints (stored slots),
 //           length-prefixed dictionary sidecar path ("" if none)
+//           [v2+] length-prefixed block codec chain spec ("" = none),
+//                 flags byte (bit 0: footer has skip frames),
+//                 varint frame-slot count + varints (stored slots)
 //   blocks: fixed32 body length, body = varint record count + records
-//   footer: fixed64 * nblocks (block offsets), fixed64 nblocks,
+//           [v2] the body is codec-framed (columnar/codec/codec.h):
+//                chain method bytes + raw size + compressed payload
+//   footer: fixed64 * nblocks (block offsets),
+//           fixed64 * nblocks (records preceding each block),
+//           [v2, flag bit 0] per block, per frame slot: fixed64 min,
+//                fixed64 max of the slot's decoded i64 values — the
+//                skip frames direct predicate evaluation uses to prove
+//                whole blocks cannot match without decompressing them
+//           fixed64 nblocks, fixed64 nrecords,
 //           fixed64 footer offset, fixed32 magic
+//
+// Version 1 files (no block codec chain, no skip frames) are written
+// whenever neither feature is requested, and remain fully readable.
 //
 // Blocks are the split granularity for the execution fabric: a map
 // task owns a contiguous block range. Each RecordStream opens its own
@@ -40,6 +54,7 @@
 namespace manimal::columnar {
 
 class DictionaryBuilder;
+class CodecChain;
 
 struct SeqFileMeta {
   Schema original_schema;       // schema of the logical input records
@@ -52,10 +67,13 @@ struct SeqFileMeta {
   // ORIGINAL map() key so user programs observe identical inputs; raw
   // files instead synthesize the key as the global record ordinal.
   bool has_key_slot = false;
+  // Block-stage codec chain spec (e.g. "mlz", "rle+mlz"); "" means
+  // blocks are stored raw. See columnar/codec/codec.h.
+  std::string codec_chain;
 
   bool IsPlain() const {
     return delta_slots.empty() && dict_slots.empty() && !has_key_slot &&
-           stored_schema == original_schema;
+           codec_chain.empty() && stored_schema == original_schema;
   }
 };
 
@@ -73,6 +91,12 @@ class SeqFileWriter {
     // Column-group sibling files use this so their blocks stay
     // row-aligned and one split range is valid across all of them.
     uint32_t records_per_block = 0;
+    // Block-stage codec chain (e.g. "mlz", "rle+mlz"; "" = raw
+    // blocks). Non-empty forces the v2 on-disk format.
+    std::string codec_chain;
+    // Record per-block min/max skip frames for every i64-valued
+    // stored slot (plain i64, delta, dictionary-code). Forces v2.
+    bool skip_frames = false;
   };
 
   static Result<std::unique_ptr<SeqFileWriter>> Create(
@@ -81,6 +105,8 @@ class SeqFileWriter {
       const std::string& path, SeqFileMeta meta) {
     return Create(path, std::move(meta), Options());
   }
+
+  ~SeqFileWriter();
 
   // Required before Append iff meta.dict_slots is non-empty; the
   // caller owns the builder and saves it to meta.dict_path afterwards.
@@ -102,6 +128,12 @@ class SeqFileWriter {
 
   uint64_t num_records() const { return num_records_; }
 
+  // Total uncompressed block-body bytes appended so far — what the
+  // file would weigh without the block codec chain. The catalog
+  // records this next to the compressed artifact size so the cost
+  // model can price bytes-decoded separately from bytes-scanned.
+  uint64_t raw_body_bytes() const { return raw_body_bytes_; }
+
   // Locator of the most recently appended record (valid after the
   // first Append): index builders record these so a B+Tree can point
   // back into the file it is writing.
@@ -109,9 +141,10 @@ class SeqFileWriter {
   uint32_t last_index_in_block() const { return last_index_in_block_; }
 
  private:
+  // Out-of-line: members include unique_ptr<CodecChain>, and
+  // CodecChain is only forward-declared here.
   SeqFileWriter(std::unique_ptr<WritableFile> file, SeqFileMeta meta,
-                Options options)
-      : options_(options), meta_(std::move(meta)), file_(std::move(file)) {}
+                Options options);
 
   Status WriteHeader();
   Status FlushBlock();
@@ -128,8 +161,17 @@ class SeqFileWriter {
   std::vector<uint64_t> block_offsets_;
   std::vector<uint64_t> block_cum_records_;
   uint64_t num_records_ = 0;
+  uint64_t raw_body_bytes_ = 0;
   uint64_t last_block_ = 0;
   uint32_t last_index_in_block_ = 0;
+
+  // ---- v2 state ----
+  bool v2_ = false;
+  std::unique_ptr<CodecChain> chain_;  // null when codec_chain is ""
+  std::vector<int> frame_slots_;       // stored slots with skip frames
+  std::vector<int> slot_frame_index_;  // stored slot -> frame idx | -1
+  std::vector<int64_t> block_min_, block_max_;  // current block, per frame
+  std::vector<int64_t> frames_;  // flushed: block-major (min,max) pairs
 };
 
 class SeqFileReader
@@ -143,6 +185,20 @@ class SeqFileReader
   uint64_t file_size() const { return file_size_; }
   const std::string& path() const { return path_; }
   uint64_t num_records() const { return num_records_; }
+  uint32_t version() const { return version_; }
+
+  // ---- skip frames (v2, docs: DESIGN.md "Codec framework") ----
+  // Per-block [min, max] bounds of every i64-valued stored slot. A
+  // block whose bounds prove the scan predicate false for every row
+  // can be skipped without being read or decompressed.
+  bool has_skip_frames() const { return !frame_slots_.empty(); }
+  const std::vector<int>& frame_slots() const { return frame_slots_; }
+  // Bounds of stored slot `slot` within `block`; false when the slot
+  // has no frame.
+  bool BlockSlotBounds(uint64_t block, int slot, int64_t* min,
+                       int64_t* max) const;
+  // Records stored in `block` (from the footer's cumulative counts).
+  uint64_t BlockRecordCount(uint64_t block) const;
 
   // Mean on-disk block body size, from the footer's recorded offsets.
   // The cost model uses this to price locator-resolved block touches
@@ -170,6 +226,19 @@ class SeqFileReader
     }
 
     uint64_t bytes_read() const { return bytes_read_; }
+    // Uncompressed block-body bytes materialized so far. Equals the
+    // raw body size of every block actually loaded; skipped blocks
+    // contribute nothing (the point of direct evaluation).
+    uint64_t bytes_decoded() const { return bytes_decoded_; }
+    uint64_t blocks_skipped() const { return blocks_skipped_; }
+    uint64_t records_skipped() const { return records_skipped_; }
+
+    // Installs a block-skip bitmap (index = absolute block number;
+    // true = provably no row matches, do not read or decode). Built
+    // by the scan plan from the skip frames + the admitted predicate.
+    void set_skip_blocks(std::shared_ptr<const std::vector<bool>> skip) {
+      skip_blocks_ = std::move(skip);
+    }
 
     // Opt-in zero-copy decode: str fields in records returned by
     // Next() become Value::Borrowed views into the stream's block
@@ -206,8 +275,12 @@ class SeqFileReader
     uint32_t record_in_block_ = 0;
     std::vector<int64_t> delta_prev_;
     uint64_t bytes_read_ = 0;
+    uint64_t bytes_decoded_ = 0;
+    uint64_t blocks_skipped_ = 0;
+    uint64_t records_skipped_ = 0;
     int64_t next_ordinal_ = 0;  // synthesized key counter
     bool borrow_strings_ = false;
+    std::shared_ptr<const std::vector<bool>> skip_blocks_;
   };
 
   // Opens a dedicated file handle for the stream (thread safe across
@@ -232,6 +305,7 @@ class SeqFileReader
     }
     int64_t key(uint32_t index) const { return keys_.at(index); }
     uint64_t bytes_read() const { return bytes_read_; }
+    uint64_t bytes_decoded() const { return bytes_decoded_; }
 
    private:
     friend class SeqFileReader;
@@ -245,6 +319,7 @@ class SeqFileReader
     std::vector<Record> records_;
     std::vector<int64_t> keys_;
     uint64_t bytes_read_ = 0;
+    uint64_t bytes_decoded_ = 0;
   };
 
   Result<BlockAccessor> OpenBlockAccessor() const;
@@ -261,8 +336,16 @@ class SeqFileReader
                       std::vector<int64_t>* delta_prev, Record* out,
                       bool borrow_strings = false) const;
 
+  // Reads block `b` and materializes its raw (decompressed) body into
+  // *body. v2 bodies are codec-framed: an unregistered method byte or
+  // a raw-size mismatch is a Corruption, never silent garbage.
+  Status ReadBlockBody(RandomAccessFile* file, uint64_t block,
+                       std::string* body, uint64_t* bytes_read,
+                       uint64_t* bytes_decoded) const;
+
   std::string path_;
   SeqFileMeta meta_;
+  uint32_t version_ = 1;
   std::vector<uint64_t> block_offsets_;
   std::vector<uint64_t> block_sizes_;
   // Records preceding each block (for ordinal-key synthesis on raw
@@ -272,6 +355,9 @@ class SeqFileReader
   uint64_t num_records_ = 0;
   std::vector<bool> is_delta_slot_;
   std::vector<bool> is_dict_slot_;
+  // v2 skip frames: block-major (min, max) per frame slot.
+  std::vector<int> frame_slots_;
+  std::vector<int64_t> frames_;
 };
 
 }  // namespace manimal::columnar

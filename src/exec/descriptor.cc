@@ -85,6 +85,12 @@ class SeqScanSplit : public InputSplit {
   }
 
   uint64_t bytes_read() const override { return stream_.bytes_read(); }
+  uint64_t bytes_decoded() const override {
+    return stream_.bytes_decoded();
+  }
+  uint64_t blocks_skipped() const override {
+    return stream_.blocks_skipped();
+  }
 
  private:
   columnar::SeqFileReader::RecordStream stream_;
@@ -114,6 +120,7 @@ class SeqScanPlan : public InputPlan {
     auto [begin, end] = ranges_.at(i);
     MANIMAL_ASSIGN_OR_RETURN(columnar::SeqFileReader::RecordStream stream,
                              reader_->Scan(begin, end));
+    if (skip_ != nullptr) stream.set_skip_blocks(skip_);
     return std::unique_ptr<InputSplit>(
         new SeqScanSplit(std::move(stream), &reader_->meta()));
   }
@@ -146,9 +153,19 @@ class SeqScanPlan : public InputPlan {
     return remap;
   }
 
+  const columnar::SeqFileReader* seqfile() const override {
+    return reader_.get();
+  }
+
+  void InstallBlockSkip(
+      std::shared_ptr<const std::vector<bool>> skip) override {
+    skip_ = std::move(skip);
+  }
+
  private:
   std::shared_ptr<columnar::SeqFileReader> reader_;
   std::vector<std::pair<uint64_t, uint64_t>> ranges_;
+  std::shared_ptr<const std::vector<bool>> skip_;
 };
 
 // ---------------- BTree ranges ----------------
@@ -194,6 +211,9 @@ class BTreeRangeSplit : public InputSplit {
 
   uint64_t bytes_read() const override {
     return index_bytes_ + accessor_.bytes_read();
+  }
+  uint64_t bytes_decoded() const override {
+    return index_bytes_ + accessor_.bytes_decoded();
   }
 
  private:

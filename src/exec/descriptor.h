@@ -125,6 +125,16 @@ class InputSplit {
   virtual Result<bool> Next(int64_t* key, Value* value) = 0;
 
   virtual uint64_t bytes_read() const = 0;
+
+  // Uncompressed bytes this split materialized. Differs from
+  // bytes_read when the input is block-compressed (either direction:
+  // decompression expands, block elision shrinks). Defaults to
+  // bytes_read for formats without a compression stage.
+  virtual uint64_t bytes_decoded() const { return bytes_read(); }
+
+  // Blocks elided by a direct-evaluation skip filter (never read or
+  // decompressed). 0 for splits without one.
+  virtual uint64_t blocks_skipped() const { return 0; }
 };
 
 // Plans and opens splits for a descriptor.
@@ -153,6 +163,21 @@ class InputPlan {
     (void)begin;
     (void)end;
     return false;
+  }
+
+  // The SeqFile this plan scans, when it scans exactly one (the
+  // direct-evaluation path inspects its skip frames). nullptr for
+  // index- and group-driven plans.
+  virtual const columnar::SeqFileReader* seqfile() const {
+    return nullptr;
+  }
+
+  // Installs a per-block skip bitmap (index = absolute block number)
+  // on every split subsequently opened. Only meaningful for plans
+  // where seqfile() is non-null; a no-op elsewhere.
+  virtual void InstallBlockSkip(
+      std::shared_ptr<const std::vector<bool>> skip) {
+    (void)skip;
   }
 };
 

@@ -13,6 +13,7 @@
 
 #include "analyzer/expr_eval.h"
 #include "codegen/kernel.h"
+#include "codegen/skip.h"
 #include "common/check.h"
 #include "common/coding.h"
 #include "common/faulty_env.h"
@@ -384,6 +385,7 @@ class JobRunner {
   std::atomic<uint64_t> input_records_{0}, input_bytes_{0},
       map_invocations_{0}, map_output_records_{0}, map_output_bytes_{0},
       map_output_filtered_{0}, log_messages_{0};
+  std::atomic<uint64_t> bytes_decoded_{0}, blocks_skipped_{0};
   std::atomic<uint64_t> task_retries_{0}, speculative_launches_{0},
       tasks_failed_{0};
 
@@ -394,6 +396,8 @@ class JobRunner {
   std::shared_ptr<const codegen::NativeKernel> kernel_;
   std::string map_backend_name_ = "vm";
   std::string backend_detail_;
+  // Direct-evaluation admission summary (journaled; kept for spans).
+  std::string skip_detail_;
   std::atomic<uint64_t> native_tasks_{0}, native_bailouts_{0};
 
   // EXPLAIN ANALYZE collection (JobConfig::collect_task_stats).
@@ -726,9 +730,11 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
       vm != nullptr ? static_cast<uint64_t>(vm->total_steps()) : 0;
   state->seconds = attempt_watch.ElapsedSeconds();
   const uint64_t split_bytes = split->bytes_read();
+  const uint64_t split_decoded = split->bytes_decoded();
+  const uint64_t split_skipped = split->blocks_skipped();
 
-  return CommitFn([this, state, split_bytes, split_index, chain,
-                   attempt]() -> Status {
+  return CommitFn([this, state, split_bytes, split_decoded, split_skipped,
+                   split_index, chain, attempt]() -> Status {
     if (state->part != nullptr) {
       MANIMAL_RETURN_IF_ERROR(
           RenameFile(state->attempt_path, state->canonical_path));
@@ -742,6 +748,8 @@ Result<JobRunner::CommitFn> JobRunner::MapAttempt(int split_index,
     state->committed = true;
     input_records_.fetch_add(state->records, std::memory_order_relaxed);
     input_bytes_.fetch_add(split_bytes, std::memory_order_relaxed);
+    bytes_decoded_.fetch_add(split_decoded, std::memory_order_relaxed);
+    blocks_skipped_.fetch_add(split_skipped, std::memory_order_relaxed);
     map_invocations_.fetch_add(state->map_invocations,
                                std::memory_order_relaxed);
     map_output_records_.fetch_add(state->output_records,
@@ -1216,6 +1224,36 @@ Status JobRunner::Prepare() {
     predicate_matches_.assign(descriptor_.observe_intervals.size(), 0);
   }
 
+  // Direct evaluation on compressed blocks: prove from the skip
+  // frames which blocks cannot contain a matching row, and elide them
+  // from every scan split. Gated off while observation is armed —
+  // per-record observation (EXPLAIN ANALYZE selectivity, the replan
+  // drift gate) must see every scanned record, and a skipped block's
+  // rows would silently vanish from the tally.
+  bool direct = cfg_.direct_eval;
+  if (const char* env = std::getenv("MANIMAL_DIRECT_EVAL")) {
+    std::string_view v(env);
+    if (v == "0" || v == "off" || v == "false") direct = false;
+  }
+  if (direct && !observe_ &&
+      descriptor_.access_path == AccessPath::kSeqScan &&
+      plan_->seqfile() != nullptr) {
+    codegen::BlockSkipReport report;
+    std::shared_ptr<const std::vector<bool>> skip =
+        codegen::BuildBlockSkipFilter(program_, *plan_->seqfile(),
+                                      field_remap_, &report);
+    if (skip != nullptr) plan_->InstallBlockSkip(std::move(skip));
+    skip_detail_ = report.detail;
+    obs::Journal::Get()
+        .Event("direct_eval")
+        .Str("job", cfg_.job_id)
+        .Bool("admitted", report.admitted)
+        .Uint("blocks_total", report.blocks_total)
+        .Uint("blocks_refuted", report.blocks_skipped)
+        .Str("detail", report.detail)
+        .Emit();
+  }
+
   if (has_reduce_) {
     Shuffle::Options shuffle_opts;
     shuffle_opts.temp_dir = cfg_.temp_dir;
@@ -1239,6 +1277,8 @@ Result<JobResult> JobRunner::Run() {
   obs::MetricsRegistry::Get().GetCounter("engine.speculative_launches");
   obs::MetricsRegistry::Get().GetCounter("engine.tasks_failed");
   obs::MetricsRegistry::Get().GetCounter("engine.native_tasks");
+  obs::MetricsRegistry::Get().GetCounter("engine.bytes_decoded");
+  obs::MetricsRegistry::Get().GetCounter("engine.blocks_skipped");
   obs::ScopedSpan job_span("job.run", "exec");
   job_span.AddArg("job", cfg_.job_id);
   job_span.AddArg("access_path", AccessPathName(descriptor_.access_path));
@@ -1306,6 +1346,14 @@ Result<JobResult> JobRunner::Run() {
   result_.counters.tasks_failed = tasks_failed_.load();
   result_.counters.native_tasks = native_tasks_.load();
   result_.counters.native_bailout_records = native_bailouts_.load();
+  result_.counters.bytes_decoded = bytes_decoded_.load();
+  result_.counters.blocks_skipped = blocks_skipped_.load();
+  obs::MetricsRegistry::Get()
+      .GetCounter("engine.bytes_decoded")
+      ->Add(result_.counters.bytes_decoded);
+  obs::MetricsRegistry::Get()
+      .GetCounter("engine.blocks_skipped")
+      ->Add(result_.counters.blocks_skipped);
   result_.backend = map_backend_name_;
   result_.backend_detail = backend_detail_;
 
@@ -1355,6 +1403,8 @@ Result<JobResult> JobRunner::Run() {
             result_.counters.speculative_launches)
       .Uint("shuffle_spilled_runs",
             result_.counters.shuffle_spilled_runs)
+      .Uint("bytes_decoded", result_.counters.bytes_decoded)
+      .Uint("blocks_skipped", result_.counters.blocks_skipped)
       .Time("wall_seconds", result_.wall_seconds)
       .Time("reported_seconds", result_.reported_seconds)
       .Emit();

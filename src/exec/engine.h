@@ -144,6 +144,16 @@ struct JobConfig {
   int replan_min_splits = 3;
   ReplanFn replan_fn;
 
+  // ---- direct evaluation on compressed blocks ----
+  // When the input is a v2 seqfile with skip frames and the map's emit
+  // condition is a DNF of simple total comparisons, prove per block
+  // from the footer's [min, max] frames that no row can match, and
+  // elide such blocks from the scan without reading or decompressing
+  // them (paper §2.1 "operate directly on compressed data"). Output
+  // is provably identical; the MANIMAL_DIRECT_EVAL env var (0|off|
+  // false) disables it for A/B runs.
+  bool direct_eval = true;
+
   // ---- execution backend (docs/mril.md "Native kernels") ----
   // kAuto additionally honors the MANIMAL_BACKEND env var
   // (vm|native|auto); an explicit kVm / kNative here always wins over
@@ -157,6 +167,12 @@ struct JobCounters {
   uint64_t input_records = 0;
   uint64_t input_bytes = 0;       // bytes actually read by map tasks
   uint64_t input_file_bytes = 0;  // size of the (indexed) input file
+  // Uncompressed input bytes map tasks materialized (== input_bytes
+  // for uncompressed inputs; smaller when direct evaluation skipped
+  // blocks, larger when compressed blocks expanded).
+  uint64_t bytes_decoded = 0;
+  // Blocks proven row-free by direct evaluation and never read.
+  uint64_t blocks_skipped = 0;
   uint64_t map_invocations = 0;
   uint64_t map_output_records = 0;
   uint64_t map_output_bytes = 0;

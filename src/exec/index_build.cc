@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "analyzer/expr_eval.h"
+#include "columnar/codec/selector.h"
 #include "columnar/column_groups.h"
 #include "columnar/dictionary.h"
 #include "columnar/seqfile.h"
@@ -313,17 +314,51 @@ Result<IndexBuildResult> BuildIndexArtifact(
     }
     const std::string artifact_path =
         artifact_dir + "/seq-" + tag + ".msq";
-    MANIMAL_ASSIGN_OR_RETURN(
-        std::unique_ptr<columnar::SeqFileWriter> writer,
-        columnar::SeqFileWriter::Create(artifact_path + ".inprogress",
-                                        meta));
-    if (spec.dictionary) writer->set_dict_builder(&dict_builder);
+
+    // Per-column codec-chain selection (columnar/codec/selector.h):
+    // sample a prefix of the stored records, sketch their columns,
+    // and pick the block codec chain before the writer is created.
+    // The policy (MANIMAL_CODECS) applies to re-encoded artifacts
+    // only — raw/base files stay in the v1 format.
+    MANIMAL_ASSIGN_OR_RETURN(columnar::CodecPolicy codec_policy,
+                             columnar::CodecPolicy::FromEnv());
+    columnar::CodecSelector selector(codec_policy, meta);
 
     MANIMAL_ASSIGN_OR_RETURN(columnar::SeqFileReader::RecordStream stream,
                              reader->ScanAll());
     int64_t key = 0;
     Record record;
-    for (;;) {
+    std::vector<std::pair<int64_t, Record>> sampled;
+    bool exhausted = false;
+    while (sampled.size() < columnar::CodecSelector::kSampleCap) {
+      MANIMAL_ASSIGN_OR_RETURN(bool more, stream.Next(&key, &record));
+      if (!more) {
+        exhausted = true;
+        break;
+      }
+      Record stored = project_record(record);
+      selector.Observe(stored);
+      observe_record(record);
+      sampled.emplace_back(key, std::move(stored));
+    }
+    const columnar::CodecSelection codec_sel = selector.Choose();
+    build_span.AddArg("codec", codec_sel.reason);
+
+    columnar::SeqFileWriter::Options writer_options;
+    writer_options.codec_chain = codec_sel.chain;
+    writer_options.skip_frames = codec_sel.skip_frames;
+    MANIMAL_ASSIGN_OR_RETURN(
+        std::unique_ptr<columnar::SeqFileWriter> writer,
+        columnar::SeqFileWriter::Create(artifact_path + ".inprogress",
+                                        meta, writer_options));
+    if (spec.dictionary) writer->set_dict_builder(&dict_builder);
+
+    for (auto& [skey, stored] : sampled) {
+      MANIMAL_RETURN_IF_ERROR(writer->Append(skey, stored));
+      ++result.records;
+    }
+    sampled.clear();
+    while (!exhausted) {
       MANIMAL_ASSIGN_OR_RETURN(bool more, stream.Next(&key, &record));
       if (!more) break;
       observe_record(record);
@@ -331,6 +366,8 @@ Result<IndexBuildResult> BuildIndexArtifact(
           writer->Append(key, project_record(record)));
       ++result.records;
     }
+    result.entry.codec_chain = codec_sel.chain;
+    result.entry.raw_bytes = writer->raw_body_bytes();
     MANIMAL_ASSIGN_OR_RETURN(uint64_t bytes, writer->Finish());
     MANIMAL_RETURN_IF_ERROR(
         RenameFile(artifact_path + ".inprogress", artifact_path));

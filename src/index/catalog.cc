@@ -16,11 +16,12 @@ Result<Catalog> Catalog::Open(const std::string& path) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> cols = SplitString(line, '\t');
-    // 7 columns is the pre-stats manifest layout; 8 adds stats_path.
-    if (cols.size() != 7 && cols.size() != 8) {
-      return Status::Corruption(
-          StrPrintf("catalog %s line %d: expected 7 or 8 columns, got %zu",
-                    path.c_str(), line_no, cols.size()));
+    // 7 columns is the pre-stats manifest layout; 8 adds stats_path;
+    // 10 adds codec_chain + raw_bytes.
+    if (cols.size() != 7 && cols.size() != 8 && cols.size() != 10) {
+      return Status::Corruption(StrPrintf(
+          "catalog %s line %d: expected 7, 8 or 10 columns, got %zu",
+          path.c_str(), line_no, cols.size()));
     }
     CatalogEntry e;
     e.input_file = UnescapeField(cols[0]);
@@ -30,7 +31,11 @@ Result<Catalog> Catalog::Open(const std::string& path) {
     e.base_path = UnescapeField(cols[4]);
     e.artifact_bytes = std::strtoull(cols[5].c_str(), nullptr, 10);
     e.input_bytes = std::strtoull(cols[6].c_str(), nullptr, 10);
-    if (cols.size() == 8) e.stats_path = UnescapeField(cols[7]);
+    if (cols.size() >= 8) e.stats_path = UnescapeField(cols[7]);
+    if (cols.size() >= 10) {
+      e.codec_chain = UnescapeField(cols[8]);
+      e.raw_bytes = std::strtoull(cols[9].c_str(), nullptr, 10);
+    }
     catalog.entries_.push_back(std::move(e));
   }
   return catalog;
@@ -68,7 +73,7 @@ std::optional<CatalogEntry> Catalog::Find(
 Status Catalog::Save() const {
   std::string out =
       "# Manimal catalog: input\tsignature\tartifact\tdict\tbase\t"
-      "bytes\tinput_bytes\tstats\n";
+      "bytes\tinput_bytes\tstats\tcodec_chain\traw_bytes\n";
   for (const CatalogEntry& e : entries_) {
     out += EscapeField(e.input_file);
     out += '\t';
@@ -85,6 +90,10 @@ Status Catalog::Save() const {
     out += std::to_string(e.input_bytes);
     out += '\t';
     out += EscapeField(e.stats_path);
+    out += '\t';
+    out += EscapeField(e.codec_chain);
+    out += '\t';
+    out += std::to_string(e.raw_bytes);
     out += '\n';
   }
   return WriteStringToFile(path_, out);

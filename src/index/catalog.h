@@ -32,6 +32,12 @@ struct CatalogEntry {
   std::string stats_path;
   uint64_t artifact_bytes = 0;
   uint64_t input_bytes = 0;
+  // Block codec chain the artifact was written with ("" = raw blocks)
+  // and its uncompressed block-body size — what a scan would decode
+  // if no block were elided. The cost model prices bytes-decoded from
+  // these separately from bytes-scanned (artifact_bytes).
+  std::string codec_chain;
+  uint64_t raw_bytes = 0;
 
   double SpaceOverhead() const {
     return input_bytes == 0

@@ -265,6 +265,42 @@ Result<CandidateCost> EstimateArtifactCost(
   cost.bytes = static_cast<double>(entry.artifact_bytes);
   cost.detail =
       "artifact scan of " + HumanBytes(entry.artifact_bytes);
+
+  // Block-compressed (v2) artifacts are priced on BOTH axes: the
+  // compressed bytes scanned off disk plus a discounted charge for the
+  // uncompressed bytes the scan must materialize (decompression is
+  // CPU, not I/O — cheaper per byte than the disk rate the unit cost
+  // models). When the artifact carries skip frames and the predicate
+  // is selective, direct evaluation touches only blocks that can hold
+  // a match: about min(1, selectivity * records-per-block) of them
+  // under a uniform spread, and touch discounts both axes because an
+  // elided block is neither read nor decoded.
+  if (!entry.codec_chain.empty() || entry.raw_bytes > 0) {
+    constexpr double kDecodedByteWeight = 0.25;
+    Result<std::shared_ptr<columnar::SeqFileReader>> reader =
+        columnar::SeqFileReader::Open(entry.artifact_path);
+    if (reader.ok()) {
+      double touch = 1.0;
+      if ((*reader)->has_skip_frames() && cost.selectivity < 1.0 &&
+          (*reader)->num_blocks() > 0) {
+        const double records_per_block =
+            static_cast<double>((*reader)->num_records()) /
+            static_cast<double>((*reader)->num_blocks());
+        touch = std::min(1.0, cost.selectivity *
+                                  std::max(1.0, records_per_block));
+      }
+      const double raw_bytes = static_cast<double>(
+          entry.raw_bytes > 0 ? entry.raw_bytes : entry.artifact_bytes);
+      cost.bytes =
+          touch * (static_cast<double>(entry.artifact_bytes) +
+                   kDecodedByteWeight * raw_bytes);
+      cost.detail = StrPrintf(
+          "artifact scan of %s (codec %s, raw %s): touch %.3f",
+          HumanBytes(entry.artifact_bytes).c_str(),
+          entry.codec_chain.empty() ? "none" : entry.codec_chain.c_str(),
+          HumanBytes(entry.raw_bytes).c_str(), touch);
+    }
+  }
   return cost;
 }
 

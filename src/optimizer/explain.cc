@@ -263,6 +263,13 @@ std::string ExplainReport::ToText() const {
       static_cast<unsigned long long>(counters.shuffle_spilled_runs),
       static_cast<unsigned long long>(counters.task_retries),
       static_cast<unsigned long long>(counters.speculative_launches));
+  if (counters.bytes_decoded != counters.input_bytes ||
+      counters.blocks_skipped > 0) {
+    out += StrPrintf(
+        "  direct: bytes_decoded=%llu blocks_skipped=%llu\n",
+        static_cast<unsigned long long>(counters.bytes_decoded),
+        static_cast<unsigned long long>(counters.blocks_skipped));
+  }
   if (!tasks.empty()) {
     out += StrPrintf("  tasks (%zu committed attempts):\n",
                      tasks.size());
@@ -421,6 +428,9 @@ std::string ExplainReport::ToJson() const {
     out += ",\"native_tasks\":" + std::to_string(counters.native_tasks);
     out += ",\"native_bailout_records\":" +
            std::to_string(counters.native_bailout_records);
+    out += ",\"bytes_decoded\":" + std::to_string(counters.bytes_decoded);
+    out += ",\"blocks_skipped\":" +
+           std::to_string(counters.blocks_skipped);
     out += "},\"tasks\":[";
     for (size_t i = 0; i < tasks.size(); ++i) {
       const exec::TaskStat& t = tasks[i];

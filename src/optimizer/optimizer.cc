@@ -182,6 +182,11 @@ Result<Plan> MakePlanForSpec(const mril::Program& program,
       d.applied.push_back(StrPrintf("direct-operation(%zu fields)",
                                     spec.dict_fields.size()));
     }
+    // Re-encoded artifacts may be block-compressed (v2): surface the
+    // chain so EXPLAIN shows what the scan will decode through.
+    if (!entry.codec_chain.empty()) {
+      d.applied.push_back("codec(" + entry.codec_chain + ")");
+    }
   }
   plan.explanation = "using catalog artifact " + entry.artifact_path +
                      " (" + spec.Describe() + ")";

@@ -66,9 +66,26 @@ Result<GenStats> GenerateUserVisits(const std::string& path,
     uint64_t page = zipf.Sample(&rng) - 1;
     // "Fields ... all uniformly picked at random from real-world data
     // sets" (paper Appendix D) — including visitDate, so date-range
-    // selections hit records scattered across the file.
-    int64_t date = options.date_epoch +
-                   rng.UniformRange(0, options.date_range - 1);
+    // selections hit records scattered across the file. The
+    // chronological mode is the access-log alternative: dates advance
+    // with the record ordinal, jittered within a small local window,
+    // so blocks partition the date range.
+    int64_t date;
+    if (options.chronological) {
+      const int64_t pos = static_cast<int64_t>(
+          static_cast<double>(i) * static_cast<double>(options.date_range) /
+          static_cast<double>(options.num_visits));
+      const int64_t window =
+          std::max<int64_t>(1, options.date_range / 500);
+      date = options.date_epoch + pos +
+             rng.UniformRange(0, window - 1) - window / 2;
+      date = std::max(options.date_epoch,
+                      std::min(date, options.date_epoch +
+                                         options.date_range - 1));
+    } else {
+      date = options.date_epoch +
+             rng.UniformRange(0, options.date_range - 1);
+    }
     Record record = {
         Value::Str(rng.IpAddress()),
         Value::Str(PageUrl(page)),

@@ -40,11 +40,15 @@ struct UserVisitsOptions {
   uint64_t num_visits = 500000;
   uint64_t num_pages = 100000;  // destURL pool (Zipf-distributed)
   double zipf_theta = 0.8;
-  // visitDate covers [epoch, epoch+range) and is generated in roughly
-  // chronological order with jitter, like a real access log — which is
-  // what makes delta-compression effective on it (Appendix D).
+  // visitDate covers [epoch, epoch+range). By default it is uniform
+  // random per record ("fields ... all uniformly picked at random",
+  // paper Appendix D); `chronological` instead emits it in roughly
+  // increasing order with local jitter, like a real access log — the
+  // shape that makes delta-compression and per-block min/max skip
+  // frames effective on date-range selections.
   int64_t date_range = 30 * 86400;          // 30 days of seconds
   int64_t date_epoch = 1'200'000'000;       // unix seconds
+  bool chronological = false;
   int64_t revenue_range = 1'000'000;        // adRevenue cents [0, range)
   int64_t duration_range = 1000;
   uint64_t seed = 43;

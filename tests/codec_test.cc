@@ -1,0 +1,550 @@
+// Tests for the chained block codec framework (columnar/codec/): raw
+// codec round-trips, chain parse/frame semantics, fuzzed random
+// chains over adversarial column data, SeqFile v2 round-trips with
+// skip-frame verification, corrupt-frame handling (an unregistered
+// method byte must be a Corruption, never silent garbage), the
+// codec-chain selector, and the catalog's codec columns.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/index_gen.h"
+#include "columnar/codec/codec.h"
+#include "columnar/codec/selector.h"
+#include "columnar/dictionary.h"
+#include "columnar/seqfile.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "core/manimal.h"
+#include "exec/pairfile.h"
+#include "index/catalog.h"
+#include "mril/builder.h"
+#include "tests/test_util.h"
+
+namespace manimal::columnar {
+namespace {
+
+using testing::TempDir;
+
+Schema NumSchema() {
+  return Schema({{"name", FieldType::kStr},
+                 {"a", FieldType::kI64},
+                 {"b", FieldType::kI64}});
+}
+
+Record Row(const std::string& name, int64_t a, int64_t b) {
+  return {Value::Str(name), Value::I64(a), Value::I64(b)};
+}
+
+// ---------------- raw codecs ----------------
+
+std::string RoundTrip(const char* chain_spec, const std::string& in) {
+  auto chain = CodecChain::Parse(chain_spec);
+  EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+  std::string framed;
+  EXPECT_OK(chain->CompressBlock(in, &framed));
+  std::string out, spec;
+  EXPECT_OK(CodecChain::DecompressBlock(framed, &out, &spec));
+  EXPECT_EQ(spec, chain->ToString());
+  return out;
+}
+
+TEST(CodecTest, EveryCodecRoundTripsAdversarialPayloads) {
+  Rng rng(11);
+  std::string random_bytes, text, runs, zeros(4096, '\0');
+  for (int i = 0; i < 5000; ++i) {
+    random_bytes.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    text += "field=" + std::to_string(i % 17) + "&rank=" +
+            std::to_string(i) + ";";
+  }
+  for (int i = 0; i < 40; ++i) {
+    runs.append(1 + rng.Uniform(400), static_cast<char>(rng.Uniform(4)));
+  }
+  const std::string payloads[] = {"", "x", "ab", zeros, random_bytes,
+                                  text, runs};
+  const char* chains[] = {"",        "none", "rle",
+                          "mlz",     "rle+mlz", "mlz+rle",
+                          "rle+rle", "mlz+mlz"};
+  for (const char* chain : chains) {
+    for (const std::string& payload : payloads) {
+      SCOPED_TRACE(std::string("chain '") + chain + "' payload size " +
+                   std::to_string(payload.size()));
+      EXPECT_EQ(RoundTrip(chain, payload), payload);
+    }
+  }
+}
+
+TEST(CodecTest, MlzActuallyCompressesRepetitiveData) {
+  std::string in;
+  for (int i = 0; i < 500; ++i) in += "the quick brown fox 42 ";
+  auto chain = CodecChain::Parse("mlz");
+  ASSERT_OK(chain.status());
+  std::string framed;
+  ASSERT_OK(chain->CompressBlock(in, &framed));
+  EXPECT_LT(framed.size(), in.size() / 4);
+}
+
+TEST(CodecTest, RleActuallyCompressesRuns) {
+  std::string in(10000, 'a');
+  auto chain = CodecChain::Parse("rle");
+  ASSERT_OK(chain.status());
+  std::string framed;
+  ASSERT_OK(chain->CompressBlock(in, &framed));
+  EXPECT_LT(framed.size(), 300u);
+}
+
+TEST(CodecTest, FuzzRandomChainsOverRandomColumnData) {
+  const char* chains[] = {"", "rle", "mlz", "rle+mlz", "mlz+rle"};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    // Column-shaped data: blocks of varint-ish small ints, repeated
+    // strings, and occasional incompressible noise.
+    std::string payload;
+    const uint32_t rows = rng.Uniform(600);  // 0 = empty block
+    for (uint32_t r = 0; r < rows; ++r) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          payload += static_cast<char>(rng.Uniform(7));  // near-constant
+          break;
+        case 1:
+          payload += "host-" + std::to_string(rng.Uniform(9));
+          break;
+        default:
+          for (int k = 0; k < 8; ++k) {
+            payload.push_back(static_cast<char>(rng.Uniform(256)));
+          }
+      }
+    }
+    const char* chain = chains[rng.Uniform(5)];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " chain '" + chain +
+                 "' rows " + std::to_string(rows));
+    EXPECT_EQ(RoundTrip(chain, payload), payload);
+  }
+}
+
+// ---------------- frames, registry, corruption ----------------
+
+TEST(CodecTest, ParseRejectsUnknownNamesAndNormalizes) {
+  EXPECT_TRUE(CodecChain::Parse("").ok());
+  EXPECT_TRUE(CodecChain::Parse("none").ok());
+  EXPECT_EQ(CodecChain::Parse("none")->ToString(), "");
+  EXPECT_EQ(CodecChain::Parse("rle+mlz")->ToString(), "rle+mlz");
+  auto bad = CodecChain::Parse("zstd");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(CodecChain::Parse("rle++mlz").ok());
+}
+
+TEST(CodecTest, RegistryLookups) {
+  ASSERT_OK_AND_ASSIGN(const ICompressionCodec* rle,
+                       CodecRegistry::Get().ByName("rle"));
+  EXPECT_EQ(rle->method_byte(), kCodecMethodRle);
+  auto unknown_name = CodecRegistry::Get().ByName("nope");
+  ASSERT_FALSE(unknown_name.ok());
+  EXPECT_EQ(unknown_name.status().code(), StatusCode::kInvalidArgument);
+  auto unknown_method = CodecRegistry::Get().ByMethod(0x7F);
+  ASSERT_FALSE(unknown_method.ok());
+  EXPECT_EQ(unknown_method.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, DecompressRejectsCorruptFrames) {
+  std::string out;
+  // Truncated / empty frames.
+  EXPECT_FALSE(CodecChain::DecompressBlock("", &out).ok());
+  EXPECT_FALSE(CodecChain::DecompressBlock(std::string("\x01", 1), &out).ok());
+  // Unregistered method byte in the chain.
+  std::string framed;
+  ASSERT_OK(CodecChain().CompressBlock("hello", &framed));
+  ASSERT_EQ(framed[0], '\0');  // empty chain
+  framed[0] = '\x01';          // claim one codec...
+  framed.insert(1, 1, '\x7F'); // ...with an unregistered method byte
+  out.clear();
+  Status st = CodecChain::DecompressBlock(framed, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("unregistered codec"), std::string::npos);
+  // Recorded raw size disagrees with the decoded payload.
+  framed.clear();
+  ASSERT_OK(CodecChain().CompressBlock("hello", &framed));
+  framed[1] = '\x04';  // raw_size varint: claim 4, payload is 5
+  EXPECT_FALSE(CodecChain::DecompressBlock(framed, &out).ok());
+  // Random garbage decompression must fail cleanly, never crash.
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    const uint32_t n = rng.Uniform(64);
+    for (uint32_t i = 0; i < n; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    out.clear();
+    (void)CodecChain::DecompressBlock(garbage, &out);
+  }
+}
+
+// ---------------- seqfile v2 ----------------
+
+void WriteNumFile(const std::string& path, int rows,
+                  SeqFileWriter::Options options) {
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      SeqFileWriter::Create(path, PlainMeta(NumSchema()), options));
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_OK(writer->Append(
+        Row("row" + std::to_string(i % 5), i, (i * 37) % 200)));
+  }
+  ASSERT_OK(writer->Finish().status());
+}
+
+TEST(SeqFileV2Test, ChainedFileRoundTripsAndReportsBytesDecoded) {
+  TempDir dir("v2");
+  const std::string plain = dir.file("plain.msq");
+  const std::string packed = dir.file("packed.msq");
+  SeqFileWriter::Options raw_opts;
+  WriteNumFile(plain, 400, raw_opts);
+  SeqFileWriter::Options packed_opts;
+  packed_opts.codec_chain = "rle+mlz";
+  packed_opts.skip_frames = true;
+  WriteNumFile(packed, 400, packed_opts);
+
+  ASSERT_OK_AND_ASSIGN(auto plain_reader, SeqFileReader::Open(plain));
+  ASSERT_OK_AND_ASSIGN(auto packed_reader, SeqFileReader::Open(packed));
+  EXPECT_EQ(plain_reader->version(), 1u);
+  EXPECT_EQ(packed_reader->version(), 2u);
+  EXPECT_EQ(packed_reader->meta().codec_chain, "rle+mlz");
+  EXPECT_TRUE(packed_reader->has_skip_frames());
+  // The compressible integer columns must actually shrink on disk.
+  EXPECT_LT(packed_reader->file_size(), plain_reader->file_size());
+
+  ASSERT_OK_AND_ASSIGN(auto a, plain_reader->ScanAll());
+  ASSERT_OK_AND_ASSIGN(auto b, packed_reader->ScanAll());
+  int64_t ka = 0, kb = 0;
+  Record ra, rb;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool more_a, a.Next(&ka, &ra));
+    ASSERT_OK_AND_ASSIGN(bool more_b, b.Next(&kb, &rb));
+    ASSERT_TRUE(more_a);
+    ASSERT_TRUE(more_b);
+    EXPECT_EQ(ka, kb);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t f = 0; f < ra.size(); ++f) {
+      EXPECT_EQ(ra[f].ToString(), rb[f].ToString());
+    }
+  }
+  // bytes_decoded counts raw body bytes materialized, which for a
+  // compressed file exceeds the bytes read off disk.
+  EXPECT_EQ(b.bytes_decoded(), a.bytes_decoded());
+  EXPECT_GT(b.bytes_decoded(), b.bytes_read());
+  EXPECT_EQ(b.blocks_skipped(), 0u);
+}
+
+TEST(SeqFileV2Test, SkipFramesMatchBruteForceBounds) {
+  TempDir dir("frames");
+  const std::string path = dir.file("t.msq");
+  SeqFileWriter::Options options;
+  options.skip_frames = true;
+  options.target_block_bytes = 512;  // force many blocks
+  Rng rng(7);
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, SeqFileWriter::Create(
+                                          path, PlainMeta(NumSchema()),
+                                          options));
+    for (int i = 0; i < 1000; ++i) {
+      int64_t a = static_cast<int64_t>(rng.Uniform(100000)) - 50000;
+      int64_t b = static_cast<int64_t>(rng.Uniform(1000));
+      rows.emplace_back(a, b);
+      ASSERT_OK(writer->Append(Row("x", a, b)));
+    }
+    ASSERT_OK(writer->Finish().status());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, SeqFileReader::Open(path));
+  ASSERT_TRUE(reader->has_skip_frames());
+  ASSERT_GT(reader->num_blocks(), 4u);
+  // Slots 1 and 2 are the i64 columns ("a", "b"); slot 0 is a string
+  // and must have no frame.
+  int64_t lo = 0, hi = 0;
+  EXPECT_FALSE(reader->BlockSlotBounds(0, 0, &lo, &hi));
+  uint64_t row = 0;
+  for (uint64_t block = 0; block < reader->num_blocks(); ++block) {
+    const uint64_t count = reader->BlockRecordCount(block);
+    ASSERT_GT(count, 0u);
+    int64_t want_min_a = rows[row].first, want_max_a = rows[row].first;
+    int64_t want_min_b = rows[row].second, want_max_b = rows[row].second;
+    for (uint64_t r = row; r < row + count; ++r) {
+      want_min_a = std::min(want_min_a, rows[r].first);
+      want_max_a = std::max(want_max_a, rows[r].first);
+      want_min_b = std::min(want_min_b, rows[r].second);
+      want_max_b = std::max(want_max_b, rows[r].second);
+    }
+    ASSERT_TRUE(reader->BlockSlotBounds(block, 1, &lo, &hi));
+    EXPECT_EQ(lo, want_min_a);
+    EXPECT_EQ(hi, want_max_a);
+    ASSERT_TRUE(reader->BlockSlotBounds(block, 2, &lo, &hi));
+    EXPECT_EQ(lo, want_min_b);
+    EXPECT_EQ(hi, want_max_b);
+    row += count;
+  }
+  EXPECT_EQ(row, rows.size());
+}
+
+TEST(SeqFileV2Test, ScanHonorsSkipFilterAndCountsSkips) {
+  TempDir dir("skipscan");
+  const std::string path = dir.file("t.msq");
+  SeqFileWriter::Options options;
+  options.skip_frames = true;
+  options.records_per_block = 100;
+  WriteNumFile(path, 400, options);
+  ASSERT_OK_AND_ASSIGN(auto reader, SeqFileReader::Open(path));
+  ASSERT_EQ(reader->num_blocks(), 4u);
+  // Skip blocks 1 and 2: the scan must yield exactly blocks 0 and 3.
+  auto skip = std::make_shared<std::vector<bool>>(
+      std::vector<bool>{false, true, true, false});
+  ASSERT_OK_AND_ASSIGN(auto stream, reader->ScanAll());
+  stream.set_skip_blocks(skip);
+  int64_t key = 0;
+  Record record;
+  std::vector<int64_t> keys;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+    if (!more) break;
+    keys.push_back(key);
+  }
+  ASSERT_EQ(keys.size(), 200u);
+  EXPECT_EQ(keys.front(), 0);
+  EXPECT_EQ(keys[99], 99);
+  EXPECT_EQ(keys[100], 300);
+  EXPECT_EQ(keys.back(), 399);
+  EXPECT_EQ(stream.blocks_skipped(), 2u);
+  EXPECT_EQ(stream.records_skipped(), 200u);
+}
+
+// The satellite contract: a block whose frame names a method byte no
+// registered codec owns must surface as Corruption from the reader,
+// not as silently-garbled records.
+TEST(SeqFileV2Test, UnregisteredMethodByteIsCorruption) {
+  TempDir dir("badmethod");
+  const std::string path = dir.file("t.msq");
+  SeqFileWriter::Options options;
+  options.codec_chain = "rle";
+  WriteNumFile(path, 50, options);
+
+  // Patch the first block's first chain method byte on disk. Layout:
+  // footer tail's third fixed64 is the footer offset; the footer opens
+  // with the per-block offsets; a block is fixed32 body_len, then the
+  // frame's [u8 chain_len][method bytes...].
+  ASSERT_OK_AND_ASSIGN(std::string data, ReadFileToString(path));
+  ASSERT_GT(data.size(), 28u);
+  const uint64_t footer_offset =
+      DecodeFixed64(data.data() + data.size() - 4 - 8);
+  const uint64_t block_offset = DecodeFixed64(data.data() + footer_offset);
+  const size_t method_pos = block_offset + 4 + 1;
+  ASSERT_LT(method_pos, data.size());
+  ASSERT_EQ(static_cast<uint8_t>(data[method_pos - 1]), 1u);  // chain_len
+  ASSERT_EQ(static_cast<uint8_t>(data[method_pos]), kCodecMethodRle);
+  data[method_pos] = '\x7F';
+  ASSERT_OK(WriteStringToFile(path, data));
+
+  ASSERT_OK_AND_ASSIGN(auto reader, SeqFileReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(auto stream, reader->ScanAll());
+  int64_t key = 0;
+  Record record;
+  auto more = stream.Next(&key, &record);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(more.status().message().find("unregistered codec"),
+            std::string::npos)
+      << more.status().ToString();
+}
+
+TEST(SeqFileV2Test, EmptyFileAndSingleRecordRoundTrip) {
+  TempDir dir("tiny");
+  for (int rows : {0, 1}) {
+    const std::string path =
+        dir.file("t" + std::to_string(rows) + ".msq");
+    SeqFileWriter::Options options;
+    options.codec_chain = "rle+mlz";
+    options.skip_frames = true;
+    WriteNumFile(path, rows, options);
+    ASSERT_OK_AND_ASSIGN(auto reader, SeqFileReader::Open(path));
+    EXPECT_EQ(reader->num_records(), static_cast<uint64_t>(rows));
+    ASSERT_OK_AND_ASSIGN(auto stream, reader->ScanAll());
+    int64_t key = 0;
+    Record record;
+    int seen = 0;
+    while (true) {
+      ASSERT_OK_AND_ASSIGN(bool more, stream.Next(&key, &record));
+      if (!more) break;
+      ++seen;
+    }
+    EXPECT_EQ(seen, rows);
+  }
+}
+
+// ---------------- selector ----------------
+
+TEST(CodecSelectorTest, NearConstantColumnPicksRlePrefix) {
+  SeqFileMeta meta = PlainMeta(NumSchema());
+  CodecPolicy policy;
+  policy.mode = CodecMode::kAuto;
+  CodecSelector selector(policy, meta);
+  for (int i = 0; i < 500; ++i) {
+    selector.Observe(Row("r", 7, i));  // column "a" is constant
+  }
+  CodecSelection sel = selector.Choose();
+  EXPECT_EQ(sel.chain, "rle+mlz");
+  EXPECT_TRUE(sel.skip_frames);
+  EXPECT_NE(sel.reason.find("near-constant"), std::string::npos);
+}
+
+TEST(CodecSelectorTest, HighCardinalityPicksPlainLz) {
+  SeqFileMeta meta = PlainMeta(NumSchema());
+  CodecPolicy policy;
+  policy.mode = CodecMode::kAuto;
+  CodecSelector selector(policy, meta);
+  for (int i = 0; i < 500; ++i) {
+    selector.Observe(Row("r" + std::to_string(i), i, i * 31));
+  }
+  CodecSelection sel = selector.Choose();
+  EXPECT_EQ(sel.chain, "mlz");
+  EXPECT_TRUE(sel.skip_frames);
+}
+
+TEST(CodecSelectorTest, OffAndExplicitModes) {
+  SeqFileMeta meta = PlainMeta(NumSchema());
+  CodecPolicy off;
+  off.mode = CodecMode::kOff;
+  CodecSelection sel_off = CodecSelector(off, meta).Choose();
+  EXPECT_EQ(sel_off.chain, "");
+  EXPECT_FALSE(sel_off.skip_frames);
+
+  CodecPolicy forced;
+  forced.mode = CodecMode::kExplicit;
+  forced.explicit_chain = "rle";
+  CodecSelection sel_rle = CodecSelector(forced, meta).Choose();
+  EXPECT_EQ(sel_rle.chain, "rle");
+  EXPECT_TRUE(sel_rle.skip_frames);
+}
+
+// ---------------- direct evaluation end to end ----------------
+
+// A selective scan over a re-encoded artifact whose blocks partition
+// the predicate column must skip most blocks when direct evaluation
+// is on, produce identical output either way, and show the savings in
+// the engine counters (the EXPLAIN ANALYZE / bench surface).
+TEST(DirectEvalTest, SelectiveScanSkipsBlocksAndCutsBytesDecoded) {
+  TempDir dir("direct");
+  const std::string input = dir.file("in.msq");
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto writer, SeqFileWriter::Create(input, PlainMeta(NumSchema())));
+    for (int i = 0; i < 8000; ++i) {
+      // "a" ascending: artifact blocks partition its range, so frames
+      // refute every block past the predicate's upper bound.
+      ASSERT_OK(writer->Append(Row("row" + std::to_string(i % 7), i,
+                                   (i * 13) % 97)));
+    }
+    ASSERT_OK(writer->Finish().status());
+  }
+
+  mril::ProgramBuilder b("selective-direct");
+  b.SetKeyType(FieldType::kI64);
+  b.SetValueSchema(NumSchema());
+  mril::FunctionBuilder& m = b.Map();
+  m.LoadParam(1).GetField("a").LoadI64(100).CmpLt();
+  m.JmpIfFalse("end");
+  m.LoadParam(1).GetField("a");
+  m.LoadParam(1).GetField("b");
+  m.Emit();
+  m.Label("end").Ret();
+  const mril::Program program = b.Build();
+
+  // A non-B+Tree re-encoded artifact, so the chosen plan is a seqscan
+  // over v2 blocks with the selection still in the map.
+  ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
+  auto specs = analyzer::SynthesizeIndexPrograms(program, report);
+  const analyzer::IndexGenProgram* reencoded = nullptr;
+  for (const auto& s : specs) {
+    if (!s.btree && !s.column_groups) reencoded = &s;
+  }
+  ASSERT_NE(reencoded, nullptr);
+
+  setenv("MANIMAL_CODECS", "mlz", 1);
+  uint64_t decoded[2] = {0, 0};
+  std::vector<std::string> outputs[2];
+  for (int direct = 0; direct <= 1; ++direct) {
+    setenv("MANIMAL_DIRECT_EVAL", direct ? "1" : "0", 1);
+    core::ManimalSystem::Options options;
+    options.workspace_dir = dir.file("ws" + std::to_string(direct));
+    options.simulated_startup_seconds = 0;
+    options.map_parallelism = 1;
+    options.num_partitions = 1;
+    ASSERT_OK_AND_ASSIGN(auto system, core::ManimalSystem::Open(options));
+    ASSERT_OK(system->BuildIndex(*reencoded, input).status());
+    core::ManimalSystem::Submission job;
+    job.program = program;
+    job.input_path = input;
+    job.output_path = dir.file("out" + std::to_string(direct) + ".prs");
+    ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
+    decoded[direct] = outcome.job.counters.bytes_decoded;
+    ASSERT_OK_AND_ASSIGN(outputs[direct],
+                         exec::ReadCanonicalPairs(job.output_path));
+    if (direct == 1) {
+      EXPECT_GT(outcome.job.counters.blocks_skipped, 0u);
+    } else {
+      EXPECT_EQ(outcome.job.counters.blocks_skipped, 0u);
+    }
+  }
+  unsetenv("MANIMAL_CODECS");
+  unsetenv("MANIMAL_DIRECT_EVAL");
+
+  EXPECT_EQ(outputs[0], outputs[1]);
+  ASSERT_EQ(outputs[1].size(), 100u);
+  // The acceptance bar: direct evaluation at this selectivity must at
+  // least halve the bytes decoded.
+  EXPECT_GT(decoded[0], 0u);
+  EXPECT_LE(decoded[1] * 2, decoded[0])
+      << "decoded " << decoded[1] << " with skipping vs " << decoded[0];
+}
+
+// ---------------- catalog codec columns ----------------
+
+TEST(CatalogCodecTest, TenColumnRoundTripAndOldManifestsStillLoad) {
+  TempDir dir("cat");
+  const std::string path = dir.file("catalog.tsv");
+  {
+    ASSERT_OK_AND_ASSIGN(auto catalog, index::Catalog::Open(path));
+    index::CatalogEntry e;
+    e.input_file = "in.msq";
+    e.signature = "sig";
+    e.artifact_path = "a.msq";
+    e.artifact_bytes = 100;
+    e.input_bytes = 400;
+    e.stats_path = "s.stats";
+    e.codec_chain = "rle+mlz";
+    e.raw_bytes = 350;
+    ASSERT_OK(catalog.Register(e));
+  }
+  ASSERT_OK_AND_ASSIGN(auto reloaded, index::Catalog::Open(path));
+  ASSERT_EQ(reloaded.entries().size(), 1u);
+  EXPECT_EQ(reloaded.entries()[0].codec_chain, "rle+mlz");
+  EXPECT_EQ(reloaded.entries()[0].raw_bytes, 350u);
+
+  // A pre-codec 8-column manifest loads with empty codec fields.
+  const std::string old = dir.file("old.tsv");
+  ASSERT_OK(WriteStringToFile(
+      old, "in.msq\tsig\ta.msq\t\t\t100\t400\ts.stats\n"));
+  ASSERT_OK_AND_ASSIGN(auto old_catalog, index::Catalog::Open(old));
+  ASSERT_EQ(old_catalog.entries().size(), 1u);
+  EXPECT_EQ(old_catalog.entries()[0].codec_chain, "");
+  EXPECT_EQ(old_catalog.entries()[0].raw_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace manimal::columnar

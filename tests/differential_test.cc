@@ -13,14 +13,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analyzer/analyzer.h"
 #include "analyzer/index_gen.h"
+#include "common/env.h"
 #include "common/faulty_env.h"
 #include "core/manimal.h"
 #include "exec/pairfile.h"
+#include "mril/assembler.h"
 #include "mril/builder.h"
 #include "mril/verifier.h"
 #include "workloads/schemas.h"
@@ -35,6 +39,32 @@ using testing::GeneratedProgram;
 using testing::TempDir;
 
 constexpr int64_t kRankRange = 1000;
+
+// Pins an environment variable for one scope, restoring the previous
+// value (or absence) on exit.
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    setenv(name, value, 1);
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
 
 // Shared input file: generating WebPages once keeps the harness fast.
 class DifferentialHarness : public ::testing::Test {
@@ -83,9 +113,15 @@ class DifferentialHarness : public ::testing::Test {
         testing::GenerateWebPagesProgram(seed, kRankRange);
     SCOPED_TRACE("seed " + std::to_string(seed) + " shape:" +
                  gen.description);
-    ASSERT_OK(mril::VerifyProgram(gen.program));
+    RunProgram(gen.program, "s" + std::to_string(seed), scratch,
+               backend, native_jobs);
+  }
 
-    const std::string tag = "s" + std::to_string(seed);
+  void RunProgram(const mril::Program& program, const std::string& tag,
+                  const TempDir& scratch,
+                  exec::Backend backend = exec::Backend::kVm,
+                  int* native_jobs = nullptr) {
+    ASSERT_OK(mril::VerifyProgram(program));
     // Naive full scan: the ground truth.
     std::vector<std::string> canonical;
     {
@@ -93,7 +129,7 @@ class DifferentialHarness : public ::testing::Test {
           auto system, core::ManimalSystem::Open(SystemOptions(
                            scratch.file(tag + "-ws-baseline"))));
       core::ManimalSystem::Submission job;
-      job.program = gen.program;
+      job.program = program;
       job.input_path = input_path();
       job.output_path = scratch.file(tag + "-baseline.prs");
       ASSERT_OK(system->RunBaseline(job).status());
@@ -105,9 +141,9 @@ class DifferentialHarness : public ::testing::Test {
     // only). Plans 1..N: one per synthesized index artifact, each in
     // a fresh workspace so the optimizer considers exactly that
     // artifact.
-    ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(gen.program));
+    ASSERT_OK_AND_ASSIGN(auto report, analyzer::Analyze(program));
     std::vector<analyzer::IndexGenProgram> specs =
-        analyzer::SynthesizeIndexPrograms(gen.program, report);
+        analyzer::SynthesizeIndexPrograms(program, report);
     for (size_t plan = 0; plan <= specs.size(); ++plan) {
       SCOPED_TRACE("plan " + std::to_string(plan) + " of " +
                    std::to_string(specs.size()));
@@ -122,7 +158,7 @@ class DifferentialHarness : public ::testing::Test {
             system->BuildIndex(specs[plan - 1], input_path()).status());
       }
       core::ManimalSystem::Submission job;
-      job.program = gen.program;
+      job.program = program;
       job.input_path = input_path();
       job.output_path = scratch.file(plan_tag + ".prs");
       ASSERT_OK_AND_ASSIGN(auto outcome, system->Submit(job));
@@ -319,6 +355,95 @@ TEST_F(DifferentialHarness, ExplicitNativeBackendRunsAdmittedMap) {
   ASSERT_OK_AND_ASSIGN(auto pairs,
                        exec::ReadCanonicalPairs(job.output_path));
   EXPECT_EQ(pairs, canonical);
+}
+
+// ---------------------------------------------------------------
+// Codec legs: the every-plan sweep repeated under each block codec
+// chain, once with direct predicate evaluation on compressed blocks
+// enabled and once forced to decode-then-evaluate. Every
+// (plan x chain x direct on/off) combination must reproduce the
+// baseline byte-for-byte — the exactness contract of the skip path.
+
+#ifndef MANIMAL_TEST_CORPUS_DIR
+#define MANIMAL_TEST_CORPUS_DIR "tests/corpus"
+#endif
+
+constexpr const char* kCodecChains[] = {"off", "rle", "mlz", "rle+mlz"};
+
+TEST_F(DifferentialHarness, CodecChainsMatchBaselineDirectEvalOnAndOff) {
+  for (const char* chain : kCodecChains) {
+    for (int direct = 0; direct <= 1; ++direct) {
+      SCOPED_TRACE(std::string("chain ") + chain + " direct " +
+                   std::to_string(direct));
+      ScopedEnvVar codecs("MANIMAL_CODECS", chain);
+      ScopedEnvVar direct_eval("MANIMAL_DIRECT_EVAL",
+                               direct ? "1" : "0");
+      TempDir scratch(std::string("diff-codec-") +
+                      (direct ? "on-" : "off-") + chain);
+      for (uint64_t seed = 1; seed <= 4; ++seed) {
+        RunSeed(seed, scratch);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialHarness,
+       CodecChainsMatchBaselineUnderFaultInjection) {
+  FaultyEnv::Config defaults;
+  defaults.seed = 3;
+  defaults.rate = 0.02;
+  const FaultyEnv::Config config = FaultyEnv::ConfigFromEnv(defaults);
+  ASSERT_GT(config.rate, 0.0);
+
+  ScopedEnvVar codecs("MANIMAL_CODECS", "rle+mlz");
+  for (int direct = 0; direct <= 1; ++direct) {
+    SCOPED_TRACE("direct " + std::to_string(direct));
+    ScopedEnvVar direct_eval("MANIMAL_DIRECT_EVAL", direct ? "1" : "0");
+    TempDir scratch(std::string("diff-codec-fault-") +
+                    std::to_string(direct));
+    ScopedFaultInjection inject(config);
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+      RunSeed(seed, scratch);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    const FaultyEnv::Stats stats = FaultyEnv::Get().stats();
+    EXPECT_GT(stats.injected, 0u)
+        << "fault schedule never fired; raise MANIMAL_FAULT_RATE";
+  }
+}
+
+// The regression corpus programs through the same codec sweep: fixed
+// hand-written plans (not just generator shapes) must also survive
+// compressed-direct evaluation.
+TEST_F(DifferentialHarness, CorpusProgramsMatchBaselineUnderCodecs) {
+  std::vector<std::string> files;
+  ASSERT_OK_AND_ASSIGN(auto names, ListDir(MANIMAL_TEST_CORPUS_DIR));
+  for (const std::string& name : names) {
+    if (name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".mril") == 0) {
+      files.push_back(std::string(MANIMAL_TEST_CORPUS_DIR) + "/" + name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 4u)
+      << "corpus missing at " << MANIMAL_TEST_CORPUS_DIR;
+
+  ScopedEnvVar codecs("MANIMAL_CODECS", "rle+mlz");
+  for (int direct = 0; direct <= 1; ++direct) {
+    SCOPED_TRACE("direct " + std::to_string(direct));
+    ScopedEnvVar direct_eval("MANIMAL_DIRECT_EVAL", direct ? "1" : "0");
+    TempDir scratch(std::string("diff-codec-corpus-") +
+                    std::to_string(direct));
+    for (size_t i = 0; i < files.size(); ++i) {
+      SCOPED_TRACE(files[i]);
+      ASSERT_OK_AND_ASSIGN(std::string text, ReadFileToString(files[i]));
+      ASSERT_OK_AND_ASSIGN(mril::Program program,
+                           mril::AssembleProgram(text));
+      RunProgram(program, "c" + std::to_string(i), scratch);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
 }
 
 }  // namespace

@@ -85,11 +85,13 @@ const std::map<std::string, std::vector<const char*>>& JournalSchema() {
       {"plan_switched",
        {"job", "after_splits", "estimated", "observed", "drift_ratio",
         "from", "to"}},
+      {"direct_eval",
+       {"job", "admitted", "blocks_total", "blocks_refuted", "detail"}},
       {"output_commit", {"job", "path", "records", "bytes"}},
       {"job_finish",
        {"job", "input_records", "output_records", "task_retries",
-        "speculative_launches", "shuffle_spilled_runs", "wall_seconds",
-        "reported_seconds"}},
+        "speculative_launches", "shuffle_spilled_runs", "bytes_decoded",
+        "blocks_skipped", "wall_seconds", "reported_seconds"}},
       {"job_failed", {"job", "error"}},
   };
   return schema;
